@@ -1,0 +1,23 @@
+"""In-text finding E6 — PUL size has a negligible effect on evaluation
+time (evaluation cost tracks document size, not operation count)."""
+
+import pytest
+
+from repro.apply.events import events_to_xml, parse_events
+from repro.apply.streaming import apply_streaming
+from repro.workloads import generate_pul
+
+SIZES = (125, 500, 2000)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_streamed_evaluation_by_pul_size(benchmark, xmark_medium,
+                                         xmark_medium_text, size):
+    pul = generate_pul(xmark_medium, size, seed=23)
+
+    def run():
+        return events_to_xml(apply_streaming(
+            parse_events(xmark_medium_text), pul,
+            fresh_start=len(xmark_medium), check=False))
+
+    benchmark(run)

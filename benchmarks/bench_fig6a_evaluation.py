@@ -1,0 +1,49 @@
+"""Figure 6a — streaming vs in-memory PUL evaluation.
+
+The paper evaluates a 1000-operation PUL over XMark documents from 1 MB to
+256 MB and finds streaming ~3x faster, with the gap growing with document
+size. Here the document sizes are scaled down; the benchmark ids encode the
+scale so the trend is visible in the pytest-benchmark table.
+"""
+
+import pytest
+
+from repro.apply.events import events_to_xml, parse_events
+from repro.apply.inmemory import apply_in_memory
+from repro.apply.streaming import apply_streaming
+from repro.workloads import generate_pul, generate_xmark
+from repro.xdm.serializer import serialize
+
+SCALES = (0.0625, 0.25, 1.0)
+PUL_OPS = 1000
+
+
+def _workload(scale):
+    document = generate_xmark(scale=scale, seed=7)
+    text = serialize(document)
+    pul = generate_pul(document, PUL_OPS, seed=7)
+    return document, text, pul
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_streaming_evaluation(benchmark, scale):
+    document, text, pul = _workload(scale)
+    benchmark.extra_info["doc_mb"] = round(len(text) / 1e6, 3)
+
+    def run():
+        return events_to_xml(apply_streaming(
+            parse_events(text), pul, fresh_start=len(document),
+            check=False))
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_inmemory_evaluation(benchmark, scale):
+    document, text, pul = _workload(scale)
+    benchmark.extra_info["doc_mb"] = round(len(text) / 1e6, 3)
+
+    def run():
+        return apply_in_memory(text, pul)
+
+    benchmark(run)

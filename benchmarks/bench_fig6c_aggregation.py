@@ -1,0 +1,43 @@
+"""Figure 6c — aggregation of a growing list of PULs.
+
+The paper aggregates up to 15 PULs of 1000 operations each (half targeting
+nodes not in the original document) and finds the aggregation cost proper
+under 5 ms, dominated by (de)serialization.
+"""
+
+import pytest
+
+from repro.aggregation import aggregate
+from repro.pul.serialize import pul_from_xml, pul_to_xml
+from repro.workloads import generate_sequential_puls
+
+COUNTS = (3, 9, 15)
+OPS_PER_PUL = 1000
+
+
+@pytest.fixture(scope="module")
+def chains(xmark_medium):
+    prepared = {}
+    for count in COUNTS:
+        puls, __ = generate_sequential_puls(
+            xmark_medium, count, OPS_PER_PUL, new_node_ratio=0.5, seed=13)
+        prepared[count] = (puls, [pul_to_xml(p) for p in puls])
+    return prepared
+
+
+@pytest.mark.parametrize("count", COUNTS)
+def test_aggregate_only(benchmark, chains, count):
+    puls, __ = chains[count]
+    result = benchmark(aggregate, puls)
+    assert len(result) <= count * OPS_PER_PUL
+
+
+@pytest.mark.parametrize("count", COUNTS)
+def test_deserialize_aggregate_reserialize(benchmark, chains, count):
+    __, wires = chains[count]
+
+    def run():
+        received = [pul_from_xml(wire) for wire in wires]
+        return pul_to_xml(aggregate(received))
+
+    benchmark(run)

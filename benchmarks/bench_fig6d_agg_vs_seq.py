@@ -1,0 +1,54 @@
+"""Figure 6d — aggregate-then-apply vs sequential application.
+
+Applying the aggregate of a PUL list in one streamed pass against applying
+every PUL in its own pass: the advantage is significant and grows with the
+number of PULs (the document is traversed once instead of N times).
+"""
+
+import pytest
+
+from repro.aggregation import aggregate
+from repro.apply.events import events_to_xml, parse_events
+from repro.apply.streaming import apply_streaming
+from repro.workloads import generate_sequential_puls
+from repro.xdm.serializer import serialize
+
+COUNTS = (2, 5, 10)
+OPS_PER_PUL = 200
+
+
+@pytest.fixture(scope="module")
+def chains(xmark_medium, xmark_medium_text):
+    prepared = {}
+    for count in COUNTS:
+        puls, __ = generate_sequential_puls(
+            xmark_medium, count, OPS_PER_PUL, seed=17)
+        prepared[count] = puls
+    return prepared
+
+
+@pytest.mark.parametrize("count", COUNTS)
+def test_aggregate_then_single_pass(benchmark, chains, xmark_medium_text,
+                                    count):
+    puls = chains[count]
+
+    def run():
+        combined = aggregate(puls)
+        return events_to_xml(apply_streaming(
+            parse_events(xmark_medium_text), combined, check=False))
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("count", COUNTS)
+def test_sequential_passes(benchmark, chains, xmark_medium_text, count):
+    puls = chains[count]
+
+    def run():
+        current = xmark_medium_text
+        for pul in puls:
+            current = events_to_xml(apply_streaming(
+                parse_events(current), pul, check=False))
+        return current
+
+    benchmark(run)

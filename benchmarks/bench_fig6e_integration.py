@@ -1,0 +1,46 @@
+"""Figure 6e — integration and conflict resolution.
+
+The paper integrates 10 PULs of 4k-80k operations each, half of the
+operations involved in conflicts averaging 5 operations, 1/5 of the
+conflicts solved through cascades; integration remains cost effective.
+Sizes scaled /10.
+"""
+
+import pytest
+
+from repro.integration import integrate, reconcile
+from repro.workloads import generate_conflicting_puls
+
+SIZES = (400, 1600, 8000)
+PUL_COUNT = 10
+
+
+@pytest.fixture(scope="module")
+def families(xmark_medium, xmark_medium_oracle):
+    prepared = {}
+    for size in SIZES:
+        puls, __ = generate_conflicting_puls(
+            xmark_medium, pul_count=PUL_COUNT, ops_per_pul=size,
+            conflict_fraction=0.5, ops_per_conflict=5,
+            cascade_fraction=0.2, seed=19)
+        prepared[size] = puls
+    return prepared
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_integrate(benchmark, families, xmark_medium_oracle, size):
+    puls = families[size]
+    result = benchmark(integrate, puls, structure=xmark_medium_oracle)
+    assert result.has_conflicts
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_reconcile(benchmark, families, xmark_medium_oracle, size):
+    puls = families[size]
+
+    def run():
+        return reconcile(puls, policies={},
+                         structure=xmark_medium_oracle)
+
+    result = benchmark(run)
+    assert len(result) > 0

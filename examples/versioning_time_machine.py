@@ -1,0 +1,100 @@
+"""Document versioning: deltas, version pruning, and a time machine.
+
+The paper motivates aggregation with document versioning: keep versions as
+deltas (PULs) over an original document and "get rid of some intermediate
+document versions ... and only keep the most relevant ones" — pruning is
+just aggregating adjacent deltas (Section 3.3). The inversion extension
+(the paper's Section 6 future work, implemented in
+:mod:`repro.pul.inverse`) additionally lets the store walk *backwards*:
+every commit records its inverse, so any historical version can be checked
+out without storing full documents.
+
+Run: ``python examples/versioning_time_machine.py``
+"""
+
+from repro.aggregation import aggregate
+from repro.pul.inverse import invert_pul
+from repro.pul.semantics import apply_pul
+from repro.pul.serialize import pul_to_xml
+from repro.xdm import parse_document, serialize
+from repro.xdm.compare import canonical_string
+from repro.xquery import compile_pul
+
+ORIGINAL = "<report><title>Draft</title><body><p>hello</p></body></report>"
+
+COMMITS = (
+    'replace value of node /report/title/text() with "Draft v2"',
+    "insert node <p>second paragraph</p> as last into /report/body",
+    "insert node <reviewer>GG</reviewer> after /report/title",
+    'replace children of node /report/body/p[1] with "hello, world"',
+    "delete node /report/reviewer",
+)
+
+
+class VersionStore:
+    """Versions as forward deltas + recorded inverses."""
+
+    def __init__(self, original_text):
+        self.original_text = original_text
+        self.head = parse_document(original_text)
+        self.forward = []   # delta i: version i -> i+1
+        self.backward = []  # inverse of delta i
+
+    def commit(self, query):
+        pul = compile_pul(query, self.head)
+        forward, inverse = invert_pul(pul, self.head)
+        apply_pul(self.head, forward, preserve_ids=True)
+        self.forward.append(forward)
+        self.backward.append(inverse)
+        return len(self.forward)
+
+    def checkout(self, version):
+        """Walk back from the head using the recorded inverses."""
+        document = self.head.copy()
+        for inverse in reversed(self.backward[version:]):
+            apply_pul(document, inverse, preserve_ids=True)
+        return document
+
+    def prune(self, keep_every=2):
+        """Drop intermediate versions by aggregating adjacent deltas."""
+        pruned = []
+        for index in range(0, len(self.forward), keep_every):
+            chunk = self.forward[index:index + keep_every]
+            pruned.append(aggregate(chunk) if len(chunk) > 1 else chunk[0])
+        return pruned
+
+
+def main():
+    store = VersionStore(ORIGINAL)
+    for query in COMMITS:
+        version = store.commit(query)
+        delta = store.forward[-1]
+        print("v{}: {} ops, {} bytes on the wire".format(
+            version, len(delta), len(pul_to_xml(delta).encode())))
+
+    print("\nhead document:\n ", serialize(store.head))
+
+    # the time machine: materialize historical versions backwards
+    for version in (3, 1, 0):
+        document = store.checkout(version)
+        print("\ncheckout of v{}:\n  {}".format(version,
+                                                serialize(document)))
+    restored = store.checkout(0)
+    assert canonical_string(restored.root, with_ids=True) == \
+        canonical_string(parse_document(ORIGINAL).root, with_ids=True)
+    print("\nv0 checkout is identical to the original (same node ids).")
+
+    # version pruning via aggregation
+    pruned = store.prune(keep_every=2)
+    print("\npruned history: {} deltas -> {} deltas".format(
+        len(store.forward), len(pruned)))
+    replay = parse_document(ORIGINAL)
+    for delta in pruned:
+        apply_pul(replay, delta, preserve_ids=True)
+    assert canonical_string(replay.root, with_ids=True) == \
+        canonical_string(store.head.root, with_ids=True)
+    print("replaying the pruned history reproduces the head exactly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""PUL aggregation — handling *sequential* PULs (Section 3.3).
+
+``∆1 ⤙ ∆2`` produces a single PUL cumulating the effects of applying
+``∆1`` and then ``∆2``; unlike integration there are never unsolvable
+conflicts, since the sequential result is always well defined. The
+implementation is the hash-table Algorithm 2 driven by the dependency
+rules of Figure 5 (A1/A2 same-PUL insert collapse, B3 overriding, C4/C5
+cross-PUL insert cumulation, D6 application inside earlier parameters).
+"""
+
+from repro.aggregation.engine import aggregate
+from repro.aggregation import rules
+
+__all__ = ["aggregate", "rules"]

@@ -1,0 +1,70 @@
+"""The aggregation rules of Figure 5, as merge-order helpers.
+
+For two insertions of the same variant on the same (original) node, one in
+each PUL of the sequence, the cumulated parameter order depends on the
+variant (rules C4/C5): variants whose insertion point "stays put" as
+content accumulates (``ins←``: right before the target; ``ins↘``: at the
+end) concatenate first-then-second, while variants whose insertion point is
+*adjacent* to the target on the leading side (``ins→``, ``ins↙``)
+concatenate second-then-first. The same orders apply to the same-PUL
+collapse rules A1/A2.
+
+Rule B3 (a later ``ren``/``repV``/``repC`` overrides an earlier one on the
+same node) and rule D6 (operations of a later PUL applied inside an
+earlier operation's parameter trees) live in the engine.
+
+The ``repC`` + later-child-insert combination, deferred by the paper to
+its extended version, is realized here by cumulating into a *generalized*
+``repC`` (see :class:`repro.pul.ops.ReplaceChildren`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import NotApplicableError
+from repro.pul.ops import (
+    InsertAfter,
+    InsertAttributes,
+    InsertBefore,
+    InsertInto,
+    InsertIntoAsFirst,
+    InsertIntoAsLast,
+    Rename,
+    ReplaceChildren,
+    ReplaceValue,
+)
+
+#: variants concatenating earlier-then-later (rule C4; attribute order is
+#: not semantically relevant, so insA cumulates in sequence order too)
+FIRST_THEN_SECOND = frozenset({InsertBefore.op_name,
+                               InsertIntoAsLast.op_name,
+                               InsertAttributes.op_name})
+#: variants concatenating later-then-earlier (rule C5)
+SECOND_THEN_FIRST = frozenset({InsertAfter.op_name,
+                               InsertIntoAsFirst.op_name,
+                               InsertInto.op_name})
+
+#: operations a later same-name operation overrides (rule B3)
+OVERRIDABLE = frozenset({Rename.op_name, ReplaceValue.op_name,
+                         ReplaceChildren.op_name})
+
+
+def cumulate_trees(op_name, earlier_trees, later_trees):
+    """The cumulated parameter of two same-variant insertions on the same
+    node, earlier PUL first (rules A1/A2/C4/C5)."""
+    if op_name in FIRST_THEN_SECOND:
+        return list(earlier_trees) + list(later_trees)
+    if op_name in SECOND_THEN_FIRST:
+        return list(later_trees) + list(earlier_trees)
+    raise NotApplicableError(
+        "no cumulation order for {}".format(op_name))
+
+
+def cumulate_into_repc(repc_trees, insert_op_name, insert_trees):
+    """Cumulate a later child insertion into an earlier (generalized)
+    ``repC`` parameter — the case Section 3.3 defers to the extended
+    version: the ``repC`` fixes the final children, so the insertion lands
+    inside the replacement content."""
+    if insert_op_name == InsertIntoAsLast.op_name:
+        return list(repc_trees) + list(insert_trees)
+    # ins↙ and (deterministically placed) ins↓ land at the front
+    return list(insert_trees) + list(repc_trees)

@@ -1,0 +1,11 @@
+"""Benchmark harness (Section 4.3 / Figure 6).
+
+:mod:`repro.bench.figures` regenerates every panel of Figure 6 as a
+printed series; ``python -m repro.bench`` runs them all and prints the
+tables recorded in EXPERIMENTS.md. The ``benchmarks/`` directory wraps the
+same workloads with pytest-benchmark for statistically robust timings.
+"""
+
+from repro.bench.harness import Series, format_table, time_call
+
+__all__ = ["Series", "format_table", "time_call"]

@@ -1,0 +1,6 @@
+"""``python -m repro.bench`` — run every figure benchmark."""
+
+from repro.bench.figures import main
+
+if __name__ == "__main__":
+    main()

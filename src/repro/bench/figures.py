@@ -1,0 +1,326 @@
+"""Regeneration of every Figure 6 panel (and the in-text findings).
+
+Each ``fig6x`` function builds the paper's workload (scaled down to this
+container — we reproduce *shape*, not absolute numbers), measures, and
+returns the plotted series; ``main`` prints them all as tables. See
+EXPERIMENTS.md for the recorded outputs and the paper-vs-measured
+comparison.
+"""
+
+from __future__ import annotations
+
+from repro.aggregation import aggregate
+from repro.apply.events import events_to_xml, parse_events
+from repro.apply.inmemory import apply_in_memory
+from repro.apply.streaming import apply_streaming
+from repro.bench.harness import Series, format_table, time_call
+from repro.integration import integrate, reconcile
+from repro.labeling import CDQSEncoder, ContainmentLabeling
+from repro.pul.serialize import pul_from_xml, pul_to_xml
+from repro.reasoning import DocumentOracle
+from repro.reduction import reduce_deterministic, reduce_naive
+from repro.workloads import (
+    generate_conflicting_puls,
+    generate_pul,
+    generate_reducible_pul,
+    generate_sequential_puls,
+    generate_xmark,
+    xmark_text,
+)
+
+#: document scales for Figure 6a (paper: 1MB..256MB; here ~0.06..2MB,
+#: the same x2 progression)
+FIG6A_SCALES = (0.0625, 0.125, 0.25, 0.5, 1.0, 2.0)
+#: PUL sizes for Figure 6b (paper: 5k..100k ops; scaled /10)
+FIG6B_SIZES = (500, 1000, 2000, 4000, 8000)
+#: PUL counts for Figure 6c/6d (paper: up to 15 PULs x 1000 ops)
+FIG6C_COUNTS = (1, 3, 5, 9, 12, 15)
+#: per-PUL op counts for Figure 6e (paper: 4k..80k over 10 PULs; /10)
+FIG6E_SIZES = (400, 800, 1600, 3200, 8000)
+
+
+def fig6a(scales=FIG6A_SCALES, pul_ops=1000, seed=7, repeat=3,
+          measure_memory=True):
+    """Figure 6a: streaming vs in-memory evaluation of a 1000-op PUL over
+    growing documents.
+
+    Returns (sizes_mb, streaming, inmemory, mem_streaming, mem_inmemory)
+    series; the memory series (peak tracemalloc MB) witness the streaming
+    evaluator's headline property — memory independent of document size.
+    """
+    import tracemalloc
+
+    streaming = Series("streaming")
+    inmemory = Series("in-memory")
+    mem_streaming = Series("stream-MB")
+    mem_inmemory = Series("memory-MB")
+    sizes = Series("size-mb")
+    for scale in scales:
+        document = generate_xmark(scale=scale, seed=seed)
+        doc_size = len(document)
+        text = xmark_text(scale=scale, seed=seed)
+        pul = generate_pul(document, pul_ops, seed=seed)
+        mb = len(text) / 1e6
+        del document
+
+        def run_streaming():
+            return events_to_xml(apply_streaming(
+                parse_events(text), pul, fresh_start=doc_size))
+
+        def run_inmemory():
+            return apply_in_memory(text, pul)
+
+        t_stream, out_s = time_call(run_streaming, repeat=repeat)
+        t_memory, out_m = time_call(run_inmemory, repeat=repeat)
+        assert out_s == out_m or len(out_s) == len(out_m)
+        sizes.add(scale, mb)
+        streaming.add(mb, t_stream)
+        inmemory.add(mb, t_memory)
+        if measure_memory:
+            # for the memory property, serialize to disk (the paper's
+            # mode): the streaming path then never holds the document
+            import io
+            import os
+            from repro.apply.events import events_to_file
+
+            def stream_to_disk():
+                with open(os.devnull, "w") as sink:
+                    events_to_file(apply_streaming(
+                        parse_events(text), pul, fresh_start=doc_size),
+                        sink)
+
+            def memory_to_disk():
+                output = apply_in_memory(text, pul)
+                with open(os.devnull, "w") as sink:
+                    sink.write(output)
+
+            for runner, series in ((stream_to_disk, mem_streaming),
+                                   (memory_to_disk, mem_inmemory)):
+                tracemalloc.start()
+                runner()
+                __, peak = tracemalloc.get_traced_memory()
+                tracemalloc.stop()
+                series.add(mb, peak / 1e6)
+    return sizes, streaming, inmemory, mem_streaming, mem_inmemory
+
+
+def fig6b(sizes=FIG6B_SIZES, scale=0.5, hit_ratio=0.1, seed=11, repeat=1):
+    """Figure 6b: deserialize + reduce + reserialize time vs PUL size
+    (~1 successful rule application per 10 ops)."""
+    total = Series("total")
+    reduce_only = Series("reduce-only")
+    serialization = Series("ser/deser")
+    document = generate_xmark(scale=scale, seed=seed)
+    oracle = DocumentOracle(document)
+    for size in sizes:
+        pul = generate_reducible_pul(document, size, hit_ratio=hit_ratio,
+                                     seed=seed)
+        labeling = ContainmentLabeling().build(document)
+        pul.attach_labels(labeling)
+        wire = pul_to_xml(pul)
+
+        def run_total():
+            received = pul_from_xml(wire)
+            reduced = reduce_deterministic(received, oracle)
+            return pul_to_xml(reduced)
+
+        def run_reduce():
+            return reduce_deterministic(pul, oracle)
+
+        t_total, __ = time_call(run_total, repeat=repeat)
+        t_reduce, __ = time_call(run_reduce, repeat=repeat)
+        total.add(size, t_total)
+        reduce_only.add(size, t_reduce)
+        serialization.add(size, t_total - t_reduce)
+    return total, reduce_only, serialization
+
+
+def fig6c(counts=FIG6C_COUNTS, ops_per_pul=1000, scale=0.5,
+          new_node_ratio=0.5, seed=13, repeat=1):
+    """Figure 6c: deserialize + aggregate + reserialize a growing list of
+    PULs (1000 ops each, half targeting new nodes)."""
+    total = Series("total")
+    aggregate_only = Series("aggregate-only")
+    document = generate_xmark(scale=scale, seed=seed)
+    for count in counts:
+        puls, __ = generate_sequential_puls(
+            document, count, ops_per_pul,
+            new_node_ratio=new_node_ratio, seed=seed)
+        wires = [pul_to_xml(pul) for pul in puls]
+
+        def run_total():
+            received = [pul_from_xml(wire) for wire in wires]
+            return pul_to_xml(aggregate(received))
+
+        def run_aggregate():
+            return aggregate(puls)
+
+        t_total, __unused = time_call(run_total, repeat=repeat)
+        t_agg, __unused = time_call(run_aggregate, repeat=repeat)
+        total.add(count, t_total)
+        aggregate_only.add(count, t_agg)
+    return total, aggregate_only
+
+
+def fig6d(counts=FIG6C_COUNTS, ops_per_pul=200, scale=0.25,
+          seed=17, repeat=1):
+    """Figure 6d: aggregate-then-evaluate (one streamed pass) vs the
+    sequential streamed evaluation of every PUL in the list."""
+    aggregated = Series("aggregate+apply")
+    sequential = Series("sequential")
+    document = generate_xmark(scale=scale, seed=seed)
+    text = xmark_text(scale=scale, seed=seed)
+    for count in counts:
+        puls, __ = generate_sequential_puls(document, count, ops_per_pul,
+                                            seed=seed)
+
+        def run_aggregated():
+            combined = aggregate(puls)
+            return events_to_xml(apply_streaming(
+                parse_events(text), combined, check=False))
+
+        def run_sequential():
+            current = text
+            for pul in puls:
+                current = events_to_xml(apply_streaming(
+                    parse_events(current), pul, check=False))
+            return current
+
+        t_agg, out_a = time_call(run_aggregated, repeat=repeat)
+        t_seq, out_s = time_call(run_sequential, repeat=repeat)
+        aggregated.add(count, t_agg)
+        sequential.add(count, t_seq)
+    return aggregated, sequential
+
+
+def fig6e(sizes=FIG6E_SIZES, pul_count=10, scale=1.0, seed=19, repeat=1):
+    """Figure 6e: integration + conflict resolution of 10 PULs with half
+    the operations in conflicts (avg 5 ops per conflict, 1/5 cascades)."""
+    integration = Series("integrate")
+    resolution = Series("reconcile")
+    document = generate_xmark(scale=scale, seed=seed)
+    oracle = DocumentOracle(document)
+    for size in sizes:
+        puls, __ = generate_conflicting_puls(
+            document, pul_count=pul_count, ops_per_pul=size,
+            conflict_fraction=0.5, ops_per_conflict=5,
+            cascade_fraction=0.2, seed=seed)
+
+        def run_integrate():
+            return integrate(puls, structure=oracle)
+
+        def run_reconcile():
+            return reconcile(puls, policies={}, structure=oracle)
+
+        t_int, __unused = time_call(run_integrate, repeat=repeat)
+        t_rec, __unused = time_call(run_reconcile, repeat=repeat)
+        integration.add(size * pul_count, t_int)
+        resolution.add(size * pul_count, t_rec)
+    return integration, resolution
+
+
+def e6_pulsize_effect(sizes=(125, 250, 500, 1000, 2000, 4000), scale=0.5,
+                      seed=23, repeat=1):
+    """In-text finding: the number of operations in a PUL has a negligible
+    effect on (streamed) evaluation time."""
+    evaluation = Series("streamed-eval")
+    document = generate_xmark(scale=scale, seed=seed)
+    text = xmark_text(scale=scale, seed=seed)
+    for size in sizes:
+        pul = generate_pul(document, size, seed=seed)
+
+        def run():
+            return events_to_xml(apply_streaming(
+                parse_events(text), pul, fresh_start=len(document)))
+
+        elapsed, __unused = time_call(run, repeat=repeat)
+        evaluation.add(size, elapsed)
+    return (evaluation,)
+
+
+def ablation_codes(scale=0.5, seed=29):
+    """Ablation: CDBS vs CDQS encoders — label build time and total code
+    length over one document."""
+    rows = []
+    document = generate_xmark(scale=scale, seed=seed)
+    for name, encoder in (("CDBS", None), ("CDQS", CDQSEncoder())):
+        labeling = ContainmentLabeling(encoder=encoder) if encoder \
+            else ContainmentLabeling()
+        elapsed, __ = time_call(labeling.build, document, repeat=1)
+        total_length = sum(
+            len(label.start) + len(label.end)
+            for label in labeling.as_mapping().values())
+        rows.append((name, elapsed, total_length))
+    return rows
+
+
+def ablation_reduction(sizes=(50, 100, 200, 400), scale=0.25, seed=31):
+    """Ablation: optimized staged engine vs the naive pairwise engine."""
+    optimized = Series("optimized")
+    naive = Series("naive")
+    document = generate_xmark(scale=scale, seed=seed)
+    oracle = DocumentOracle(document)
+    for size in sizes:
+        pul = generate_reducible_pul(document, size, hit_ratio=0.1,
+                                     seed=seed)
+        t_opt, __ = time_call(reduce_deterministic, pul, oracle, repeat=1)
+        t_naive, __ = time_call(
+            reduce_naive, pul, oracle, True, repeat=1)
+        optimized.add(size, t_opt)
+        naive.add(size, t_naive)
+    return optimized, naive
+
+
+def main():
+    """Run all figure benchmarks and print their tables."""
+    sizes, streaming, inmemory, mem_s, mem_m = fig6a()
+    print(format_table("Figure 6a — streaming vs in-memory evaluation "
+                       "(time s, peak memory MB)",
+                       "doc MB", [streaming, inmemory, mem_s, mem_m],
+                       x_format="{:.2f}"))
+    ratio = sum(m / s for (__, s), (___, m)
+                in zip(streaming, inmemory)) / len(streaming.points)
+    print("\nmean time speedup streaming vs in-memory: {:.2f}x "
+          "(paper: ~3x, growing with size)".format(ratio))
+    print("peak-memory ratio at the largest document: {:.1f}x "
+          "(streaming memory is ~flat in document size)\n".format(
+              mem_m.ys()[-1] / mem_s.ys()[-1]))
+
+    total, reduce_only, ser = fig6b()
+    print(format_table("Figure 6b — reduction (s)", "PUL ops",
+                       [total, reduce_only, ser]))
+    print()
+
+    total_c, agg_only = fig6c()
+    print(format_table("Figure 6c — aggregation of N x 1000-op PULs (s)",
+                       "N PULs", [total_c, agg_only]))
+    print()
+
+    agg, seq = fig6d()
+    print(format_table("Figure 6d — aggregate+apply vs sequential (s)",
+                       "N PULs", [agg, seq]))
+    print()
+
+    integration, resolution = fig6e()
+    print(format_table("Figure 6e — integration (s)", "total ops",
+                       [integration, resolution]))
+    print()
+
+    (evaluation,) = e6_pulsize_effect()
+    print(format_table("E6 — PUL size effect on streamed evaluation (s)",
+                       "PUL ops", [evaluation]))
+    print()
+
+    print("Ablation — labeling encoders (build time s, total code chars):")
+    for name, elapsed, total_length in ablation_codes():
+        print("  {:>5}: {:8.4f}s  {:>12} chars".format(
+            name, elapsed, total_length))
+    print()
+
+    optimized, naive = ablation_reduction()
+    print(format_table("Ablation — reduction engines (s)", "PUL ops",
+                       [optimized, naive]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Timing and table-formatting utilities for the figure benchmarks."""
+
+from __future__ import annotations
+
+import time
+
+
+def time_call(function, *args, repeat=3, **kwargs):
+    """Best-of-``repeat`` wall time of ``function(*args, **kwargs)``.
+
+    Returns ``(seconds, last_result)``.
+    """
+    best = None
+    result = None
+    for __ in range(repeat):
+        start = time.perf_counter()
+        result = function(*args, **kwargs)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+class Series:
+    """One plotted series: a name and (x, y) points."""
+
+    def __init__(self, name, points=()):
+        self.name = name
+        self.points = list(points)
+
+    def add(self, x, y):
+        self.points.append((x, y))
+        return self
+
+    def ys(self):
+        return [y for __, y in self.points]
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __repr__(self):
+        return "Series({}, {} points)".format(self.name, len(self.points))
+
+
+def format_table(title, x_label, series_list, x_format="{}",
+                 y_format="{:10.4f}"):
+    """Render aligned columns: one row per x, one column per series."""
+    xs = [x for x, __ in series_list[0].points]
+    lines = [title, ""]
+    header = "{:>14}".format(x_label)
+    for series in series_list:
+        header += "{:>16}".format(series.name[:15])
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row_index, x in enumerate(xs):
+        row = "{:>14}".format(x_format.format(x))
+        for series in series_list:
+            row += "{:>16}".format(y_format.format(
+                series.points[row_index][1]))
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,223 @@
+"""Command-line interface: PUL operations on files.
+
+Subcommands mirror the library's pipeline (``-`` reads stdin):
+
+* ``produce``   — evaluate an XQuery Update expression against a document,
+  print the PUL exchange document (labels attached);
+* ``reduce``    — reduce a PUL (``--deterministic`` / ``--canonical``);
+* ``integrate`` — integrate parallel PULs; report conflicts or, with
+  ``--reconcile``, resolve them under per-producer policies;
+* ``aggregate`` — aggregate a sequence of PULs into one delta;
+* ``apply``     — make a PUL effective on a document (streaming by
+  default);
+* ``invert``    — compute the inverse of a PUL against its document.
+
+Examples::
+
+    python -m repro.cli produce doc.xml 'delete nodes //draft' > p1.pul
+    python -m repro.cli reduce --canonical doc.xml p1.pul
+    python -m repro.cli integrate --reconcile doc.xml p1.pul p2.pul
+    python -m repro.cli apply doc.xml p1.pul > updated.xml
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.aggregation import aggregate
+from repro.apply.events import events_to_xml, parse_events
+from repro.apply.inmemory import apply_in_memory
+from repro.apply.streaming import apply_streaming
+from repro.errors import ReproError
+from repro.integration import ProducerPolicy, integrate, reconcile
+from repro.labeling import ContainmentLabeling
+from repro.pul.inverse import invert_pul
+from repro.pul.serialize import pul_from_xml, pul_to_xml
+from repro.reasoning import DocumentOracle
+from repro.reduction import canonical_form, reduce_deterministic, reduce_pul
+from repro.xdm.parser import parse_document
+from repro.xquery import compile_pul
+
+
+def _read(path):
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _load_document(path):
+    return parse_document(_read(path))
+
+
+def _load_pul(path):
+    return pul_from_xml(_read(path))
+
+
+def _parse_policy(spec):
+    """``producer:flag[,flag...]`` with flags order/inserted/removed."""
+    name, __, flags = spec.partition(":")
+    known = {"order": "preserve_insertion_order",
+             "inserted": "preserve_inserted_data",
+             "removed": "preserve_removed_data"}
+    values = {}
+    for flag in filter(None, flags.split(",")):
+        if flag not in known:
+            raise argparse.ArgumentTypeError(
+                "unknown policy flag {!r} (use order/inserted/removed)"
+                .format(flag))
+        values[known[flag]] = True
+    return name, ProducerPolicy(**values)
+
+
+def cmd_produce(args, out):
+    document = _load_document(args.document)
+    labeling = ContainmentLabeling().build(document)
+    pul = compile_pul(args.query, document, labeling=labeling,
+                      origin=args.origin)
+    out.write(pul_to_xml(pul) + "\n")
+    return 0
+
+
+def cmd_reduce(args, out):
+    pul = _load_pul(args.pul)
+    structure = None
+    if args.document:
+        structure = DocumentOracle(_load_document(args.document))
+    if args.canonical:
+        reduced = canonical_form(pul, structure)
+    elif args.deterministic:
+        reduced = reduce_deterministic(pul, structure)
+    else:
+        reduced = reduce_pul(pul, structure)
+    out.write(pul_to_xml(reduced) + "\n")
+    sys.stderr.write("{} -> {} operations\n".format(len(pul),
+                                                    len(reduced)))
+    return 0
+
+
+def cmd_integrate(args, out):
+    puls = [_load_pul(path) for path in args.puls]
+    structure = None
+    if args.document:
+        structure = DocumentOracle(_load_document(args.document))
+    if args.reconcile:
+        policies = dict(args.policy or [])
+        result = reconcile(puls, policies=policies, structure=structure)
+        out.write(pul_to_xml(result) + "\n")
+        return 0
+    outcome = integrate(puls, structure=structure)
+    for conflict in outcome.conflicts:
+        sys.stderr.write("conflict: {}\n".format(conflict.describe()))
+    out.write(pul_to_xml(outcome.pul) + "\n")
+    return 1 if outcome.has_conflicts else 0
+
+
+def cmd_aggregate(args, out):
+    puls = [_load_pul(path) for path in args.puls]
+    combined = aggregate(puls, generalized_repc=not args.strict)
+    out.write(pul_to_xml(combined) + "\n")
+    sys.stderr.write("{} PULs / {} ops -> {} ops\n".format(
+        len(puls), sum(len(p) for p in puls), len(combined)))
+    return 0
+
+
+def cmd_apply(args, out):
+    text = _read(args.document)
+    pul = _load_pul(args.pul)
+    if args.in_memory:
+        result = apply_in_memory(text, pul)
+    else:
+        document = parse_document(text)
+        result = events_to_xml(apply_streaming(
+            parse_events(text), pul,
+            fresh_start=document.allocator.next_value))
+    out.write(result + "\n")
+    return 0
+
+
+def cmd_invert(args, out):
+    document = _load_document(args.document)
+    pul = _load_pul(args.pul)
+    forward, inverse = invert_pul(pul, document)
+    if args.forward:
+        out.write(pul_to_xml(forward) + "\n")
+    else:
+        out.write(pul_to_xml(inverse) + "\n")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__.splitlines()[0])
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    produce = commands.add_parser(
+        "produce", help="compile an XQuery Update expression into a PUL")
+    produce.add_argument("document")
+    produce.add_argument("query")
+    produce.add_argument("--origin", default=None,
+                         help="producer name recorded in the PUL")
+    produce.set_defaults(func=cmd_produce)
+
+    reduce_cmd = commands.add_parser("reduce", help="reduce a PUL")
+    reduce_cmd.add_argument("document", nargs="?", default=None,
+                            help="document for structural information "
+                                 "(defaults to the PUL's labels)")
+    reduce_cmd.add_argument("pul")
+    group = reduce_cmd.add_mutually_exclusive_group()
+    group.add_argument("--deterministic", action="store_true")
+    group.add_argument("--canonical", action="store_true")
+    reduce_cmd.set_defaults(func=cmd_reduce)
+
+    integrate_cmd = commands.add_parser(
+        "integrate", help="integrate parallel PULs")
+    integrate_cmd.add_argument("--document", default=None)
+    integrate_cmd.add_argument("puls", nargs="+")
+    integrate_cmd.add_argument("--reconcile", action="store_true")
+    integrate_cmd.add_argument(
+        "--policy", action="append", type=_parse_policy, metavar="P:FLAGS",
+        help="producer policy, e.g. alice:order,inserted")
+    integrate_cmd.set_defaults(func=cmd_integrate)
+
+    aggregate_cmd = commands.add_parser(
+        "aggregate", help="aggregate sequential PULs")
+    aggregate_cmd.add_argument("puls", nargs="+")
+    aggregate_cmd.add_argument("--strict", action="store_true",
+                               help="refuse the generalized-repC extension")
+    aggregate_cmd.set_defaults(func=cmd_aggregate)
+
+    apply_cmd = commands.add_parser("apply", help="apply a PUL")
+    apply_cmd.add_argument("document")
+    apply_cmd.add_argument("pul")
+    apply_cmd.add_argument("--in-memory", action="store_true",
+                           help="use the in-memory evaluator")
+    apply_cmd.set_defaults(func=cmd_apply)
+
+    invert_cmd = commands.add_parser(
+        "invert", help="compute the inverse of a PUL")
+    invert_cmd.add_argument("document")
+    invert_cmd.add_argument("pul")
+    invert_cmd.add_argument("--forward", action="store_true",
+                            help="print the pinned forward PUL instead")
+    invert_cmd.set_defaults(func=cmd_invert)
+    return parser
+
+
+def main(argv=None, out=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    out = out or sys.stdout
+    try:
+        return args.func(args, out)
+    except ReproError as error:
+        sys.stderr.write("error: {}\n".format(error))
+        return 2
+    except OSError as error:
+        sys.stderr.write("error: {}\n".format(error))
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

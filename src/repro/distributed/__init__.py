@@ -1,0 +1,27 @@
+"""The decoupled producer/executor architecture (Section 4).
+
+One *executor* holds the authoritative version of a document; any number
+of *producers* hold local copies, evaluate XQuery Update expressions on
+them, and ship the resulting PULs (serialized as XML, with labels) to the
+executor, which reasons on them — reduction, integration + reconciliation
+for parallel requests, aggregation for sequential ones — and makes them
+effective (streaming or in-memory).
+
+A simulated network (latency + bandwidth cost model) accounts for the
+"additional costs in serializing and exchanging PULs" the paper notes,
+and powers the distribution-aware experiments the paper leaves as future
+work.
+"""
+
+from repro.distributed.messages import PULMessage, DocumentSnapshot
+from repro.distributed.network import SimulatedNetwork
+from repro.distributed.producer import Producer
+from repro.distributed.executor import Executor
+
+__all__ = [
+    "PULMessage",
+    "DocumentSnapshot",
+    "SimulatedNetwork",
+    "Producer",
+    "Executor",
+]

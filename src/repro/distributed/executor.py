@@ -1,0 +1,127 @@
+"""The PUL executor node.
+
+The executor holds the authoritative version of a document (one executor
+per document, as in the paper). It hands out snapshots with disjoint
+identifier spaces, collects PULs, reasons on them *without* touching the
+document (reduction / integration / aggregation over the labels carried by
+the PULs), and finally makes them effective — streaming by default.
+"""
+
+from __future__ import annotations
+
+from repro.aggregation import aggregate
+from repro.apply.events import document_events, events_to_document
+from repro.apply.streaming import apply_streaming
+from repro.distributed.messages import DocumentSnapshot
+from repro.errors import ReproError
+from repro.integration import integrate, reconcile
+from repro.labeling.scheme import ContainmentLabeling
+from repro.pul.semantics import apply_pul
+from repro.pul.serialize import pul_from_xml
+from repro.reduction import reduce_deterministic
+from repro.xdm.parser import parse_document
+from repro.xdm.serializer import serialize
+
+#: producers get disjoint id bands above this base
+_PRODUCER_ID_BASE = 1_000_000_000
+#: width of each producer's identifier band — registration order never
+#: matters, and a producer would need a billion local inserts to overflow
+_PRODUCER_ID_BAND = 1_000_000_000
+
+
+class Executor:
+    """The node holding the master copy of one document."""
+
+    def __init__(self, document, streaming=True):
+        if isinstance(document, str):
+            document = parse_document(document)
+        self.document = document
+        self.labeling = ContainmentLabeling().build(document)
+        self.version = 0
+        self.streaming = streaming
+        self.policies = {}
+        self._producers = []
+
+    # -- producer management ----------------------------------------------------
+
+    def register_producer(self, name, policy=None):
+        """Assign the producer its identifier space; returns its index."""
+        if name in self._producers:
+            raise ReproError("producer {!r} already registered".format(
+                name))
+        self._producers.append(name)
+        if policy is not None:
+            self.policies[name] = policy
+        return len(self._producers) - 1
+
+    def snapshot_for(self, name):
+        """A checkout of the current authoritative version for ``name``."""
+        if name not in self._producers:
+            raise ReproError("unknown producer {!r}".format(name))
+        index = self._producers.index(name)
+        return DocumentSnapshot(
+            text=serialize(self.document),
+            version=self.version,
+            id_start=_PRODUCER_ID_BASE + index * _PRODUCER_ID_BAND,
+            id_stride=1,
+        )
+
+    # -- PUL intake ----------------------------------------------------------------
+
+    def receive(self, message):
+        """Deserialize one PUL message."""
+        pul = pul_from_xml(message.payload)
+        if pul.origin is None:
+            pul.origin = message.origin
+        return pul
+
+    def execute(self, pul, reduce_first=False):
+        """Make one PUL effective on the authoritative copy."""
+        if reduce_first:
+            pul = reduce_deterministic(pul)
+        if self.streaming:
+            output = apply_streaming(
+                document_events(self.document), pul,
+                fresh_start=self.document.allocator.next_value,
+                labeling=self.labeling)
+            self.document = events_to_document(output)
+        else:
+            apply_pul(self.document, pul, preserve_ids=True)
+            self.labeling.sync(self.document)
+        self.version += 1
+        return self.version
+
+    # -- reasoning entry points -------------------------------------------------------
+
+    def execute_parallel(self, messages, reduce_first=False):
+        """Integrate + reconcile PULs produced against the same version,
+        then execute the reconciled PUL.
+
+        Returns ``(version, conflicts)`` — the conflicts that had to be
+        reconciled (empty when the PULs merged cleanly).
+        """
+        puls = [self.receive(m) for m in messages]
+        bases = {m.base_version for m in messages}
+        if len(bases) > 1:
+            raise ReproError(
+                "parallel PULs must share the base version, got {}"
+                .format(sorted(bases)))
+        result = integrate(puls)
+        reconciled = reconcile(puls, policies=self.policies)
+        version = self.execute(reconciled, reduce_first=reduce_first)
+        return version, result.conflicts
+
+    def execute_sequential(self, messages, reduce_first=False):
+        """Aggregate a producer's PUL sequence into one delta and execute
+        it in a single pass."""
+        ordered = sorted(messages, key=lambda m: m.sequence)
+        puls = [self.receive(m) for m in ordered]
+        combined = aggregate(puls)
+        return self.execute(combined, reduce_first=reduce_first)
+
+    # -- inspection ----------------------------------------------------------------------
+
+    def text(self):
+        if self.document.root is None:
+            return ""
+        return serialize(self.document)

@@ -1,0 +1,54 @@
+"""Messages exchanged between producers and the executor.
+
+Everything on the wire is text: PULs travel in the XML exchange format of
+:mod:`repro.pul.serialize`; documents travel serialized with identifiers
+and labels stored inline (the prototype choice discussed in Section 6).
+"""
+
+from __future__ import annotations
+
+
+class PULMessage:
+    """A PUL in transit.
+
+    ``sequence`` orders the PULs of one producer (sequential intent);
+    ``base_version`` is the document version the PUL was produced against
+    (parallel intent groups PULs by base version).
+    """
+
+    __slots__ = ("payload", "origin", "sequence", "base_version")
+
+    def __init__(self, payload, origin, sequence=0, base_version=0):
+        self.payload = payload
+        self.origin = origin
+        self.sequence = sequence
+        self.base_version = base_version
+
+    def size_bytes(self):
+        return len(self.payload.encode("utf-8"))
+
+    def __repr__(self):
+        return "PULMessage(origin={!r}, seq={}, base=v{}, {} bytes)".format(
+            self.origin, self.sequence, self.base_version,
+            self.size_bytes())
+
+
+class DocumentSnapshot:
+    """A full document checkout: serialized text (ids derivable by
+    document order), the version number, and the id-space assignment for
+    the receiving producer."""
+
+    __slots__ = ("text", "version", "id_start", "id_stride")
+
+    def __init__(self, text, version, id_start, id_stride):
+        self.text = text
+        self.version = version
+        self.id_start = id_start
+        self.id_stride = id_stride
+
+    def size_bytes(self):
+        return len(self.text.encode("utf-8"))
+
+    def __repr__(self):
+        return "DocumentSnapshot(v{}, {} bytes)".format(
+            self.version, self.size_bytes())

@@ -1,0 +1,88 @@
+"""The PUL producer node.
+
+A producer checks out a document snapshot, evaluates XQuery Update
+expressions on its local copy (yielding PULs rather than updates — the
+modified-Qizx behaviour), optionally applies them locally to keep working
+(disconnected scenario, with identifiers drawn from its assigned id
+space), and ships serialized PULs back to the executor.
+"""
+
+from __future__ import annotations
+
+from repro.distributed.messages import PULMessage
+from repro.errors import ReproError
+from repro.labeling.scheme import ContainmentLabeling
+from repro.pul.semantics import apply_pul
+from repro.pul.serialize import pul_to_xml
+from repro.xdm.document import IdAllocator
+from repro.xdm.parser import parse_document
+from repro.aggregation import aggregate as aggregate_puls
+
+
+class Producer:
+    """A node producing PULs against a checked-out document."""
+
+    def __init__(self, name):
+        self.name = name
+        self.document = None
+        self.labeling = None
+        self.version = None
+        self._sequence = 0
+        self._new_id_allocator = None
+
+    # -- checkout ------------------------------------------------------------
+
+    def checkout(self, snapshot):
+        """Install a :class:`DocumentSnapshot` as the local working copy."""
+        self.document = parse_document(snapshot.text)
+        self.labeling = ContainmentLabeling().build(self.document)
+        self.version = snapshot.version
+        self._sequence = 0
+        # identifiers for locally inserted nodes come from the assigned
+        # identification space, so producers never clash (Section 4.1)
+        self._new_id_allocator = IdAllocator(
+            start=snapshot.id_start, stride=snapshot.id_stride)
+        return self.document
+
+    def _require_checkout(self):
+        if self.document is None:
+            raise ReproError(
+                "producer {!r} has no checked-out document".format(
+                    self.name))
+
+    # -- PUL production --------------------------------------------------------
+
+    def produce(self, query):
+        """Evaluate an updating expression; returns the PUL (labels
+        attached), without touching the local copy."""
+        self._require_checkout()
+        from repro.xquery import compile_pul
+        return compile_pul(query, self.document, labeling=self.labeling,
+                           origin=self.name)
+
+    def produce_and_apply(self, query):
+        """Disconnected mode: produce a PUL, stamp producer ids on its new
+        nodes, apply it locally, and remember it for later shipping."""
+        pul = self.produce(query)
+        for op in pul:
+            for tree in op.trees:
+                for node in tree.iter_subtree():
+                    if node.node_id is None:
+                        node.node_id = self._new_id_allocator.allocate()
+        apply_pul(self.document, pul, preserve_ids=True)
+        self.labeling.sync(self.document)
+        pul.attach_labels(self.labeling)
+        return pul
+
+    def message_for(self, pul):
+        """Wrap a PUL for the wire."""
+        message = PULMessage(pul_to_xml(pul), origin=self.name,
+                             sequence=self._sequence,
+                             base_version=self.version)
+        self._sequence += 1
+        return message
+
+    def aggregate_session(self, puls):
+        """Collapse a local sequence of PULs into one delta before
+        shipping (the disconnected-reconnection optimization)."""
+        return aggregate_puls(puls)

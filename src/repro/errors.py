@@ -1,0 +1,108 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+library failures with a single ``except`` clause while still being able to
+distinguish the individual failure modes the paper talks about (dynamic
+errors on PUL application, incompatible operations, unsolvable conflicts,
+...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class XMLSyntaxError(ReproError):
+    """Raised by the XML parser on malformed input.
+
+    Carries the position of the offending character so error messages can
+    point at the input.
+    """
+
+    def __init__(self, message, position=None):
+        if position is not None:
+            message = "{} (at offset {})".format(message, position)
+        super().__init__(message)
+        self.position = position
+
+
+class DocumentError(ReproError):
+    """Raised on invalid document manipulation (unknown node, bad shape)."""
+
+
+class UnknownNodeError(DocumentError):
+    """Raised when a node id does not belong to the document."""
+
+    def __init__(self, node_id):
+        super().__init__("unknown node id: {!r}".format(node_id))
+        self.node_id = node_id
+
+
+class InvalidOperationError(ReproError):
+    """Raised when an update operation is constructed with invalid
+    parameters (violating the static conditions of Table 2)."""
+
+
+class NotApplicableError(ReproError):
+    """Raised when an operation or a PUL is not applicable on a document
+    (Definition 1 / Definition 4): unknown target, type mismatch, or
+    incompatible operations.
+    """
+
+
+class IncompatibleOperationsError(NotApplicableError):
+    """Raised when a PUL contains incompatible operations (Definition 3),
+    e.g. two renames of the same node."""
+
+    def __init__(self, op1, op2):
+        super().__init__(
+            "incompatible operations on node {}: {} / {}".format(
+                op1.target, op1.describe(), op2.describe()))
+        self.op1 = op1
+        self.op2 = op2
+
+
+class MergeError(ReproError):
+    """Raised when two PULs cannot be merged (Definition 5)."""
+
+
+class SerializationError(ReproError):
+    """Raised on malformed PUL exchange documents."""
+
+
+class LabelingError(ReproError):
+    """Raised on invalid labeling-scheme use (e.g. no room semantics bugs,
+    labels from different schemes compared)."""
+
+
+class ReconciliationError(ReproError):
+    """Raised when conflict resolution cannot find a valid reconciliation
+    satisfying the producers' policies (Algorithm 3 abort)."""
+
+    def __init__(self, conflict, reason):
+        super().__init__(
+            "reconciliation failed on conflict of type {}: {}".format(
+                conflict.conflict_type, reason))
+        self.conflict = conflict
+        self.reason = reason
+
+
+class QueryError(ReproError):
+    """Base error for the XQuery Update front end."""
+
+
+class QuerySyntaxError(QueryError):
+    """Raised on unparsable XQuery Update expressions."""
+
+    def __init__(self, message, position=None):
+        if position is not None:
+            message = "{} (at offset {})".format(message, position)
+        super().__init__(message)
+        self.position = position
+
+
+class QueryEvaluationError(QueryError):
+    """Raised when a well-formed expression cannot be evaluated
+    (e.g. a path selecting no node where exactly one is required)."""

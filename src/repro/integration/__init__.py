@@ -1,0 +1,30 @@
+"""PUL integration — handling *parallel* PULs (Section 3.2).
+
+* conflict model and detection rules — Figure 3 / Definition 10;
+* :func:`detect_conflicts` — Algorithm 1;
+* :func:`integrate` — the ``⊗`` operator (Definition 11);
+* producer policies (Section 4.2) and :func:`best_effort_resolution` —
+  Algorithm 3;
+* :func:`reconcile` — Definition 12.
+"""
+
+from repro.integration.conflicts import Conflict, ConflictType
+from repro.integration.detect import detect_conflicts
+from repro.integration.integrate import (
+    IntegrationResult,
+    integrate,
+    reconcile,
+)
+from repro.integration.policies import ProducerPolicy
+from repro.integration.resolve import best_effort_resolution
+
+__all__ = [
+    "Conflict",
+    "ConflictType",
+    "detect_conflicts",
+    "IntegrationResult",
+    "integrate",
+    "reconcile",
+    "ProducerPolicy",
+    "best_effort_resolution",
+]

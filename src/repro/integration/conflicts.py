@@ -1,0 +1,189 @@
+"""The conflict model of Definition 10 and the detection rules of Figure 3.
+
+A conflict is a triple ``⟨op, OS, ct⟩``:
+
+* symmetric types (1–3): ``op = Λ`` (``None``) and ``OS`` is a maximal set
+  of mutually clashing operations;
+* asymmetric types (4–5): ``op`` is the overriding operation and ``OS`` the
+  maximal set of operations it overrides.
+
+Conflicts only ever relate operations of *different* PULs — interactions
+within one PUL are reduction's business. Detection assumes PULs normalized
+per footnote 3 (``repN(v, [])`` read as ``del(v)``, see
+:meth:`repro.pul.pul.PUL.normalized`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.pul.ops import (
+    Delete,
+    InsertAfter,
+    InsertAttributes,
+    InsertBefore,
+    InsertInto,
+    InsertIntoAsFirst,
+    InsertIntoAsLast,
+    Rename,
+    ReplaceChildren,
+    ReplaceNode,
+    ReplaceValue,
+)
+
+#: operation names, for brevity
+_REN = Rename.op_name
+_REP_N = ReplaceNode.op_name
+_REP_C = ReplaceChildren.op_name
+_REP_V = ReplaceValue.op_name
+_DEL = Delete.op_name
+_INS_ATTR = InsertAttributes.op_name
+
+#: o(op) sets used by the rules
+MODIFICATION_NAMES = frozenset({_REN, _REP_N, _REP_C, _REP_V})
+ORDERED_INSERT_NAMES = frozenset({
+    InsertBefore.op_name, InsertAfter.op_name,
+    InsertIntoAsFirst.op_name, InsertIntoAsLast.op_name,
+})
+#: what a same-target repN/del overrides (local overriding, first rule)
+LOCAL_OVERRIDE_VICTIMS = frozenset({
+    _REN, _REP_V, _REP_C,
+    InsertIntoAsFirst.op_name, InsertIntoAsLast.op_name,
+    _INS_ATTR, InsertInto.op_name, _DEL,
+})
+#: what a same-target repC overrides (local overriding, second rule)
+REPC_LOCAL_VICTIMS = frozenset({
+    InsertIntoAsFirst.op_name, InsertInto.op_name,
+    InsertIntoAsLast.op_name,
+})
+
+
+class ConflictType(enum.IntEnum):
+    """The five conflict types of Section 3.2."""
+
+    REPEATED_MODIFICATION = 1
+    REPEATED_ATTRIBUTE_INSERTION = 2
+    INSERTION_ORDER = 3
+    LOCAL_OVERRIDE = 4
+    NON_LOCAL_OVERRIDE = 5
+
+    @property
+    def symmetric(self):
+        return self <= ConflictType.INSERTION_ORDER
+
+
+class Conflict:
+    """``⟨op, OS, ct⟩`` with the provenance of every operation.
+
+    ``operations`` is the ``OS`` component; each entry is a
+    :class:`TaggedOp` (operation + index/origin of its PUL), as resolution
+    policies are per producer.
+    """
+
+    def __init__(self, conflict_type, operations, overrider=None):
+        self.conflict_type = ConflictType(conflict_type)
+        self.overrider = overrider
+        self.operations = list(operations)
+        if self.conflict_type.symmetric:
+            if overrider is not None:
+                raise ValueError(
+                    "symmetric conflicts carry no overrider (op = Λ)")
+            if len(self.operations) < 2:
+                raise ValueError(
+                    "symmetric conflicts involve at least two operations")
+        else:
+            if overrider is None:
+                raise ValueError(
+                    "asymmetric conflicts require the overriding operation")
+            if not self.operations:
+                raise ValueError(
+                    "asymmetric conflicts require overridden operations")
+
+    def all_tagged(self):
+        """Every tagged operation involved (``{Π1(c)} ∪ Π2(c)``)."""
+        ops = list(self.operations)
+        if self.overrider is not None:
+            ops.append(self.overrider)
+        return ops
+
+    def focus(self):
+        """The focus node (Section 4.2): common target for symmetric
+        conflicts, the overrider's target for asymmetric ones."""
+        if self.overrider is not None:
+            return self.overrider.op.target
+        return self.operations[0].op.target
+
+    def describe(self):
+        inner = ", ".join(t.op.describe() for t in self.operations)
+        if self.overrider is None:
+            return "<Λ, {{{}}}, {}>".format(inner, int(self.conflict_type))
+        return "<{}, {{{}}}, {}>".format(
+            self.overrider.op.describe(), inner, int(self.conflict_type))
+
+    def __repr__(self):
+        return "Conflict({})".format(self.describe())
+
+
+class TaggedOp:
+    """An operation together with the PUL it came from."""
+
+    __slots__ = ("op", "pul_index", "origin")
+
+    def __init__(self, op, pul_index, origin=None):
+        self.op = op
+        self.pul_index = pul_index
+        self.origin = origin
+
+    def __repr__(self):
+        return "TaggedOp({}, pul={})".format(self.op.describe(),
+                                             self.pul_index)
+
+
+# -- pairwise relations of Figure 3 (used by tests and by the naive cross
+#    check; Algorithm 1 in detect.py works group-wise) -----------------------
+
+
+def repeated_modification(op1, op2):
+    """``op1 1<-> op2``."""
+    return (op1.target == op2.target
+            and op1.op_name == op2.op_name
+            and op1.op_name in MODIFICATION_NAMES)
+
+
+def repeated_attribute_insertion(op1, op2):
+    """``op1 2<-> op2``."""
+    if not (op1.target == op2.target
+            and op1.op_name == op2.op_name == _INS_ATTR):
+        return False
+    names1 = set(op1.attribute_names())
+    return any(name in names1 for name in op2.attribute_names())
+
+
+def insertion_order(op1, op2):
+    """``op1 3<-> op2``."""
+    return (op1.target == op2.target
+            and op1.op_name == op2.op_name
+            and op1.op_name in ORDERED_INSERT_NAMES)
+
+
+def local_override(op1, op2):
+    """``op1 4> op2`` (op1 overrides op2, same target)."""
+    if op1.target != op2.target:
+        return False
+    if op1.op_name in (_REP_N, _DEL):
+        return (op2.op_name in LOCAL_OVERRIDE_VICTIMS
+                and not (op1.op_name == _DEL and op2.op_name == _DEL))
+    if op1.op_name == _REP_C:
+        return op2.op_name in REPC_LOCAL_VICTIMS
+    return False
+
+
+def non_local_override(op1, op2, oracle):
+    """``op1 5> op2`` (op1 overrides op2 targeted inside op1's subtree)."""
+    if op2.op_name == _DEL:
+        return False
+    if op1.op_name in (_REP_N, _DEL):
+        return oracle.is_descendant(op2.target, op1.target)
+    if op1.op_name == _REP_C:
+        return oracle.is_nonattr_descendant(op2.target, op1.target)
+    return False

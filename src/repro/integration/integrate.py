@@ -1,0 +1,79 @@
+"""The integration (Definition 11) and reconciliation (Definition 12)
+operators."""
+
+from __future__ import annotations
+
+from repro.integration.detect import detect_conflicts
+from repro.integration.resolve import best_effort_resolution
+from repro.pul.pul import PUL
+from repro.reasoning.oracle import oracle_for
+
+
+class IntegrationResult:
+    """``∆1 ⊗ ... ⊗ ∆n = ⟨∆, Γ⟩``.
+
+    ``pul`` is the PUL of non-conflicting operations, ``conflicts`` the
+    detected conflict set. When ``conflicts`` is empty, ``pul`` coincides
+    with the merge of the inputs (Proposition 2).
+    """
+
+    def __init__(self, pul, conflicts, clean_tagged):
+        self.pul = pul
+        self.conflicts = conflicts
+        self._clean_tagged = clean_tagged
+
+    @property
+    def has_conflicts(self):
+        return bool(self.conflicts)
+
+    def __iter__(self):
+        yield self.pul
+        yield self.conflicts
+
+    def __repr__(self):
+        return "IntegrationResult({} ops, {} conflicts)".format(
+            len(self.pul), len(self.conflicts))
+
+
+def _union_labels(puls):
+    labels = {}
+    for pul in puls:
+        labels.update(pul.labels)
+    return labels
+
+
+def integrate(puls, structure=None):
+    """Definition 11: integrate parallel ``puls`` (two or more).
+
+    Returns an :class:`IntegrationResult`; the caller decides how to handle
+    the conflicts — e.g. rejecting the PULs, or reconciling them with
+    :func:`reconcile`.
+    """
+    puls = list(puls)
+    oracle = oracle_for(structure if structure is not None else puls)
+    clean, conflicts = detect_conflicts(puls, structure=oracle)
+    pul = PUL((tagged.op for tagged in clean),
+              labels=_union_labels(puls))
+    return IntegrationResult(pul, conflicts, clean)
+
+
+def reconcile(puls, policies=None, structure=None,
+              resolver=best_effort_resolution):
+    """Definition 12: ``∆1 ⊎_Π ∆2`` — integrate and solve the conflicts
+    according to the producers' ``policies``.
+
+    ``policies`` maps PUL indexes (and/or the PULs' origins) to
+    :class:`~repro.integration.policies.ProducerPolicy`. Raises
+    :class:`~repro.errors.ReconciliationError` when the resolver fails
+    (the reconciliation is undefined).
+    """
+    puls = list(puls)
+    oracle = oracle_for(structure if structure is not None else puls)
+    result = integrate(puls, structure=oracle)
+    if not result.conflicts:
+        return result.pul
+    kept, generated = resolver(result.conflicts, policies, oracle)
+    operations = result.pul.operations()
+    operations.extend(tagged.op for tagged in generated)
+    operations.extend(tagged.op for tagged in kept)
+    return PUL(operations, labels=_union_labels(puls))

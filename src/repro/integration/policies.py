@@ -1,0 +1,106 @@
+"""Producer conflict-resolution policies (Section 4.2).
+
+Producers attach policies to the PULs they send; the executor's resolution
+algorithm must either satisfy all of them or fail. The three policies the
+paper instantiates:
+
+* **preserve insertion order** — the specified order for inserted nodes
+  must not be altered by operations of other PULs (for an order conflict,
+  the producer's trees must stay adjacent to the insertion anchor);
+* **preserve inserted data** — data this producer inserts (through
+  ``repN``, ``repC``, ``repV`` or any ``ins``) must occur in the final
+  document (its inserting operations cannot be discarded);
+* **preserve removed data** — data this producer removes (through
+  ``repN``, ``repC``, ``repV`` or ``del``) must not occur in the final
+  document (its removing operations cannot be discarded in favour of
+  keeping the content).
+"""
+
+from __future__ import annotations
+
+from repro.pul.ops import (
+    Delete,
+    OpClass,
+    ReplaceChildren,
+    ReplaceNode,
+    ReplaceValue,
+)
+
+_REMOVING = frozenset({
+    Delete.op_name, ReplaceNode.op_name, ReplaceChildren.op_name,
+    ReplaceValue.op_name,
+})
+
+
+class ProducerPolicy:
+    """The policy bundle of one producer."""
+
+    __slots__ = ("preserve_insertion_order", "preserve_inserted_data",
+                 "preserve_removed_data")
+
+    def __init__(self, preserve_insertion_order=False,
+                 preserve_inserted_data=False,
+                 preserve_removed_data=False):
+        self.preserve_insertion_order = preserve_insertion_order
+        self.preserve_inserted_data = preserve_inserted_data
+        self.preserve_removed_data = preserve_removed_data
+
+    @classmethod
+    def none(cls):
+        """No constraints: every operation of the producer is negotiable."""
+        return cls()
+
+    @classmethod
+    def strict(cls):
+        """All three constraints."""
+        return cls(True, True, True)
+
+    def __repr__(self):
+        flags = [name for name in self.__slots__ if getattr(self, name)]
+        return "ProducerPolicy({})".format(", ".join(flags) or "none")
+
+
+def op_inserts_data(op):
+    """Whether the operation puts new data into the document (the scope of
+    *preserve inserted data*)."""
+    if op.op_class is OpClass.INSERT:
+        return True
+    if op.op_name == ReplaceValue.op_name:
+        return True
+    if op.op_name in (ReplaceNode.op_name, ReplaceChildren.op_name):
+        return bool(op.trees)
+    return False
+
+
+def op_removes_data(op):
+    """Whether the operation removes existing data (the scope of *preserve
+    removed data*)."""
+    return op.op_name in _REMOVING
+
+
+def exclusion_violates(tagged, policies):
+    """Whether discarding ``tagged`` (a
+    :class:`~repro.integration.conflicts.TaggedOp`) from the reconciled PUL
+    would violate its producer's policies."""
+    policy = policy_of(tagged, policies)
+    if policy.preserve_inserted_data and op_inserts_data(tagged.op):
+        return True
+    if policy.preserve_removed_data and op_removes_data(tagged.op):
+        return True
+    return False
+
+
+def policy_of(tagged, policies):
+    """Look up the policy for a tagged operation.
+
+    ``policies`` maps PUL indexes and/or origins to
+    :class:`ProducerPolicy`; missing entries mean "no constraints".
+    """
+    if policies is None:
+        return _NO_POLICY
+    if tagged.origin is not None and tagged.origin in policies:
+        return policies[tagged.origin]
+    return policies.get(tagged.pul_index, _NO_POLICY)
+
+
+_NO_POLICY = ProducerPolicy.none()

@@ -1,0 +1,183 @@
+"""Best-effort conflict resolution — Algorithm 3.
+
+Conflicts are ordered by the document order of their *focus node* (the
+common target for symmetric conflicts, the overrider's target for
+asymmetric ones) and, at equal focus, by the precedence (i)–(ix) of
+Section 4.2 — so that a conflict on a node is only processed once every
+operation that could remove that node has been decided, and resolutions
+never have to be revisited.
+
+Each conflict is processed by ``solve``, which excludes operations unless
+the producers' policies forbid it:
+
+* asymmetric conflicts: exclude the overridden operations (maximizing the
+  chance of automatically solving later conflicts); when a policy protects
+  one of them, fall back to excluding the overrider; when both directions
+  are forbidden, abort;
+* order conflicts: exclude all involved insertions and generate one merged
+  insertion; at most one involved producer may demand order preservation
+  (its trees take the anchor-adjacent end), two or more demanding it is
+  unsatisfiable;
+* other symmetric conflicts: keep exactly one operation — a protected one
+  if any; two or more protected operations with different content is
+  unsatisfiable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReconciliationError
+from repro.integration.conflicts import Conflict, ConflictType, TaggedOp
+from repro.integration.policies import exclusion_violates, policy_of
+from repro.pul.ops import (
+    Delete,
+    InsertAfter,
+    InsertIntoAsFirst,
+    ReplaceChildren,
+    ReplaceNode,
+)
+
+#: insertion variants whose parameter is adjacent to the anchor on the
+#: *leading* end of the final concatenation (``ins→``: right after the
+#: target; ``ins↙``: at the very front of the children)
+_ANCHOR_LEADING = frozenset({InsertAfter.op_name,
+                             InsertIntoAsFirst.op_name})
+
+
+def _precedence(conflict):
+    """The (i)–(ix) precedence classes among conflicts on the same focus."""
+    ct = conflict.conflict_type
+    if ct is ConflictType.REPEATED_MODIFICATION:
+        name = conflict.operations[0].op.op_name
+        if name == ReplaceNode.op_name:
+            return 0                                   # (i)
+        if name == ReplaceChildren.op_name:
+            return 4                                   # (v)
+        return 6                                       # (vii)
+    if ct is ConflictType.LOCAL_OVERRIDE:
+        name = conflict.overrider.op.op_name
+        if name == ReplaceNode.op_name:
+            return 1                                   # (ii)
+        if name == Delete.op_name:
+            return 3                                   # (iv)
+        return 5                                       # (vi)  (repC)
+    if ct is ConflictType.REPEATED_ATTRIBUTE_INSERTION:
+        return 6                                       # (vii)
+    if ct is ConflictType.INSERTION_ORDER:
+        return 7                                       # (viii)
+    return 8                                           # (ix)  (type 5)
+
+
+def order_conflicts(conflicts, oracle):
+    """The processing order of Algorithm 3 (line 2)."""
+    return sorted(
+        conflicts,
+        key=lambda c: (oracle.order_key(c.focus()), _precedence(c)))
+
+
+def _solve_asymmetric(conflict, policies):
+    protected = [t for t in conflict.operations
+                 if exclusion_violates(t, policies)]
+    if not protected:
+        return set(), list(conflict.operations)
+    if not exclusion_violates(conflict.overrider, policies):
+        return set(), [conflict.overrider]
+    raise ReconciliationError(
+        conflict,
+        "{} cannot be discarded, nor can the overriding {}".format(
+            protected[0].op.describe(),
+            conflict.overrider.op.describe()))
+
+
+def _solve_order(conflict, policies):
+    demanding = []
+    others = []
+    for tagged in conflict.operations:
+        if policy_of(tagged, policies).preserve_insertion_order:
+            demanding.append(tagged)
+        else:
+            others.append(tagged)
+    demanding_producers = {t.pul_index for t in demanding}
+    if len(demanding_producers) >= 2:
+        raise ReconciliationError(
+            conflict,
+            "{} producers demand insertion-order preservation on the same "
+            "anchor".format(len(demanding_producers)))
+    # deterministic order for the non-privileged operations
+    others.sort(key=lambda t: (t.pul_index, t.op.param_key()))
+    template = conflict.operations[0].op
+    if template.op_name in _ANCHOR_LEADING:
+        ordered = demanding + others
+    else:
+        ordered = others + demanding
+    trees = []
+    for tagged in ordered:
+        trees.extend(tree.deep_copy() for tree in tagged.op.trees)
+    merged = TaggedOp(template.with_trees(trees), pul_index=-1,
+                      origin="reconciliation")
+    return {merged}, list(conflict.operations)
+
+
+def _solve_keep_one(conflict, policies):
+    protected = [t for t in conflict.operations
+                 if exclusion_violates(t, policies)]
+    distinct = {t.op.param_key() for t in protected}
+    if len(distinct) >= 2:
+        raise ReconciliationError(
+            conflict,
+            "two producers insist on different content for the same node")
+    if protected:
+        keep = protected[0]
+    else:
+        keep = min(conflict.operations,
+                   key=lambda t: (t.pul_index, t.op.param_key()))
+    excluded = [t for t in conflict.operations if t is not keep]
+    return set(), excluded
+
+
+def solve(conflict, policies):
+    """Process one conflict; returns ``(generated, excluded)`` tagged-op
+    collections or raises :class:`ReconciliationError`."""
+    ct = conflict.conflict_type
+    if not ct.symmetric:
+        return _solve_asymmetric(conflict, policies)
+    if ct is ConflictType.INSERTION_ORDER:
+        return _solve_order(conflict, policies)
+    return _solve_keep_one(conflict, policies)
+
+
+def best_effort_resolution(conflicts, policies, oracle):
+    """Algorithm 3: resolve ``conflicts`` under the producers' policies.
+
+    Returns ``(kept, generated)``: the conflicted tagged operations that
+    survive, and the operations generated while solving order conflicts.
+    Raises :class:`ReconciliationError` when no valid reconciliation
+    exists.
+    """
+    excluded = set()
+    generated = []
+    for conflict in order_conflicts(conflicts, oracle):
+        overrider = conflict.overrider
+        if overrider is not None and id(overrider) in excluded:
+            overrider = None
+        remaining = [t for t in conflict.operations
+                     if id(t) not in excluded]
+        if conflict.conflict_type.symmetric:
+            if len(remaining) <= 1:
+                continue  # automatically solved
+            effective = Conflict(conflict.conflict_type, remaining)
+        else:
+            if overrider is None or not remaining:
+                continue  # automatically solved
+            effective = Conflict(conflict.conflict_type, remaining,
+                                 overrider=overrider)
+        gen, excl = solve(effective, policies)
+        generated.extend(gen)
+        excluded.update(id(t) for t in excl)
+    kept = []
+    seen = set()
+    for conflict in conflicts:
+        for tagged in conflict.all_tagged():
+            if id(tagged) not in excluded and id(tagged) not in seen:
+                seen.add(id(tagged))
+                kept.append(tagged)
+    return kept, generated

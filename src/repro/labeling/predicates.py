@@ -1,0 +1,68 @@
+"""The structural predicates of Table 1, computed on labels alone.
+
+Every predicate is O(1) (code comparisons are O(code length), which is
+O(log n) and treated as constant, as in [14]/[15]). The reasoning modules
+(:mod:`repro.reduction`, :mod:`repro.integration`, :mod:`repro.aggregation`)
+call only these functions — never the document.
+
+Naming follows Table 1, first argument first: ``precedes(l1, l2)`` is
+``v1 << v2``, ``is_descendant(l1, l2)`` is ``v1 //d v2`` ("v1 is a
+descendant of v2"), and so on.
+"""
+
+from __future__ import annotations
+
+from repro.xdm.node import NodeType
+
+
+def precedes(label1, label2):
+    """``v1 << v2``: v1 precedes v2 in document order (preorder; an
+    ancestor precedes its descendants)."""
+    return label1.start < label2.start
+
+
+def is_descendant(label1, label2):
+    """``v1 //d v2``: v1 is a (proper) descendant of v2."""
+    return label2.start < label1.start and label1.end < label2.end
+
+
+def is_ancestor(label1, label2):
+    """``v1`` is a (proper) ancestor of ``v2``."""
+    return is_descendant(label2, label1)
+
+
+def is_child(label1, label2):
+    """``v1 /c v2``: v1 is a child of v2 (attributes excluded)."""
+    return (label1.node_type is not NodeType.ATTRIBUTE
+            and is_descendant(label1, label2)
+            and label1.level == label2.level + 1)
+
+
+def is_attribute_of(label1, label2):
+    """``v1 /a v2``: v1 is an attribute of v2."""
+    return (label1.node_type is NodeType.ATTRIBUTE
+            and is_descendant(label1, label2)
+            and label1.level == label2.level + 1)
+
+
+def is_left_sibling(label1, label2):
+    """``v1 s v2``: v1 is the left sibling of v2."""
+    return (label2.left_sibling_id is not None
+            and label2.left_sibling_id == label1.node_id)
+
+
+def is_first_child(label1, label2):
+    """``v1 /<-c v2``: v1 is the first child of v2."""
+    return is_child(label1, label2) and label1.left_sibling_id is None
+
+
+def is_last_child(label1, label2):
+    """``v1 /->c v2``: v1 is the last child of v2."""
+    return is_child(label1, label2) and label1.right_sibling_id is None
+
+
+def is_nonattribute_descendant(label1, label2):
+    """``v1 //¬a_d v2``: v1 is a descendant of v2 but not an attribute
+    *of v2* (deeper attributes still qualify) — the reach of a ``repC``."""
+    return is_descendant(label1, label2) and \
+        not is_attribute_of(label1, label2)

@@ -1,0 +1,228 @@
+"""The containment labeling scheme: construction and update-tolerant
+maintenance.
+
+A :class:`ContainmentLabeling` instance owns the ``node id -> label`` map of
+one document. Building it bulk-assigns balanced codes; after the document is
+updated, :meth:`sync` assigns codes to the *new* nodes only, generated
+between the surviving neighbor codes — existing codes are never modified,
+which is the update-tolerance property the paper requires (Section 4.1:
+"document updates should not lead to relabeling of nodes").
+"""
+
+from __future__ import annotations
+
+from repro.errors import LabelingError
+from repro.labeling.codes import CDBSEncoder
+from repro.labeling.containment import ExtendedLabel
+from repro.xdm.navigation import depth as node_depth
+
+
+class ContainmentLabeling:
+    """Zhang containment labels with CDBS/CDQS codes for one document."""
+
+    def __init__(self, encoder=None):
+        self.encoder = encoder or CDBSEncoder()
+        self._labels = {}
+
+    # -- lookup -------------------------------------------------------------
+
+    def __contains__(self, node_id):
+        return node_id in self._labels
+
+    def __len__(self):
+        return len(self._labels)
+
+    def label_of(self, node_id):
+        """Return the label of ``node_id``."""
+        try:
+            return self._labels[node_id]
+        except KeyError:
+            raise LabelingError(
+                "no label for node id {!r}".format(node_id)) from None
+
+    def find(self, node_id):
+        """Return the label of ``node_id`` or ``None``."""
+        return self._labels.get(node_id)
+
+    def as_mapping(self):
+        """Read-only view of the id -> label map (for serializers)."""
+        return dict(self._labels)
+
+    def import_label(self, label):
+        """Register a label received from a peer (PUL deserialization)."""
+        self._labels[label.node_id] = label
+        return label
+
+    # -- construction --------------------------------------------------------
+
+    def build(self, document):
+        """Label every node of ``document`` with balanced fresh codes."""
+        self._labels = {}
+        if document.root is None:
+            return self
+        slots = _boundary_slots(document.root)
+        codes = self.encoder.initial_codes(len(slots))
+        self._install(document.root, slots, codes, base_level=0)
+        self._refresh_pointers(document.root)
+        return self
+
+    def sync(self, document):
+        """Incrementally label the nodes of ``document`` lacking a label.
+
+        Existing labels keep their codes; runs of unlabeled boundary slots
+        receive codes generated strictly between the neighboring existing
+        codes. Labels of nodes no longer in the document are dropped, and
+        sibling pointers are refreshed where adjacency changed.
+        """
+        if document.root is None:
+            self._labels = {}
+            return self
+        slots = _boundary_slots(document.root)
+        live = {node.node_id for node, _ in slots}
+        for node_id in list(self._labels):
+            if node_id not in live:
+                del self._labels[node_id]
+        codes = self._fill_codes(slots)
+        self._install(document.root, slots, codes, base_level=0,
+                      only_missing=True)
+        self._refresh_pointers(document.root)
+        return self
+
+    def _fill_codes(self, slots):
+        """Produce the full code sequence for ``slots``, reusing existing
+        codes and generating fresh ones for unlabeled runs."""
+        codes = [None] * len(slots)
+        for index, (node, which) in enumerate(slots):
+            existing = self._labels.get(node.node_id)
+            if existing is not None:
+                codes[index] = existing.start if which == 0 else existing.end
+        index = 0
+        while index < len(codes):
+            if codes[index] is not None:
+                index += 1
+                continue
+            run_start = index
+            while index < len(codes) and codes[index] is None:
+                index += 1
+            left = codes[run_start - 1] if run_start > 0 else None
+            right = codes[index] if index < len(codes) else None
+            fresh = self.encoder.codes_between(left, right,
+                                               index - run_start)
+            codes[run_start:index] = fresh
+        return codes
+
+    def _install(self, root, slots, codes, base_level, only_missing=False):
+        """Create labels from the boundary sequence."""
+        open_code = {}
+        for index, (node, which) in enumerate(slots):
+            if which == 0:
+                open_code[id(node)] = codes[index]
+            else:
+                start = open_code.pop(id(node))
+                if only_missing and node.node_id in self._labels:
+                    continue
+                self._labels[node.node_id] = ExtendedLabel(
+                    node_id=node.node_id,
+                    node_type=node.node_type,
+                    start=start,
+                    end=codes[index],
+                    level=base_level + node_depth(node),
+                    parent_id=(node.parent.node_id
+                               if node.parent is not None else None),
+                )
+        if open_code:
+            raise LabelingError("unbalanced boundary sequence")
+
+    def _refresh_pointers(self, root):
+        """Recompute the sibling pointers of every label under ``root``."""
+        for node in root.iter_subtree():
+            if node.is_element:
+                previous = None
+                for child in node.children:
+                    self._set_pointers(child, previous)
+                    previous = child
+                if previous is not None:
+                    self._point(previous, right_sibling_id=None)
+
+    def _set_pointers(self, child, previous):
+        left_id = previous.node_id if previous is not None else None
+        self._point(child, left_sibling_id=left_id)
+        if previous is not None:
+            self._point(previous, right_sibling_id=child.node_id)
+
+    def _point(self, node, **changes):
+        label = self._labels.get(node.node_id)
+        if label is None:
+            return
+        updated = {key: value for key, value in changes.items()
+                   if getattr(label, key) != value}
+        if updated:
+            self._labels[node.node_id] = label.replaced(**updated)
+
+    # -- direct assignment (used by the streaming evaluator) ----------------
+
+    def assign_tree(self, trees, parent_id, parent_level, left_code,
+                    right_code):
+        """Label the detached ``trees`` (ids already assigned), with codes
+        strictly between ``left_code`` and ``right_code``.
+
+        Sibling pointers are set among the trees themselves; the caller is
+        responsible for stitching the outer pointers (the trees' neighbors
+        in the final document).
+        """
+        slots = []
+        for tree in trees:
+            if tree.parent is not None:
+                raise LabelingError("assign_tree requires detached trees")
+            slots.extend(_boundary_slots(tree))
+        codes = self.encoder.codes_between(left_code, right_code, len(slots))
+        open_code = {}
+        for index, (node, which) in enumerate(slots):
+            if which == 0:
+                open_code[id(node)] = codes[index]
+            else:
+                start = open_code.pop(id(node))
+                self._labels[node.node_id] = ExtendedLabel(
+                    node_id=node.node_id,
+                    node_type=node.node_type,
+                    start=start,
+                    end=codes[index],
+                    level=parent_level + 1 + node_depth(node),
+                    parent_id=(node.parent.node_id
+                               if node.parent is not None else parent_id),
+                )
+        for tree in trees:
+            self._refresh_pointers(tree)
+        previous = None
+        for tree in trees:
+            self._set_pointers(tree, previous)
+            previous = tree
+
+    def drop_subtree(self, node):
+        """Forget the labels of ``node``'s subtree (after a delete)."""
+        for item in node.iter_subtree():
+            self._labels.pop(item.node_id, None)
+
+    def forget(self, node_id):
+        """Forget one node's label (streaming evaluator: removed nodes)."""
+        self._labels.pop(node_id, None)
+
+
+def _boundary_slots(root):
+    """The (node, 0=start / 1=end) boundary sequence of a subtree, in
+    document order; attributes contribute both boundaries right after their
+    owner's start."""
+    slots = []
+
+    def visit(node):
+        slots.append((node, 0))
+        if node.is_element:
+            for attr in node.attributes:
+                slots.append((attr, 0))
+                slots.append((attr, 1))
+            for child in node.children:
+                visit(child)
+        slots.append((node, 1))
+
+    visit(root)
+    return slots

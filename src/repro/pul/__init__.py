@@ -1,0 +1,44 @@
+"""Pending Update Lists: the update primitives of the XQuery Update
+Facility (Table 2), PUL containers (Definitions 3–5), their five-stage
+semantics and obtainable-document sets (Definition 2 and Example 3), the
+equivalence/substitutability relations (Definition 6), and the XML exchange
+format for shipping PULs between producers and executors (Section 4).
+"""
+
+from repro.pul.ops import (
+    Delete,
+    InsertAfter,
+    InsertAttributes,
+    InsertBefore,
+    InsertInto,
+    InsertIntoAsFirst,
+    InsertIntoAsLast,
+    OpClass,
+    Rename,
+    ReplaceChildren,
+    ReplaceNode,
+    ReplaceValue,
+    UpdateOperation,
+)
+from repro.pul.pul import PUL, merge
+from repro.pul.semantics import apply_pul, apply_operation, obtainable_set
+from repro.pul.equivalence import (
+    equivalent,
+    equivalent_by_canonical,
+    substitutable,
+    obtainable_strings,
+)
+from repro.pul.serialize import pul_to_xml, pul_from_xml
+from repro.pul.inverse import invert_pul
+
+__all__ = [
+    "UpdateOperation", "OpClass",
+    "InsertBefore", "InsertAfter", "InsertIntoAsFirst", "InsertIntoAsLast",
+    "InsertInto", "InsertAttributes", "Delete", "ReplaceNode",
+    "ReplaceValue", "ReplaceChildren", "Rename",
+    "PUL", "merge",
+    "apply_pul", "apply_operation", "obtainable_set",
+    "equivalent", "equivalent_by_canonical", "substitutable",
+    "obtainable_strings",
+    "pul_to_xml", "pul_from_xml",
+]

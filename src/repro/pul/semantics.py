@@ -1,0 +1,358 @@
+"""PUL application semantics (Section 2.2).
+
+The judgement ``D |= ∆ ~> D'`` is realized by applying the operations in
+five stages, which encode the precedence prescribed by the XQuery Update
+Facility:
+
+1. ``ins↓``, ``insA``, ``repV``, ``ren``
+2. ``ins←``, ``ins→``, ``ins↙``, ``ins↘``
+3. ``repN``
+4. ``repC``
+5. ``del``
+
+Within a stage the order is not prescribed; the observable nondeterminism
+is (a) the placement of ``ins↓`` blocks and (b) the relative order of the
+inserted groups of multiple same-variant insertions on the same target.
+:func:`apply_pul` resolves both deterministically (``ins↓`` as-first,
+groups in PUL order); :func:`obtainable_set` enumerates every outcome —
+the set ``O(∆, D)`` of Definition 2 / Example 3.
+
+Operations are applied *by node object*: targets are resolved before any
+mutation, so an operation whose target was meanwhile detached (e.g. by a
+replacement higher up) still executes, but on an invisible tree — exactly
+the "overridden operation" behaviour the reduction rules exploit.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NotApplicableError
+from repro.pul.ops import (
+    Delete,
+    InsertAfter,
+    InsertAttributes,
+    InsertBefore,
+    InsertInto,
+    InsertIntoAsFirst,
+    InsertIntoAsLast,
+    Rename,
+    ReplaceChildren,
+    ReplaceNode,
+    ReplaceValue,
+)
+from repro.xdm.compare import canonical_string
+from repro.xdm.document import Document, IdAllocator
+
+#: stage -> the op stage attribute is defined on the classes themselves
+STAGES = (1, 2, 3, 4, 5)
+
+
+class Scope:
+    """Mutable holder of the forest being updated.
+
+    Holds one tree for whole-document application, or the parameter forest
+    of an operation when aggregation applies a PUL *inside* another
+    operation's parameter (rule D6).
+    """
+
+    def __init__(self, roots):
+        self.roots = list(roots)
+
+    def replace_top(self, node, trees):
+        index = self.roots.index(node)
+        self.roots[index:index + 1] = trees
+
+    def contains_top(self, node):
+        return any(root is node for root in self.roots)
+
+
+def _detach(scope, node):
+    if node.parent is None:
+        if scope.contains_top(node):
+            scope.replace_top(node, [])
+    else:
+        node.detach()
+
+
+def _insert_siblings(scope, anchor, trees, after):
+    parent = anchor.parent
+    if parent is None:
+        index = scope.roots.index(anchor) + (1 if after else 0)
+        scope.roots[index:index] = trees
+        for tree in trees:
+            tree.parent = None
+        return
+    index = parent.children.index(anchor) + (1 if after else 0)
+    for offset, tree in enumerate(trees):
+        parent.insert_child(index + offset, tree)
+
+
+def apply_to_node(scope, node, op, gap=None, preserve_ids=False):
+    """Apply ``op`` to its resolved target ``node`` within ``scope``.
+
+    ``gap`` selects the children gap for ``ins↓`` (``None`` = as first).
+    Parameter trees are deep-copied, so operations stay reusable;
+    ``preserve_ids`` keeps the identifiers carried by the parameter trees
+    (aggregation needs them — later PULs refer to those nodes).
+
+    Dispatch is on the operation's wire name: the insertion variants are
+    subclasses of each other, so ``isinstance`` chains would misroute.
+    """
+    trees = [t.deep_copy(keep_ids=preserve_ids) for t in op.trees]
+    kind = op.op_name
+    if kind == InsertInto.op_name:
+        index = 0 if gap is None else gap
+        for offset, tree in enumerate(trees):
+            node.insert_child(index + offset, tree)
+    elif kind == InsertAttributes.op_name:
+        for tree in trees:
+            node.append_attribute(tree)
+    elif kind == ReplaceValue.op_name:
+        node.value = op.value
+    elif kind == Rename.op_name:
+        node.name = op.name
+    elif kind == InsertBefore.op_name:
+        _insert_siblings(scope, node, trees, after=False)
+    elif kind == InsertAfter.op_name:
+        _insert_siblings(scope, node, trees, after=True)
+    elif kind == InsertIntoAsFirst.op_name:
+        for offset, tree in enumerate(trees):
+            node.insert_child(offset, tree)
+    elif kind == InsertIntoAsLast.op_name:
+        for tree in trees:
+            node.append_child(tree)
+    elif kind == ReplaceNode.op_name:
+        parent = node.parent
+        if parent is None:
+            scope.replace_top(node, trees)
+        elif node.is_attribute:
+            position = parent.attributes.index(node)
+            node.detach()
+            for offset, tree in enumerate(trees):
+                tree.parent = parent
+                parent.attributes.insert(position + offset, tree)
+        else:
+            position = parent.children.index(node)
+            node.detach()
+            for offset, tree in enumerate(trees):
+                parent.insert_child(position + offset, tree)
+    elif kind == ReplaceChildren.op_name:
+        for child in list(node.children):
+            child.detach()
+        for tree in trees:
+            node.append_child(tree)
+    elif kind == Delete.op_name:
+        _detach(scope, node)
+    else:
+        raise NotApplicableError(
+            "unknown operation: {!r}".format(op))
+
+
+def _staged(pul):
+    """Operations of ``pul`` grouped by stage, PUL order preserved."""
+    stages = {stage: [] for stage in STAGES}
+    for op in pul:
+        stages[op.stage].append(op)
+    return stages
+
+
+def _check_attribute_uniqueness(ops, targets):
+    """The XQUF dynamic error on duplicate attribute names, raised for
+    elements targeted by ``insA`` (the error integration's conflict type 2
+    guards against)."""
+    for op in ops:
+        if not isinstance(op, InsertAttributes):
+            continue
+        element = targets[op.target]
+        names = [attr.name for attr in element.attributes]
+        if len(names) != len(set(names)):
+            raise NotApplicableError(
+                "duplicate attribute on element {}: {}".format(
+                    op.target, sorted(names)))
+
+
+def apply_pul(document, pul, check=True, preserve_ids=False):
+    """Apply ``pul`` to ``document`` in place, deterministically.
+
+    ``ins↓`` inserts as first (the stage-10 deterministic choice of
+    Definition 8); same-variant groups apply in PUL order. New nodes get
+    fresh identifiers in document order (via
+    :meth:`~repro.xdm.document.Document.rebuild_index`), unless
+    ``preserve_ids`` keeps identifiers already present in the parameter
+    trees (the producer-assigned ids of the aggregation scenario).
+    """
+    if check:
+        pul.require_applicable(document)
+    targets = {op.target: document.get(op.target) for op in pul}
+    scope = Scope([document.root])
+    stages = _staged(pul)
+    for stage in STAGES:
+        for op in stages[stage]:
+            apply_to_node(scope, targets[op.target], op,
+                          preserve_ids=preserve_ids)
+        if stage == 1:
+            _check_attribute_uniqueness(stages[1], targets)
+    document.root = scope.roots[0] if scope.roots else None
+    document.rebuild_index()
+    return document
+
+
+def apply_operation(document, op, gap=None, check=True, preserve_ids=False):
+    """Apply a single operation to ``document`` in place."""
+    if check:
+        op.require_applicable(document)
+    scope = Scope([document.root])
+    apply_to_node(scope, document.get(op.target), op, gap=gap,
+                  preserve_ids=preserve_ids)
+    document.root = scope.roots[0] if scope.roots else None
+    document.rebuild_index()
+    return document
+
+
+def apply_to_forest(roots, operations, preserve_ids=True):
+    """Apply ``operations`` (five-stage order) to a detached forest whose
+    nodes carry ids; returns the resulting list of top-level trees.
+
+    This is the fragment-level application used by aggregation rule D6,
+    where a later PUL updates nodes *inside the parameter* of an earlier
+    operation. Parameter identifiers are preserved by default so that
+    still-later PULs can keep referring to them.
+    """
+    index = {}
+    for root in roots:
+        for node in root.iter_subtree():
+            if node.node_id is not None:
+                index[node.node_id] = node
+    scope = Scope(roots)
+    stages = {stage: [] for stage in STAGES}
+    for op in operations:
+        stages[op.stage].append(op)
+    for stage in STAGES:
+        for op in stages[stage]:
+            node = index.get(op.target)
+            if node is None:
+                raise NotApplicableError(
+                    "target {} not found in fragment".format(op.target))
+            apply_to_node(scope, node, op, preserve_ids=preserve_ids)
+    return scope.roots
+
+
+# -- obtainable documents -----------------------------------------------------
+
+
+class ObtainableLimitExceeded(NotApplicableError):
+    """Raised when O(∆, D) enumeration exceeds the requested cap."""
+
+
+def _choice_groups(pul):
+    """Split the PUL into an ordered list of same-stage groups; each group
+    gathers the operations sharing (variant, target), the unit whose
+    internal order is nondeterministic."""
+    stages = _staged(pul)
+    groups = []
+    for stage in STAGES:
+        seen = {}
+        for op in stages[stage]:
+            key = (op.op_name, op.target)
+            if key in seen:
+                groups[seen[key]].append(op)
+            else:
+                seen[key] = len(groups)
+                groups.append([op])
+    return groups
+
+
+def _branching(group):
+    head = group[0]
+    if isinstance(head, InsertInto):
+        return True
+    return len(group) > 1 and head.op_class.value == "i" and \
+        not isinstance(head, InsertAttributes)
+
+
+def _copy_forest_state(roots):
+    new_roots = [root.deep_copy(keep_ids=True) for root in roots]
+    index = {}
+    for root in new_roots:
+        for node in root.iter_subtree():
+            if node.node_id is not None:
+                index[node.node_id] = node
+    return new_roots, index
+
+
+def obtainable_set(document, pul, limit=20000, with_ids=False, check=True,
+                   preserve_ids=False):
+    """Enumerate ``O(∆, D)``: every document obtainable by applying ``pul``
+    to ``document`` (Definition 2 extended to PULs).
+
+    Returns a dict mapping the canonical string of each distinct outcome to
+    one representative :class:`Document`. Comparison is value-based (new
+    nodes carry no identity until applied); pass ``with_ids=True`` to make
+    original-node identity significant.
+
+    ``preserve_ids`` keeps producer-assigned identifiers on parameter
+    trees (pass it together with ``with_ids`` for identity-sensitive
+    comparisons).
+
+    Raises :class:`ObtainableLimitExceeded` past ``limit`` outcomes
+    explored.
+    """
+    if check:
+        pul.require_applicable(document)
+    groups = _choice_groups(pul)
+    results = {}
+    # outcome documents continue the source allocator, so identifiers of
+    # removed nodes are never resurrected (the never-reused discipline)
+    id_floor = document.allocator.next_value
+
+    def finish(scope):
+        if len(results) >= limit:
+            raise ObtainableLimitExceeded(
+                "more than {} obtainable documents".format(limit))
+        if scope.roots:
+            doc = Document(allocator=IdAllocator(start=id_floor))
+            doc.root = scope.roots[0]
+            doc.rebuild_index()
+            key = canonical_string(doc.root, with_ids=with_ids)
+        else:
+            doc = Document(allocator=IdAllocator(start=id_floor))
+            key = ""
+        results.setdefault(key, doc)
+
+    def explore(scope, index, group_number, remaining):
+        if remaining is None:
+            if group_number == len(groups):
+                finish(scope)
+                return
+            group = groups[group_number]
+            if not _branching(group):
+                for op in group:
+                    apply_to_node(scope, index[op.target], op,
+                                  preserve_ids=preserve_ids)
+                explore(scope, index, group_number + 1, None)
+                return
+            explore(scope, index, group_number, list(group))
+            return
+        if not remaining:
+            explore(scope, index, group_number + 1, None)
+            return
+        for position, op in enumerate(remaining):
+            rest = remaining[:position] + remaining[position + 1:]
+            if isinstance(op, InsertInto):
+                target = index[op.target]
+                gap_count = len(target.children) + 1
+                for gap in range(gap_count):
+                    roots, new_index = _copy_forest_state(scope.roots)
+                    branch = Scope(roots)
+                    apply_to_node(branch, new_index[op.target], op,
+                                  gap=gap, preserve_ids=preserve_ids)
+                    explore(branch, new_index, group_number, rest)
+            else:
+                roots, new_index = _copy_forest_state(scope.roots)
+                branch = Scope(roots)
+                apply_to_node(branch, new_index[op.target], op,
+                              preserve_ids=preserve_ids)
+                explore(branch, new_index, group_number, rest)
+
+    roots, index = _copy_forest_state([document.root])
+    explore(Scope(roots), index, 0, None)
+    return results

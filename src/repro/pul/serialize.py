@@ -1,0 +1,225 @@
+"""The PUL exchange format (contribution (i) of the paper).
+
+PULs are represented as XML documents containing the serialization of each
+operation together with the identifier and extended label of its target
+node, so that a remote executor (or another producer) can reason on the PUL
+without the document.
+
+Parameter trees are serialized inline. Nodes that carry identifiers (the
+producer-assigned ids of new nodes, which later PULs of a sequence may
+reference — Section 4.1) keep them on the wire:
+
+* elements carry a reserved ``repro:id`` attribute;
+* identified text nodes are wrapped as ``<repro:text repro:id="..">``;
+* identified attribute nodes are hoisted to ``<repro:attr>`` wrapper
+  children (inline XML attributes cannot carry per-attribute metadata).
+
+Example::
+
+    <pul producer="alice">
+      <op name="insertAfter" target="7" label="7;e;0101;011;2;4;5;9">
+        <author repro:id="1000000000">G. Guerrini</author>
+      </op>
+      <op name="rename" target="5" label="..." value="title"/>
+    </pul>
+"""
+
+from __future__ import annotations
+
+from repro.errors import SerializationError
+from repro.labeling.containment import ExtendedLabel
+from repro.pul.ops import (
+    OPERATION_TYPES,
+    Delete,
+    Rename,
+    ReplaceChildren,
+    ReplaceValue,
+)
+from repro.pul.pul import PUL
+from repro.xdm.node import Node
+from repro.xdm.parser import parse_fragment
+from repro.xdm.serializer import (
+    ID_ATTRIBUTE,
+    escape_attribute,
+    escape_text,
+)
+
+_ATTR_WRAPPER = "repro:attr"
+_TEXT_WRAPPER = "repro:text"
+
+
+# -- writing -------------------------------------------------------------------
+
+
+def _write_tree(node, parts, top=False):
+    if node.is_text:
+        # top-level text parameters are always wrapped, so whitespace-only
+        # values survive the round trip unambiguously
+        if node.node_id is None and not top:
+            parts.append(escape_text(node.value))
+        else:
+            parts.append("<{}".format(_TEXT_WRAPPER))
+            if node.node_id is not None:
+                parts.append(' {}="{}"'.format(ID_ATTRIBUTE, node.node_id))
+            parts.append(">")
+            parts.append(escape_text(node.value))
+            parts.append("</{}>".format(_TEXT_WRAPPER))
+        return
+    if node.is_attribute:
+        parts.append('<{} name="{}" value="{}"'.format(
+            _ATTR_WRAPPER, escape_attribute(node.name),
+            escape_attribute(node.value)))
+        if node.node_id is not None:
+            parts.append(' {}="{}"'.format(ID_ATTRIBUTE, node.node_id))
+        parts.append("/>")
+        return
+    parts.append("<")
+    parts.append(node.name)
+    if node.node_id is not None:
+        parts.append(' {}="{}"'.format(ID_ATTRIBUTE, node.node_id))
+    hoisted = []
+    for attr in node.attributes:
+        if attr.node_id is None:
+            parts.append(' {}="{}"'.format(
+                attr.name, escape_attribute(attr.value)))
+        else:
+            hoisted.append(attr)
+    if not node.children and not hoisted:
+        parts.append("/>")
+        return
+    parts.append(">")
+    for attr in hoisted:
+        _write_tree(attr, parts)
+    for child in node.children:
+        _write_tree(child, parts)
+    parts.append("</")
+    parts.append(node.name)
+    parts.append(">")
+
+
+def pul_to_xml(pul):
+    """Serialize ``pul`` (operations + target labels) to XML text."""
+    parts = ["<pul"]
+    if pul.origin is not None:
+        parts.append(' producer="{}"'.format(
+            escape_attribute(str(pul.origin))))
+    parts.append(">")
+    for op in pul:
+        parts.append('<op name="{}" target="{}"'.format(
+            op.op_name, op.target))
+        label = pul.labels.get(op.target)
+        if label is not None:
+            parts.append(' label="{}"'.format(
+                escape_attribute(label.to_string())))
+        if isinstance(op, (ReplaceValue, Rename)):
+            parts.append(' value="{}"'.format(
+                escape_attribute(op.parameter())))
+        if isinstance(op, ReplaceChildren) and not op.strict:
+            parts.append(' strict="false"')
+        if op.has_trees:
+            parts.append(">")
+            for tree in op.trees:
+                _write_tree(tree, parts, top=True)
+            parts.append("</op>")
+        else:
+            parts.append("/>")
+    parts.append("</pul>")
+    return "".join(parts)
+
+
+# -- reading -------------------------------------------------------------------
+
+
+def _read_tree(element):
+    """Convert one parsed wrapper child back into a parameter tree."""
+    if element.is_text:
+        return Node.text(element.value)
+    attrs = {attr.name: attr.value for attr in element.attributes}
+    if element.name == _TEXT_WRAPPER:
+        value = "".join(child.value for child in element.children
+                        if child.is_text)
+        node = Node.text(value)
+        if ID_ATTRIBUTE in attrs:
+            node.node_id = int(attrs[ID_ATTRIBUTE])
+        return node
+    if element.name == _ATTR_WRAPPER:
+        try:
+            node = Node.attribute(attrs["name"], attrs.get("value", ""))
+        except KeyError:
+            raise SerializationError(
+                "repro:attr wrapper without a name") from None
+        if ID_ATTRIBUTE in attrs:
+            node.node_id = int(attrs[ID_ATTRIBUTE])
+        return node
+    node = Node.element(element.name)
+    if ID_ATTRIBUTE in attrs:
+        node.node_id = int(attrs[ID_ATTRIBUTE])
+    for attr in element.attributes:
+        if attr.name == ID_ATTRIBUTE:
+            continue
+        node.append_attribute(Node.attribute(attr.name, attr.value))
+    for child in element.children:
+        restored = _read_tree(child)
+        if restored.is_attribute:
+            node.append_attribute(restored)
+        else:
+            node.append_child(restored)
+    return node
+
+
+def _parse_parameter_trees(op_element):
+    trees = []
+    for child in op_element.children:
+        if child.is_text and not child.value.strip():
+            continue
+        trees.append(_read_tree(child))
+    return trees
+
+
+def pul_from_xml(text):
+    """Parse a PUL exchange document back into a :class:`PUL`."""
+    # our own serializer emits no inter-element whitespace, so whitespace
+    # can be kept verbatim — it only matters inside <repro:text> wrappers
+    root = parse_fragment(text, keep_whitespace=True)
+    if root.name != "pul":
+        raise SerializationError(
+            "expected <pul> root, got <{}>".format(root.name))
+    origin = None
+    for attr in root.attributes:
+        if attr.name == "producer":
+            origin = attr.value
+    operations = []
+    labels = {}
+    for op_element in root.children:
+        if op_element.is_text:
+            continue
+        if op_element.name != "op":
+            raise SerializationError(
+                "unexpected element <{}> in PUL".format(op_element.name))
+        attrs = {attr.name: attr.value for attr in op_element.attributes}
+        try:
+            name = attrs["name"]
+            target = int(attrs["target"])
+        except (KeyError, ValueError) as exc:
+            raise SerializationError(
+                "malformed operation element: {}".format(exc)) from exc
+        op_class = OPERATION_TYPES.get(name)
+        if op_class is None:
+            raise SerializationError(
+                "unknown operation name: {!r}".format(name))
+        if "label" in attrs:
+            labels[target] = ExtendedLabel.from_string(attrs["label"])
+        if op_class is Delete:
+            operations.append(Delete(target))
+        elif op_class is ReplaceValue:
+            operations.append(ReplaceValue(target, attrs.get("value", "")))
+        elif op_class is Rename:
+            operations.append(Rename(target, attrs.get("value", "")))
+        elif op_class is ReplaceChildren:
+            trees = _parse_parameter_trees(op_element)
+            strict = attrs.get("strict", "true") != "false"
+            operations.append(ReplaceChildren(target, trees, strict=strict))
+        else:
+            trees = _parse_parameter_trees(op_element)
+            operations.append(op_class(target, trees))
+    return PUL(operations, labels=labels, origin=origin)

@@ -1,0 +1,22 @@
+"""Shared infrastructure of the three reasoning operators.
+
+The reasoning of Sections 3.1–3.3 never touches the document: every
+structural question it asks about target nodes goes through a
+:class:`~repro.reasoning.oracle.StructuralOracle` — normally backed by the
+extended labels the PUL carries, or (mainly for tests and local use) by a
+live document.
+"""
+
+from repro.reasoning.oracle import (
+    DocumentOracle,
+    LabelOracle,
+    StructuralOracle,
+    oracle_for,
+)
+
+__all__ = [
+    "StructuralOracle",
+    "LabelOracle",
+    "DocumentOracle",
+    "oracle_for",
+]

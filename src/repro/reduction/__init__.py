@@ -1,0 +1,30 @@
+"""PUL reduction (Section 3.1).
+
+* :func:`reduce_pul` — a reduction ``∆^O`` (Definition 7);
+* :func:`reduce_deterministic` — the deterministic reduction ``∆^H``
+  (Definition 8; stage 10 turns surviving ``ins↓`` into ``ins↙``);
+* :func:`canonical_form` — the unique canonical form ``∆^H̄``
+  (Definition 9; rule applications ordered by ``<p``).
+
+Two engines are provided: the optimized staged engine of Section 3.1
+(O(k log k), the default) and a naive reference engine that literally
+searches rule applications pair-by-pair (used by tests and by the
+ablation benchmark).
+"""
+
+from repro.reduction.rules import REDUCTION_RULES, RULES_BY_STAGE
+from repro.reduction.engine import (
+    canonical_form,
+    reduce_deterministic,
+    reduce_pul,
+)
+from repro.reduction.naive import reduce_naive
+
+__all__ = [
+    "REDUCTION_RULES",
+    "RULES_BY_STAGE",
+    "reduce_pul",
+    "reduce_deterministic",
+    "canonical_form",
+    "reduce_naive",
+]

@@ -1,0 +1,26 @@
+"""Synthetic workloads for the experimental evaluation (Section 4.3).
+
+* :mod:`repro.workloads.xmark` — a seeded XMark-shaped document generator
+  (the paper uses the XMark data generator, 1MB–256MB documents);
+* :mod:`repro.workloads.pulgen` — synthetic PULs with an even operation
+  mix, controllable size, reducible-pair ratio and new-node ratio;
+* :mod:`repro.workloads.conflictgen` — families of PULs with a controlled
+  number/type/size of integration conflicts.
+"""
+
+from repro.workloads.xmark import generate_xmark, xmark_text
+from repro.workloads.pulgen import (
+    generate_pul,
+    generate_reducible_pul,
+    generate_sequential_puls,
+)
+from repro.workloads.conflictgen import generate_conflicting_puls
+
+__all__ = [
+    "generate_xmark",
+    "xmark_text",
+    "generate_pul",
+    "generate_reducible_pul",
+    "generate_sequential_puls",
+    "generate_conflicting_puls",
+]

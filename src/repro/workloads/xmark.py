@@ -1,0 +1,225 @@
+"""A seeded, XMark-shaped synthetic document generator.
+
+The paper's evaluation uses documents produced by the XMark data generator
+(auction site: regions/items, categories, people, open and closed
+auctions). This module reproduces that document *shape* — element names,
+nesting, attribute usage and rough fan-out — with sizes controlled by a
+scale factor, deterministically from a seed. Scale 1.0 yields a document
+of roughly 1 MB serialized; sizes grow linearly with scale.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xdm.document import Document
+from repro.xdm.node import Node
+from repro.xdm.serializer import serialize
+
+_WORDS = (
+    "auction bid price seller buyer lot antique painting book stamp coin "
+    "vintage rare mint condition shipping international reserve gavel "
+    "catalogue estimate provenance signed limited edition original frame "
+    "canvas porcelain silver bronze oak walnut decorative restored"
+).split()
+
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+_CITIES = ("Genova", "Milano", "Uppsala", "Paris", "Lisbon", "Athens",
+           "Oslo", "Dublin", "Prague", "Vienna")
+
+
+class _Gen:
+    def __init__(self, seed):
+        self.rng = random.Random(seed)
+
+    def words(self, low, high):
+        count = self.rng.randint(low, high)
+        return " ".join(self.rng.choice(_WORDS) for __ in range(count))
+
+    def digits(self, count):
+        return "".join(str(self.rng.randint(0, 9)) for __ in range(count))
+
+    def date(self):
+        return "{:02d}/{:02d}/{}".format(
+            self.rng.randint(1, 12), self.rng.randint(1, 28),
+            self.rng.randint(1998, 2001))
+
+
+def _text_element(name, value):
+    element = Node.element(name)
+    element.append_child(Node.text(value))
+    return element
+
+
+def _item(gen, item_id, category_count):
+    item = Node.element("item")
+    item.append_attribute(Node.attribute("id", "item{}".format(item_id)))
+    item.append_child(_text_element("location", gen.rng.choice(_CITIES)))
+    item.append_child(_text_element("quantity",
+                                    str(gen.rng.randint(1, 5))))
+    item.append_child(_text_element("name", gen.words(2, 4)))
+    payment = _text_element("payment", "Creditcard")
+    item.append_child(payment)
+    description = Node.element("description")
+    parlist = Node.element("parlist")
+    for __ in range(gen.rng.randint(1, 3)):
+        listitem = Node.element("listitem")
+        listitem.append_child(_text_element("text", gen.words(8, 25)))
+        parlist.append_child(listitem)
+    description.append_child(parlist)
+    item.append_child(description)
+    item.append_child(_text_element("shipping",
+                                    "Will ship internationally"))
+    incategory = Node.element("incategory")
+    incategory.append_attribute(Node.attribute(
+        "category", "category{}".format(
+            gen.rng.randrange(max(1, category_count)))))
+    item.append_child(incategory)
+    return item
+
+
+def _person(gen, person_id):
+    person = Node.element("person")
+    person.append_attribute(Node.attribute(
+        "id", "person{}".format(person_id)))
+    person.append_child(_text_element(
+        "name", "{} {}".format(gen.words(1, 1).capitalize(),
+                               gen.words(1, 1).capitalize())))
+    person.append_child(_text_element(
+        "emailaddress", "mailto:user{}@example.org".format(person_id)))
+    person.append_child(_text_element(
+        "phone", "+39 ({}) {}".format(gen.digits(2), gen.digits(7))))
+    address = Node.element("address")
+    address.append_child(_text_element(
+        "street", "{} {} St".format(gen.rng.randint(1, 99),
+                                    gen.words(1, 1).capitalize())))
+    address.append_child(_text_element("city", gen.rng.choice(_CITIES)))
+    address.append_child(_text_element("country", "Italy"))
+    address.append_child(_text_element("zipcode", gen.digits(5)))
+    person.append_child(address)
+    person.append_child(_text_element("creditcard",
+                                      " ".join(gen.digits(4)
+                                               for __ in range(4))))
+    profile = Node.element("profile")
+    profile.append_attribute(Node.attribute(
+        "income", str(gen.rng.randint(20000, 100000))))
+    interest = Node.element("interest")
+    interest.append_attribute(Node.attribute(
+        "category", "category{}".format(gen.rng.randrange(10))))
+    profile.append_child(interest)
+    profile.append_child(_text_element("education", "Graduate School"))
+    profile.append_child(_text_element(
+        "gender", gen.rng.choice(("male", "female"))))
+    profile.append_child(_text_element("age",
+                                       str(gen.rng.randint(18, 80))))
+    person.append_child(profile)
+    return person
+
+
+def _open_auction(gen, auction_id, person_count, item_count):
+    auction = Node.element("open_auction")
+    auction.append_attribute(Node.attribute(
+        "id", "open_auction{}".format(auction_id)))
+    auction.append_child(_text_element(
+        "initial", "{}.{:02d}".format(gen.rng.randint(1, 300),
+                                      gen.rng.randint(0, 99))))
+    for __ in range(gen.rng.randint(0, 4)):
+        bidder = Node.element("bidder")
+        bidder.append_child(_text_element("date", gen.date()))
+        bidder.append_child(_text_element(
+            "time", "{:02d}:{:02d}:{:02d}".format(
+                gen.rng.randint(0, 23), gen.rng.randint(0, 59),
+                gen.rng.randint(0, 59))))
+        personref = Node.element("personref")
+        personref.append_attribute(Node.attribute(
+            "person", "person{}".format(
+                gen.rng.randrange(max(1, person_count)))))
+        bidder.append_child(personref)
+        bidder.append_child(_text_element(
+            "increase", "{}.00".format(gen.rng.randint(1, 30))))
+        auction.append_child(bidder)
+    auction.append_child(_text_element(
+        "current", "{}.00".format(gen.rng.randint(10, 400))))
+    itemref = Node.element("itemref")
+    itemref.append_attribute(Node.attribute(
+        "item", "item{}".format(gen.rng.randrange(max(1, item_count)))))
+    auction.append_child(itemref)
+    seller = Node.element("seller")
+    seller.append_attribute(Node.attribute(
+        "person", "person{}".format(
+            gen.rng.randrange(max(1, person_count)))))
+    auction.append_child(seller)
+    annotation = Node.element("annotation")
+    author = Node.element("author")
+    author.append_attribute(Node.attribute(
+        "person", "person{}".format(
+            gen.rng.randrange(max(1, person_count)))))
+    annotation.append_child(author)
+    description = Node.element("description")
+    description.append_child(_text_element("text", gen.words(6, 18)))
+    annotation.append_child(description)
+    auction.append_child(annotation)
+    auction.append_child(_text_element("quantity", "1"))
+    auction.append_child(_text_element(
+        "type", gen.rng.choice(("Regular", "Featured"))))
+    interval = Node.element("interval")
+    interval.append_child(_text_element("start", gen.date()))
+    interval.append_child(_text_element("end", gen.date()))
+    auction.append_child(interval)
+    return auction
+
+
+def generate_xmark(scale=0.1, seed=0):
+    """Generate an XMark-shaped :class:`Document`.
+
+    ``scale=1.0`` corresponds to roughly 1 MB serialized, matching the
+    XMark convention that sizes scale linearly with the factor.
+    """
+    gen = _Gen(seed)
+    item_count = max(2, int(1100 * scale))
+    person_count = max(2, int(700 * scale))
+    auction_count = max(2, int(330 * scale))
+    category_count = max(2, int(70 * scale))
+
+    site = Node.element("site")
+    regions = Node.element("regions")
+    per_region = max(1, item_count // len(_REGIONS))
+    item_id = 0
+    for region_name in _REGIONS:
+        region = Node.element(region_name)
+        for __ in range(per_region):
+            region.append_child(_item(gen, item_id, category_count))
+            item_id += 1
+        regions.append_child(region)
+    site.append_child(regions)
+
+    categories = Node.element("categories")
+    for index in range(category_count):
+        category = Node.element("category")
+        category.append_attribute(Node.attribute(
+            "id", "category{}".format(index)))
+        category.append_child(_text_element("name", gen.words(1, 2)))
+        description = Node.element("description")
+        description.append_child(_text_element("text", gen.words(5, 12)))
+        category.append_child(description)
+        categories.append_child(category)
+    site.append_child(categories)
+
+    people = Node.element("people")
+    for index in range(person_count):
+        people.append_child(_person(gen, index))
+    site.append_child(people)
+
+    auctions = Node.element("open_auctions")
+    for index in range(auction_count):
+        auctions.append_child(
+            _open_auction(gen, index, person_count, item_id))
+    site.append_child(auctions)
+
+    return Document(root=site)
+
+
+def xmark_text(scale=0.1, seed=0):
+    """Serialized XMark-shaped document."""
+    return serialize(generate_xmark(scale=scale, seed=seed))

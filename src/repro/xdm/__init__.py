@@ -1,0 +1,31 @@
+"""XML data model substrate.
+
+Implements the labeled-tree representation of XML documents used by the
+paper (Section 2.1): a document ``D = (V, gamma, lambda, nu)`` with element,
+attribute and text nodes, immutable never-reused node identifiers, plus a
+pure-Python parser and serializer so the library has no dependency beyond
+the standard library.
+"""
+
+from repro.xdm.node import Node, NodeType
+from repro.xdm.document import Document
+from repro.xdm.parser import parse_document, parse_fragment
+from repro.xdm.serializer import serialize, serialize_node
+from repro.xdm.compare import (
+    canonical_string,
+    documents_equal,
+    nodes_equal,
+)
+
+__all__ = [
+    "Node",
+    "NodeType",
+    "Document",
+    "parse_document",
+    "parse_fragment",
+    "serialize",
+    "serialize_node",
+    "canonical_string",
+    "documents_equal",
+    "nodes_equal",
+]

@@ -1,0 +1,78 @@
+"""Structural comparison of nodes and documents.
+
+Two flavours are provided:
+
+* *value* comparison — ignores node identifiers; this is XML deep-equality
+  (used, e.g., to compare the outputs of the two evaluators structurally);
+* *identified* comparison — also requires identical node ids (used to check
+  that the streaming and in-memory evaluators assign identifiers to new
+  nodes consistently).
+
+Attribute order is never significant: attributes are compared as
+name -> value maps, per the XDM model (Figure 1's dotted edges).
+"""
+
+from __future__ import annotations
+
+
+def canonical_string(node, with_ids=False):
+    """A canonical, order-normalized serialization of a subtree.
+
+    Attributes are sorted by name so that documents differing only in
+    attribute order canonicalize identically. Suitable as a set/dict key
+    when enumerating obtainable documents.
+    """
+    parts = []
+    _canonicalize(node, parts, with_ids)
+    return "".join(parts)
+
+
+def _canonicalize(node, parts, with_ids):
+    ident = str(node.node_id) if (with_ids and node.node_id is not None) \
+        else ""
+    if node.is_text:
+        parts.append("(t")
+        parts.append(ident)
+        parts.append(":")
+        parts.append(node.value)
+        parts.append(")")
+        return
+    if node.is_attribute:
+        parts.append("(a")
+        parts.append(ident)
+        parts.append(":")
+        parts.append(node.name)
+        parts.append("=")
+        parts.append(node.value)
+        parts.append(")")
+        return
+    parts.append("(e")
+    parts.append(ident)
+    parts.append(":")
+    parts.append(node.name)
+    for attr in sorted(node.attributes, key=lambda a: (a.name, a.value)):
+        _canonicalize(attr, parts, with_ids)
+    for child in node.children:
+        _canonicalize(child, parts, with_ids)
+    parts.append(")")
+
+
+def nodes_equal(node1, node2, with_ids=False):
+    """Deep equality of two subtrees (attribute order insensitive)."""
+    return (canonical_string(node1, with_ids=with_ids)
+            == canonical_string(node2, with_ids=with_ids))
+
+
+def forests_equal(trees1, trees2, with_ids=False):
+    """Deep equality of two ordered lists of trees."""
+    if len(trees1) != len(trees2):
+        return False
+    return all(nodes_equal(a, b, with_ids=with_ids)
+               for a, b in zip(trees1, trees2))
+
+
+def documents_equal(doc1, doc2, with_ids=False):
+    """Deep equality of two documents."""
+    if doc1.root is None or doc2.root is None:
+        return doc1.root is doc2.root
+    return nodes_equal(doc1.root, doc2.root, with_ids=with_ids)

@@ -1,0 +1,117 @@
+"""Navigation helpers: document order, axes and structural predicates.
+
+These operate on live trees (parent/children pointers). The reasoning
+modules never use them — they work on labels only (see
+:mod:`repro.labeling`) — but the evaluators, the XPath engine and the test
+oracles do. The test suite cross-checks every Table 1 predicate computed
+from labels against the tree-based implementation found here.
+"""
+
+from __future__ import annotations
+
+
+def document_position(node):
+    """Return the path of child indexes from the root to ``node``.
+
+    Attribute nodes sort right after their owner element, keyed by their
+    position in the attribute list (the relative order of attributes is not
+    semantically relevant, but a total order is convenient for canonical
+    output). Tuples compare lexicographically, yielding document order.
+    """
+    path = []
+    current = node
+    while current.parent is not None:
+        parent = current.parent
+        if current.is_attribute:
+            path.append((0, parent.attributes.index(current)))
+        else:
+            path.append((1, parent.children.index(current)))
+        current = parent
+    path.reverse()
+    return tuple(path)
+
+
+def compare_document_order(node1, node2):
+    """Return -1/0/1 as ``node1`` precedes/equals/follows ``node2``."""
+    pos1, pos2 = document_position(node1), document_position(node2)
+    if pos1 < pos2:
+        return -1
+    if pos1 > pos2:
+        return 1
+    return 0
+
+
+def precedes(node1, node2):
+    """``node1`` strictly precedes ``node2`` in document order."""
+    return compare_document_order(node1, node2) < 0
+
+
+def is_ancestor(ancestor, descendant):
+    """``ancestor`` is a proper ancestor of ``descendant``."""
+    current = descendant.parent
+    while current is not None:
+        if current is ancestor:
+            return True
+        current = current.parent
+    return False
+
+
+def is_parent(parent, child):
+    """``parent`` is the parent of ``child`` (child axis, not attributes)."""
+    return child.parent is parent and not child.is_attribute
+
+
+def is_attribute_of(attr, element):
+    """``attr`` is an attribute node of ``element``."""
+    return attr.is_attribute and attr.parent is element
+
+
+def left_sibling(node):
+    """The sibling immediately preceding ``node``, or ``None``."""
+    parent = node.parent
+    if parent is None or node.is_attribute:
+        return None
+    index = parent.children.index(node)
+    if index == 0:
+        return None
+    return parent.children[index - 1]
+
+
+def right_sibling(node):
+    """The sibling immediately following ``node``, or ``None``."""
+    parent = node.parent
+    if parent is None or node.is_attribute:
+        return None
+    index = parent.children.index(node)
+    if index + 1 >= len(parent.children):
+        return None
+    return parent.children[index + 1]
+
+
+def is_left_sibling(node1, node2):
+    """``node1 s node2``: ``node1`` is the left sibling of ``node2``."""
+    return left_sibling(node2) is node1
+
+
+def is_first_child(node):
+    """``node`` is the first (non-attribute) child of its parent."""
+    parent = node.parent
+    return (parent is not None and not node.is_attribute
+            and parent.children and parent.children[0] is node)
+
+
+def is_last_child(node):
+    """``node`` is the last (non-attribute) child of its parent."""
+    parent = node.parent
+    return (parent is not None and not node.is_attribute
+            and parent.children and parent.children[-1] is node)
+
+
+def depth(node):
+    """Number of ancestors of ``node`` (root has depth 0)."""
+    count = 0
+    current = node.parent
+    while current is not None:
+        count += 1
+        current = current.parent
+    return count

@@ -1,0 +1,279 @@
+"""A small, dependency-free XML parser producing :class:`Document` trees.
+
+The subset supported is what the paper's documents and PUL exchange format
+need: elements, attributes, text, CDATA sections, comments, processing
+instructions (skipped), an optional XML declaration/DOCTYPE (skipped), and
+the five predefined entities plus numeric character references.
+
+The parser assigns node identifiers in document order (elements first, then
+their attributes in appearance order, then content), matching the uniform
+identifier-assignment requirement of Section 4.1: every producer parsing the
+same serialized document derives the same ids.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XMLSyntaxError
+from repro.xdm.document import Document, IdAllocator
+from repro.xdm.node import Node
+
+_PREDEFINED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+_NAME_START_EXTRA = "_:"
+_NAME_EXTRA = "_:.-"
+
+
+def _is_name_start(ch):
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch):
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+class _Parser:
+    """Recursive-descent parser over a character buffer."""
+
+    def __init__(self, text, keep_whitespace=False):
+        self.text = text
+        self.pos = 0
+        self.keep_whitespace = keep_whitespace
+
+    # -- low level ----------------------------------------------------------
+
+    def error(self, message):
+        raise XMLSyntaxError(message, position=self.pos)
+
+    def eof(self):
+        return self.pos >= len(self.text)
+
+    def peek(self, count=1):
+        return self.text[self.pos:self.pos + count]
+
+    def advance(self, count=1):
+        self.pos += count
+
+    def expect(self, literal):
+        if not self.text.startswith(literal, self.pos):
+            self.error("expected {!r}".format(literal))
+        self.pos += len(literal)
+
+    def skip_whitespace(self):
+        while not self.eof() and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def read_name(self):
+        start = self.pos
+        if self.eof() or not _is_name_start(self.text[self.pos]):
+            self.error("expected a name")
+        self.pos += 1
+        while not self.eof() and _is_name_char(self.text[self.pos]):
+            self.pos += 1
+        return self.text[start:self.pos]
+
+    def read_reference(self):
+        """Read an entity or character reference, cursor on ``&``."""
+        self.expect("&")
+        if self.peek() == "#":
+            self.advance()
+            base = 10
+            if self.peek() in ("x", "X"):
+                self.advance()
+                base = 16
+            start = self.pos
+            while not self.eof() and self.text[self.pos] != ";":
+                self.pos += 1
+            digits = self.text[start:self.pos]
+            self.expect(";")
+            try:
+                return chr(int(digits, base))
+            except ValueError:
+                self.error("bad character reference: {!r}".format(digits))
+        name = self.read_name()
+        self.expect(";")
+        try:
+            return _PREDEFINED_ENTITIES[name]
+        except KeyError:
+            self.error("unknown entity: &{};".format(name))
+
+    # -- grammar ------------------------------------------------------------
+
+    def skip_misc(self):
+        """Skip whitespace, comments, PIs, XML declaration and DOCTYPE."""
+        while True:
+            self.skip_whitespace()
+            if self.peek(4) == "<!--":
+                end = self.text.find("-->", self.pos + 4)
+                if end < 0:
+                    self.error("unterminated comment")
+                self.pos = end + 3
+            elif self.peek(2) == "<?":
+                end = self.text.find("?>", self.pos + 2)
+                if end < 0:
+                    self.error("unterminated processing instruction")
+                self.pos = end + 2
+            elif self.peek(2) == "<!" and self.peek(9).upper() == "<!DOCTYPE":
+                self.advance(9)
+                depth = 0
+                while not self.eof():
+                    ch = self.text[self.pos]
+                    self.pos += 1
+                    if ch == "<":
+                        depth += 1
+                    elif ch == ">":
+                        if depth == 0:
+                            break
+                        depth -= 1
+                else:
+                    self.error("unterminated DOCTYPE")
+            else:
+                return
+
+    def parse_element(self):
+        """Parse one element, cursor on its ``<``."""
+        self.expect("<")
+        name = self.read_name()
+        element = Node.element(name)
+        seen_attrs = set()
+        while True:
+            self.skip_whitespace()
+            ch = self.peek()
+            if ch == ">":
+                self.advance()
+                self.parse_content(element)
+                self.expect("</")
+                closing = self.read_name()
+                if closing != name:
+                    self.error("mismatched end tag: expected </{}> got </{}>"
+                               .format(name, closing))
+                self.skip_whitespace()
+                self.expect(">")
+                return element
+            if self.peek(2) == "/>":
+                self.advance(2)
+                return element
+            attr_name = self.read_name()
+            if attr_name in seen_attrs:
+                self.error("duplicate attribute: {}".format(attr_name))
+            seen_attrs.add(attr_name)
+            self.skip_whitespace()
+            self.expect("=")
+            self.skip_whitespace()
+            quote = self.peek()
+            if quote not in ("'", '"'):
+                self.error("attribute value must be quoted")
+            self.advance()
+            value_parts = []
+            while True:
+                if self.eof():
+                    self.error("unterminated attribute value")
+                ch = self.text[self.pos]
+                if ch == quote:
+                    self.advance()
+                    break
+                if ch == "&":
+                    value_parts.append(self.read_reference())
+                elif ch == "<":
+                    self.error("'<' in attribute value")
+                else:
+                    value_parts.append(ch)
+                    self.advance()
+            element.append_attribute(
+                Node.attribute(attr_name, "".join(value_parts)))
+
+    def parse_content(self, element, stop_at_eof=False):
+        """Parse element content until the closing tag (or, for forests,
+        until end of input when ``stop_at_eof`` is set)."""
+        text_parts = []
+
+        def flush_text():
+            if not text_parts:
+                return
+            text = "".join(text_parts)
+            text_parts.clear()
+            if not self.keep_whitespace and not text.strip():
+                return
+            element.append_child(Node.text(text))
+
+        while True:
+            if self.eof():
+                if stop_at_eof:
+                    flush_text()
+                    return
+                self.error("unexpected end of input in element content")
+            ch = self.text[self.pos]
+            if ch == "<":
+                if self.peek(2) == "</":
+                    flush_text()
+                    return
+                if self.peek(4) == "<!--":
+                    end = self.text.find("-->", self.pos + 4)
+                    if end < 0:
+                        self.error("unterminated comment")
+                    self.pos = end + 3
+                elif self.peek(9) == "<![CDATA[":
+                    end = self.text.find("]]>", self.pos + 9)
+                    if end < 0:
+                        self.error("unterminated CDATA section")
+                    text_parts.append(self.text[self.pos + 9:end])
+                    self.pos = end + 3
+                elif self.peek(2) == "<?":
+                    end = self.text.find("?>", self.pos + 2)
+                    if end < 0:
+                        self.error("unterminated processing instruction")
+                    self.pos = end + 2
+                else:
+                    flush_text()
+                    element.append_child(self.parse_element())
+            elif ch == "&":
+                text_parts.append(self.read_reference())
+            else:
+                text_parts.append(ch)
+                self.advance()
+
+
+def parse_fragment(text, keep_whitespace=False):
+    """Parse ``text`` into a detached :class:`Node` tree (no ids assigned).
+
+    The input must consist of exactly one element (after optional
+    prolog/comments).
+    """
+    parser = _Parser(text, keep_whitespace=keep_whitespace)
+    parser.skip_misc()
+    if parser.peek() != "<":
+        parser.error("expected an element")
+    root = parser.parse_element()
+    parser.skip_misc()
+    if not parser.eof():
+        parser.error("trailing content after document element")
+    return root
+
+
+def parse_forest(text, keep_whitespace=False):
+    """Parse ``text`` into a list of detached top-level nodes.
+
+    Unlike :func:`parse_fragment`, allows a sequence of elements and text
+    at top level — the shape of update-operation parameters ``P``.
+    """
+    parser = _Parser(text, keep_whitespace=keep_whitespace)
+    wrapper = Node.element("__forest__")
+    parser.parse_content(wrapper, stop_at_eof=True)
+    if not parser.eof():
+        parser.error("unbalanced content")
+    trees = list(wrapper.children)
+    for tree in trees:
+        tree.parent = None
+    return trees
+
+
+def parse_document(text, keep_whitespace=False, allocator=None):
+    """Parse ``text`` into a :class:`Document`, assigning node identifiers
+    in document order."""
+    root = parse_fragment(text, keep_whitespace=keep_whitespace)
+    return Document(root=root, allocator=allocator or IdAllocator())

@@ -1,0 +1,112 @@
+"""Serialization of documents and fragments back to XML text.
+
+Supports optional emission of node identifiers (and labels) as reserved
+attributes — the representation used by the paper's prototype, where "node
+identifiers and labeling have been stored within the document" (Section 6).
+"""
+
+from __future__ import annotations
+
+from repro.errors import DocumentError
+
+#: Reserved attribute names used when ids/labels are stored in-document.
+ID_ATTRIBUTE = "repro:id"
+LABEL_ATTRIBUTE = "repro:label"
+
+
+def escape_text(value):
+    """Escape character data."""
+    return (value.replace("&", "&amp;")
+                 .replace("<", "&lt;")
+                 .replace(">", "&gt;"))
+
+
+def escape_attribute(value):
+    """Escape an attribute value (double-quote delimited)."""
+    return (value.replace("&", "&amp;")
+                 .replace("<", "&lt;")
+                 .replace('"', "&quot;"))
+
+
+def serialize_node(node, parts=None, with_ids=False, labels=None,
+                   indent=None, _depth=0):
+    """Serialize ``node``'s subtree, appending strings to ``parts``.
+
+    Parameters
+    ----------
+    with_ids:
+        Emit each node's identifier as a ``repro:id`` attribute (text-node
+        ids cannot be represented inline and are omitted).
+    labels:
+        Optional mapping ``node_id -> label``; when given, element and
+        attribute labels are emitted as ``repro:label`` attributes.
+    indent:
+        Pretty-print indentation string (``None`` = compact output).
+    """
+    own = parts is None
+    if own:
+        parts = []
+    pad = "" if indent is None else "\n" + indent * _depth
+    if node.is_text:
+        parts.append(escape_text(node.value))
+    elif node.is_attribute:
+        # a bare attribute node (e.g. an insA/repN parameter tree) is
+        # rendered in attribute-literal form
+        parts.append('{}="{}"'.format(node.name,
+                                      escape_attribute(node.value)))
+    else:
+        if indent is not None and _depth:
+            parts.append(pad)
+        parts.append("<")
+        parts.append(node.name)
+        if with_ids and node.node_id is not None:
+            parts.append(' {}="{}"'.format(ID_ATTRIBUTE, node.node_id))
+        if labels is not None and node.node_id in labels:
+            parts.append(' {}="{}"'.format(
+                LABEL_ATTRIBUTE, escape_attribute(str(labels[node.node_id]))))
+        for attr in node.attributes:
+            parts.append(" ")
+            parts.append(attr.name)
+            parts.append('="')
+            parts.append(escape_attribute(attr.value))
+            parts.append('"')
+        if not node.children:
+            parts.append("/>")
+        else:
+            parts.append(">")
+            only_text = all(child.is_text for child in node.children)
+            for child in node.children:
+                serialize_node(
+                    child, parts, with_ids=with_ids, labels=labels,
+                    indent=None if only_text else indent, _depth=_depth + 1)
+            if indent is not None and not only_text:
+                parts.append("\n" + indent * _depth)
+            parts.append("</")
+            parts.append(node.name)
+            parts.append(">")
+    if own:
+        return "".join(parts)
+    return None
+
+
+def serialize_forest(trees, with_ids=False, labels=None):
+    """Serialize a list of top-level trees (an operation parameter ``P``)."""
+    parts = []
+    for tree in trees:
+        serialize_node(tree, parts, with_ids=with_ids, labels=labels)
+    return "".join(parts)
+
+
+def serialize(document, with_ids=False, labels=None, indent=None,
+              declaration=False):
+    """Serialize a :class:`~repro.xdm.document.Document` to XML text."""
+    if document.root is None:
+        raise DocumentError("cannot serialize an empty document")
+    parts = []
+    if declaration:
+        parts.append('<?xml version="1.0" encoding="UTF-8"?>')
+        if indent is not None:
+            parts.append("\n")
+    serialize_node(document.root, parts, with_ids=with_ids, labels=labels,
+                   indent=indent)
+    return "".join(parts)

@@ -1,0 +1,28 @@
+"""XQuery Update front end — the PUL *producer*.
+
+The paper modifies the Qizx XQuery processor so that evaluating an XQuery
+Update expression yields a PUL instead of updating the document in place
+(contribution (i)). This package provides the equivalent from scratch: a
+lexer/parser for the XQuery Update Facility's updating expressions over an
+abbreviated-XPath subset, and a compiler that evaluates the target paths
+against a document and emits the corresponding PUL.
+
+Supported expression forms::
+
+    insert node <author>X</author> as last into /doc/paper[2]/authors
+    insert nodes (<a/>, <b/>) before //paper[@id = "p7"]/title
+    insert node attribute version {"2"} into /doc
+    delete nodes //paper[status = "retracted"]
+    replace value of node /doc/paper[1]/title/text() with "New title"
+    replace node //paper[3] with <paper/>
+    replace children of node //abstract with "wiped"      (repC)
+    rename node /doc/paper[1] as "article"
+
+Multiple expressions separated by commas compile into one PUL.
+"""
+
+from repro.xquery.compiler import compile_pul
+from repro.xquery.parser import parse_program
+from repro.xquery.xpath import evaluate_path
+
+__all__ = ["compile_pul", "parse_program", "evaluate_path"]

@@ -1,0 +1,178 @@
+"""Abstract syntax of the XQuery Update subset."""
+
+from __future__ import annotations
+
+
+class Path:
+    """An abbreviated-XPath path expression.
+
+    ``absolute`` paths start at the document root; ``steps`` is a list of
+    :class:`Step`.
+    """
+
+    __slots__ = ("steps", "absolute")
+
+    def __init__(self, steps, absolute):
+        self.steps = list(steps)
+        self.absolute = absolute
+
+    def __repr__(self):
+        return "Path({}{})".format(
+            "/" if self.absolute else "",
+            "/".join(repr(s) for s in self.steps))
+
+
+#: step axes
+CHILD = "child"
+DESCENDANT = "descendant-or-self-child"  # the `//` abbreviation
+ATTRIBUTE = "attribute"
+DESCENDANT_ATTRIBUTE = "descendant-attribute"  # the `//@name` abbreviation
+
+#: node tests
+ELEMENT_TEST = "element"    # by name or wildcard
+TEXT_TEST = "text"
+NODE_TEST = "node"
+
+
+class Step:
+    """One path step: axis, node test and predicates."""
+
+    __slots__ = ("axis", "test", "name", "predicates")
+
+    def __init__(self, axis, test, name=None, predicates=()):
+        self.axis = axis
+        self.test = test
+        self.name = name  # None = wildcard
+        self.predicates = list(predicates)
+
+    def __repr__(self):
+        rendered = {CHILD: "", DESCENDANT: "//", ATTRIBUTE: "@",
+                    DESCENDANT_ATTRIBUTE: "//@"}[self.axis]
+        rendered += self.name or "*"
+        if self.test == TEXT_TEST:
+            rendered = "text()"
+        return rendered + "".join(repr(p) for p in self.predicates)
+
+
+class PositionPredicate:
+    """``[n]`` (1-based) or ``[last()]``."""
+
+    __slots__ = ("index", "last")
+
+    def __init__(self, index=None, last=False):
+        self.index = index
+        self.last = last
+
+    def __repr__(self):
+        return "[last()]" if self.last else "[{}]".format(self.index)
+
+
+class ExistsPredicate:
+    """``[path]`` — the relative path selects at least one node."""
+
+    __slots__ = ("path",)
+
+    def __init__(self, path):
+        self.path = path
+
+    def __repr__(self):
+        return "[{!r}]".format(self.path)
+
+
+class ComparePredicate:
+    """``[path = "literal"]`` — some selected node's string value equals
+    the literal."""
+
+    __slots__ = ("path", "literal")
+
+    def __init__(self, path, literal):
+        self.path = path
+        self.literal = literal
+
+    def __repr__(self):
+        return "[{!r} = {!r}]".format(self.path, self.literal)
+
+
+# -- source expressions --------------------------------------------------------
+
+
+class XMLSource:
+    """A sequence of XML constructors / attribute constructors / string
+    literals (string literals build text nodes)."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items):
+        self.items = list(items)
+
+
+class AttributeConstructor:
+    """``attribute name {"value"}``."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name, value):
+        self.name = name
+        self.value = value
+
+
+# -- updating expressions --------------------------------------------------------
+
+#: insert positions
+INTO = "into"
+INTO_FIRST = "into-first"
+INTO_LAST = "into-last"
+BEFORE = "before"
+AFTER = "after"
+
+
+class InsertExpr:
+    __slots__ = ("source", "position", "target")
+
+    def __init__(self, source, position, target):
+        self.source = source
+        self.position = position
+        self.target = target
+
+
+class DeleteExpr:
+    __slots__ = ("target",)
+
+    def __init__(self, target):
+        self.target = target
+
+
+class ReplaceValueExpr:
+    __slots__ = ("target", "value")
+
+    def __init__(self, target, value):
+        self.target = target
+        self.value = value
+
+
+class ReplaceNodeExpr:
+    __slots__ = ("target", "source")
+
+    def __init__(self, target, source):
+        self.target = target
+        self.source = source
+
+
+class ReplaceChildrenExpr:
+    """``replace children of node target with "text"`` — the repC
+    primitive (library extension of the surface syntax; the XQUF reaches
+    repC through typed replace-value-of on elements)."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target, value):
+        self.target = target
+        self.value = value
+
+
+class RenameExpr:
+    __slots__ = ("target", "name")
+
+    def __init__(self, target, name):
+        self.target = target
+        self.name = name

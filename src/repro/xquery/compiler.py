@@ -1,0 +1,139 @@
+"""Compile updating expressions into PULs.
+
+This is the producer side of the architecture: evaluate the target path of
+each updating expression against the (local copy of the) document, create
+the corresponding update primitives, and package them — together with the
+targets' labels when a labeling is available — into a PUL ready to be
+shipped to the executor.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryEvaluationError
+from repro.pul.ops import (
+    Delete,
+    InsertAfter,
+    InsertAttributes,
+    InsertBefore,
+    InsertInto,
+    InsertIntoAsFirst,
+    InsertIntoAsLast,
+    Rename,
+    ReplaceChildren,
+    ReplaceNode,
+    ReplaceValue,
+)
+from repro.pul.pul import PUL
+from repro.xdm.node import Node
+from repro.xquery import ast
+from repro.xquery.parser import parse_program
+from repro.xquery.xpath import evaluate_path
+
+_INSERT_OPS = {
+    ast.INTO: InsertInto,
+    ast.INTO_FIRST: InsertIntoAsFirst,
+    ast.INTO_LAST: InsertIntoAsLast,
+    ast.BEFORE: InsertBefore,
+    ast.AFTER: InsertAfter,
+}
+
+
+def _materialize_source(source):
+    """Build the parameter trees of an insert/replace: (attribute trees,
+    non-attribute trees) — the XQUF splits the source sequence this way."""
+    attributes = []
+    others = []
+    for item in source.items:
+        if isinstance(item, ast.AttributeConstructor):
+            attributes.append(Node.attribute(item.name, item.value))
+        elif isinstance(item, Node):
+            others.append(item.deep_copy())
+        elif isinstance(item, str):
+            others.append(Node.text(item))
+        else:
+            raise QueryEvaluationError(
+                "unsupported source item: {!r}".format(item))
+    return attributes, others
+
+
+def _single_target(expression_name, nodes):
+    if len(nodes) != 1:
+        raise QueryEvaluationError(
+            "{} requires exactly one target node, path selected {}"
+            .format(expression_name, len(nodes)))
+    return nodes[0]
+
+
+def compile_expression(expression, document):
+    """Compile one updating expression into a list of update operations."""
+    operations = []
+    if isinstance(expression, ast.InsertExpr):
+        targets = evaluate_path(expression.target, document=document)
+        target = _single_target("insert", targets)
+        attributes, others = _materialize_source(expression.source)
+        if attributes:
+            if expression.position not in (ast.INTO, ast.INTO_FIRST,
+                                           ast.INTO_LAST):
+                raise QueryEvaluationError(
+                    "attribute content requires an 'into' insert")
+            operations.append(InsertAttributes(
+                target.node_id, [a.deep_copy() for a in attributes]))
+        if others:
+            op_class = _INSERT_OPS[expression.position]
+            operations.append(op_class(
+                target.node_id, [t.deep_copy() for t in others]))
+        if not attributes and not others:
+            raise QueryEvaluationError("insert with an empty source")
+    elif isinstance(expression, ast.DeleteExpr):
+        targets = evaluate_path(expression.target, document=document)
+        operations.extend(Delete(node.node_id) for node in targets)
+    elif isinstance(expression, ast.ReplaceValueExpr):
+        target = _single_target(
+            "replace value of",
+            evaluate_path(expression.target, document=document))
+        operations.append(ReplaceValue(target.node_id, expression.value))
+    elif isinstance(expression, ast.ReplaceChildrenExpr):
+        target = _single_target(
+            "replace children of",
+            evaluate_path(expression.target, document=document))
+        operations.append(ReplaceChildren(target.node_id,
+                                          expression.value))
+    elif isinstance(expression, ast.ReplaceNodeExpr):
+        target = _single_target(
+            "replace node",
+            evaluate_path(expression.target, document=document))
+        attributes, others = _materialize_source(expression.source)
+        if attributes and others:
+            raise QueryEvaluationError(
+                "replace node source must be all attributes or all "
+                "non-attributes")
+        trees = attributes or others
+        operations.append(ReplaceNode(
+            target.node_id, [t.deep_copy() for t in trees]))
+    elif isinstance(expression, ast.RenameExpr):
+        target = _single_target(
+            "rename node",
+            evaluate_path(expression.target, document=document))
+        operations.append(Rename(target.node_id, expression.name))
+    else:
+        raise QueryEvaluationError(
+            "unknown expression: {!r}".format(expression))
+    return operations
+
+
+def compile_pul(query, document, labeling=None, origin=None):
+    """Evaluate the updating ``query`` (text or parsed expression list)
+    against ``document`` and return the resulting PUL.
+
+    The PUL production of the paper's modified Qizx: no update is applied;
+    targets are resolved and shipped as operations. When ``labeling`` is
+    given, the targets' extended labels travel with the PUL (Section 4.1).
+    """
+    expressions = parse_program(query) if isinstance(query, str) else query
+    operations = []
+    for expression in expressions:
+        operations.extend(compile_expression(expression, document))
+    pul = PUL(operations, origin=origin)
+    if labeling is not None:
+        pul.attach_labels(labeling)
+    return pul

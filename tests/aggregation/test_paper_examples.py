@@ -1,0 +1,90 @@
+"""Example 8 of the paper, with the same explicit node identifiers."""
+
+import pytest
+
+from repro.aggregation import aggregate
+from repro.pul.ops import (
+    InsertIntoAsLast,
+    Rename,
+    ReplaceNode,
+    ReplaceValue,
+)
+from repro.pul.pul import PUL
+from repro.pul.semantics import apply_pul
+from repro.xdm import parse_document
+from repro.xdm.compare import canonical_string
+from repro.xdm.parser import parse_forest
+
+#: nodes 3 (an element), 8 (a text), 5 (an element) play the roles of the
+#: example's 3, 10 and 5
+DOC = "<lib><shelf><b1/><b2/></shelf><sec><t>x</t></sec><n>12</n></lib>"
+
+
+def forest(text, ids):
+    trees = parse_forest(text)
+    it = iter(ids)
+    for tree in trees:
+        for node in tree.iter_subtree():
+            node.node_id = next(it)
+    return trees
+
+
+@pytest.fixture
+def example8():
+    document = parse_document(DOC)
+    d1 = PUL([InsertIntoAsLast(3, forest(
+                  "<article><title>XML</title></article>", [24, 25, 26])),
+              ReplaceValue(8, "13")])
+    d2 = PUL([InsertIntoAsLast(24, forest(
+                  "<author>G G</author><author>M M</author>",
+                  [27, 28, 29, 30])),
+              Rename(5, "title")])
+    d3 = PUL([ReplaceNode(29, forest("<author>F C</author>", [31, 32])),
+              Rename(5, "name"),
+              ReplaceValue(26, "On XML")])
+    return document, d1, d2, d3
+
+
+class TestExample8:
+    def test_two_pul_aggregation(self, example8):
+        __, d1, d2, ___ = example8
+        combined = aggregate([d1, d2])
+        ops = {op.op_name: op for op in combined}
+        assert len(combined) == 3
+        assert ops["insertIntoAsLast"].param_key() == (
+            "<article><title>XML</title><author>G G</author>"
+            "<author>M M</author></article>")
+        assert ops["replaceValue"].value == "13"
+        assert ops["rename"].name == "title"
+
+    def test_three_pul_aggregation(self, example8):
+        __, d1, d2, d3 = example8
+        combined = aggregate([d1, d2, d3])
+        ops = {op.op_name: op for op in combined}
+        assert len(combined) == 3
+        # D6 applied twice: the text 26 renamed inside the parameter and
+        # author 29 replaced by author 31
+        assert ops["insertIntoAsLast"].param_key() == (
+            "<article><title>On XML</title><author>G G</author>"
+            "<author>F C</author></article>")
+        # B3: the ren of d2 is overridden by the ren of d3
+        assert ops["rename"].name == "name"
+
+    def test_identifiers_inside_parameter(self, example8):
+        __, d1, d2, d3 = example8
+        combined = aggregate([d1, d2, d3])
+        insert = next(op for op in combined
+                      if op.op_name == "insertIntoAsLast")
+        ids = [n.node_id for n in insert.trees[0].iter_subtree()]
+        assert ids == [24, 25, 26, 27, 28, 31, 32]
+
+    def test_proposition4_sequential_equivalence(self, example8):
+        document, d1, d2, d3 = example8
+        combined = aggregate([d1, d2, d3])
+        sequential = document.copy()
+        for pul in (d1, d2, d3):
+            apply_pul(sequential, pul, preserve_ids=True)
+        aggregated = document.copy()
+        apply_pul(aggregated, combined, preserve_ids=True)
+        assert canonical_string(aggregated.root, with_ids=True) == \
+            canonical_string(sequential.root, with_ids=True)

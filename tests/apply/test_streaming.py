@@ -1,0 +1,242 @@
+"""Streaming evaluator tests: byte-equivalence with the in-memory
+evaluator, identifier assignment, label maintenance."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apply.events import (
+    document_events,
+    events_to_document,
+    events_to_xml,
+    parse_events,
+)
+from repro.apply.inmemory import apply_in_memory
+from repro.apply.streaming import apply_streaming
+from repro.errors import NotApplicableError
+from repro.labeling import ContainmentLabeling
+from repro.labeling import predicates as P
+from repro.pul.ops import (
+    Delete,
+    InsertAfter,
+    InsertAttributes,
+    InsertBefore,
+    InsertInto,
+    InsertIntoAsFirst,
+    InsertIntoAsLast,
+    Rename,
+    ReplaceChildren,
+    ReplaceNode,
+    ReplaceValue,
+)
+from repro.pul.pul import PUL
+from repro.xdm import parse_document, serialize
+from repro.xdm.navigation import (
+    is_ancestor,
+    is_left_sibling,
+    is_parent,
+)
+from repro.xdm.node import Node
+from repro.xdm.parser import parse_forest
+
+from tests.strategies import applicable_puls, documents
+
+
+def both_ways(xml, pul):
+    """Run both evaluators; assert identical output; return it."""
+    document = parse_document(xml)
+    in_memory = apply_in_memory(parse_document(xml), pul, with_ids=True)
+    streamed = events_to_xml(
+        apply_streaming(parse_events(xml), pul,
+                        fresh_start=len(document)),
+        with_ids=True)
+    assert in_memory == streamed
+    return streamed
+
+
+class TestEquivalenceWithInMemory:
+    def test_inserts_everywhere(self):
+        xml = "<a><b>x</b><c/></a>"
+        pul = PUL([
+            InsertBefore(1, parse_forest("<p1/>")),
+            InsertBefore(1, parse_forest("<p2/>")),
+            InsertAfter(1, parse_forest("<q1/>")),
+            InsertAfter(1, parse_forest("<q2/>")),
+            InsertIntoAsFirst(0, parse_forest("<f/>")),
+            InsertIntoAsLast(0, parse_forest("<l/>")),
+            InsertInto(0, parse_forest("<i/>")),
+        ])
+        out = both_ways(xml, pul)
+        assert out.index("<f") < out.index("<i") < out.index("<p1")
+
+    def test_replacements(self):
+        xml = "<a k='v'><b>x</b><c/>tail</a>"
+        pul = PUL([
+            ReplaceNode(2, parse_forest("<nb/>")),
+            ReplaceValue(1, "v2"),
+            ReplaceChildren(4, "emptied"),
+            Rename(0, "root"),
+        ])
+        both_ways(xml, pul)
+
+    def test_deletions(self):
+        xml = "<a k='v'><b>x</b><c/>t</a>"
+        both_ways(xml, PUL([Delete(2), Delete(1), Delete(5)]))
+
+    def test_text_node_operations(self):
+        xml = "<a>first<b/>second</a>"
+        pul = PUL([
+            ReplaceValue(1, "FIRST"),
+            ReplaceNode(3, parse_forest("<s/>")),
+            InsertBefore(1, parse_forest("<pre/>")),
+            InsertAfter(3, parse_forest("<post/>")),
+        ])
+        both_ways(xml, pul)
+
+    def test_attribute_operations(self):
+        xml = "<a k1='1' k2='2'><b/></a>"
+        pul = PUL([
+            Rename(1, "renamed"),
+            ReplaceValue(2, "changed"),
+            InsertAttributes(0, [Node.attribute("k3", "3")]),
+            InsertAttributes(3, [Node.attribute("n", "m")]),
+        ])
+        both_ways(xml, pul)
+
+    def test_replace_attribute_node(self):
+        xml = "<a k='v'/>"
+        both_ways(xml, PUL([ReplaceNode(
+            1, [Node.attribute("k2", "w")])]))
+
+    def test_repc_cases(self):
+        xml = "<a k='v'><b><c/>x</b></a>"
+        pul = PUL([ReplaceChildren(2, "gone"),
+                   InsertIntoAsLast(2, parse_forest("<dead/>")),
+                   InsertAttributes(2, [Node.attribute("kept", "1")])])
+        out = both_ways(xml, pul)
+        assert "dead" not in out and "kept" in out
+
+    def test_nested_override(self):
+        xml = "<a><b><c><d/></c></b></a>"
+        pul = PUL([Rename(3, "dead"),
+                   ReplaceNode(1, parse_forest("<nb><x/></nb>"))])
+        out = both_ways(xml, pul)
+        assert "dead" not in out
+
+    def test_root_delete(self):
+        xml = "<a><b/></a>"
+        document = parse_document(xml)
+        streamed = events_to_xml(apply_streaming(
+            parse_events(xml), PUL([Delete(0)]), fresh_start=2))
+        assert streamed == ""
+        assert apply_in_memory(document, PUL([Delete(0)])) == ""
+
+    def test_renamed_element_end_tag(self):
+        out = both_ways("<a><b>x</b></a>", PUL([Rename(1, "nb")]))
+        assert "</nb>" in out
+
+    def test_duplicate_attribute_error(self):
+        xml = "<a k='v'/>"
+        pul = PUL([InsertAttributes(0, [Node.attribute("k", "w")])])
+        with pytest.raises(NotApplicableError):
+            events_to_xml(apply_streaming(parse_events(xml), pul))
+
+    def test_producer_ids_preserved(self):
+        xml = "<a><b/></a>"
+        tree = Node.element("p", node_id=50)
+        pul = PUL([InsertAfter(1, [tree])])
+        out = events_to_document(apply_streaming(
+            parse_events(xml), pul, fresh_start=100))
+        assert out.find(50) is not None
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_random_puls_agree(self, data):
+        document = data.draw(documents())
+        pul = data.draw(applicable_puls(document, max_ops=6))
+        xml = serialize(document)
+        try:
+            in_memory = apply_in_memory(parse_document(xml), pul,
+                                        with_ids=True)
+        except NotApplicableError:
+            return
+        streamed = events_to_xml(
+            apply_streaming(parse_events(xml), pul,
+                            fresh_start=len(document)),
+            with_ids=True)
+        assert in_memory == streamed
+
+
+class TestLabelMaintenance:
+    def _run(self, xml, pul):
+        document = parse_document(xml)
+        labeling = ContainmentLabeling().build(document)
+        events = apply_streaming(parse_events(xml), pul,
+                                 fresh_start=len(document),
+                                 labeling=labeling)
+        return events_to_document(events), labeling
+
+    def _check(self, output, labeling):
+        nodes = {n.node_id: n for n in output.nodes()}
+        for node in nodes.values():
+            assert labeling.find(node.node_id) is not None, node
+        for a in nodes.values():
+            la = labeling.find(a.node_id)
+            for b in nodes.values():
+                if a is b:
+                    continue
+                lb = labeling.find(b.node_id)
+                assert P.is_descendant(la, lb) == is_ancestor(b, a), (a, b)
+                assert P.is_child(la, lb) == is_parent(b, a), (a, b)
+                assert P.is_left_sibling(la, lb) == \
+                    is_left_sibling(a, b), (a, b)
+
+    def test_mixed_update_labels(self):
+        xml = "<a k='v'><b>x</b><c/><d/></a>"
+        pul = PUL([
+            InsertBefore(4, parse_forest("<w1/>")),
+            InsertAfter(4, parse_forest("<w2/>")),
+            Delete(5),
+            ReplaceNode(2, parse_forest("<nb><deep/></nb>")),
+            InsertAttributes(0, [Node.attribute("k2", "2")]),
+            InsertIntoAsLast(4, parse_forest("<in>t</in>")),
+        ])
+        output, labeling = self._run(xml, pul)
+        self._check(output, labeling)
+
+    def test_original_codes_untouched(self):
+        xml = "<a><b/><c/></a>"
+        document = parse_document(xml)
+        labeling = ContainmentLabeling().build(document)
+        before = {nid: (lab.start, lab.end)
+                  for nid, lab in labeling.as_mapping().items()}
+        pul = PUL([InsertAfter(1, parse_forest("<m/>"))])
+        list(apply_streaming(parse_events(xml), pul, fresh_start=3,
+                             labeling=labeling))
+        for node_id, codes in before.items():
+            label = labeling.find(node_id)
+            assert (label.start, label.end) == codes
+
+    def test_removed_labels_forgotten(self):
+        xml = "<a><b><c/></b></a>"
+        __, labeling = self._run(xml, PUL([Delete(1)]))
+        assert labeling.find(1) is None
+        assert labeling.find(2) is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_random_label_consistency(self, data):
+        document = data.draw(documents(max_depth=2, max_children=2))
+        pul = data.draw(applicable_puls(document, max_ops=4))
+        xml = serialize(document)
+        labeling = ContainmentLabeling().build(parse_document(xml))
+        try:
+            events = apply_streaming(parse_events(xml), pul,
+                                     fresh_start=len(document),
+                                     labeling=labeling)
+            output = events_to_document(events)
+        except NotApplicableError:
+            return
+        if output.root is None:
+            return
+        self._check(output, labeling)

@@ -1,0 +1,70 @@
+"""Smoke tests: every figure benchmark runs at tiny scale and produces
+well-formed series."""
+
+from repro.bench import figures
+from repro.bench.harness import Series, format_table, time_call
+
+
+class TestHarness:
+    def test_time_call(self):
+        elapsed, result = time_call(lambda x: x * 2, 21, repeat=2)
+        assert result == 42
+        assert elapsed >= 0
+
+    def test_series(self):
+        series = Series("s").add(1, 0.5).add(2, 0.7)
+        assert series.ys() == [0.5, 0.7]
+        assert list(series) == [(1, 0.5), (2, 0.7)]
+
+    def test_format_table(self):
+        a = Series("alpha", [(1, 0.1), (2, 0.2)])
+        b = Series("beta", [(1, 0.3), (2, 0.4)])
+        table = format_table("T", "x", [a, b])
+        assert "alpha" in table and "beta" in table
+        assert table.count("\n") >= 4
+
+
+class TestFigures:
+    def test_fig6a(self):
+        sizes, streaming, inmemory, mem_s, mem_m = figures.fig6a(
+            scales=(0.02, 0.04), pul_ops=40, repeat=1)
+        assert len(streaming.points) == 2
+        assert all(y > 0 for y in streaming.ys() + inmemory.ys())
+        assert all(y > 0 for y in mem_s.ys() + mem_m.ys())
+
+    def test_fig6b(self):
+        total, reduce_only, ser = figures.fig6b(sizes=(80, 160), scale=0.05)
+        assert len(total.points) == 2
+        assert all(t >= r for (__, t), (___, r)
+                   in zip(total, reduce_only))
+
+    def test_fig6c(self):
+        total, agg = figures.fig6c(counts=(1, 2), ops_per_pul=40,
+                                   scale=0.05)
+        assert len(total.points) == 2
+
+    def test_fig6d(self):
+        aggregated, sequential = figures.fig6d(counts=(1, 2),
+                                               ops_per_pul=25, scale=0.03)
+        assert len(aggregated.points) == 2
+
+    def test_fig6e(self):
+        integration, resolution = figures.fig6e(sizes=(40,), pul_count=3,
+                                                scale=0.05)
+        assert len(integration.points) == 1
+
+    def test_e6(self):
+        (evaluation,) = figures.e6_pulsize_effect(sizes=(20, 40),
+                                                  scale=0.05)
+        assert len(evaluation.points) == 2
+
+    def test_ablation_codes(self):
+        rows = figures.ablation_codes(scale=0.02)
+        assert [name for name, *__ in rows] == ["CDBS", "CDQS"]
+        # CDQS codes are shorter in total than CDBS at equal position count
+        assert rows[1][2] < rows[0][2]
+
+    def test_ablation_reduction(self):
+        optimized, naive = figures.ablation_reduction(sizes=(20,),
+                                                      scale=0.02)
+        assert optimized.points and naive.points

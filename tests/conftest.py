@@ -1,0 +1,67 @@
+"""Shared fixtures: reference documents and small helpers."""
+
+import pytest
+
+from repro.labeling import ContainmentLabeling
+from repro.reasoning import DocumentOracle
+from repro.xdm import parse_document
+from repro.xdm.parser import parse_forest
+
+
+#: a SigmodRecord-like fragment mirroring Figure 1 of the paper
+FIGURE1_XML = (
+    "<SigmodRecord>"
+    "<issue>"
+    "<volume>11</volume>"
+    "<number>1</number>"
+    "<articles>"
+    "<article>"
+    "<title>Limitations of Record Access</title>"
+    "<initPage>18</initPage>"
+    "<endPage>0</endPage>"
+    "<authors><author position='00'>Paula Hawthorn</author></authors>"
+    "</article>"
+    "<article>"
+    "<title>A Model of Data Distribution</title>"
+    "<authors>"
+    "<author position='00'>Marco M.</author>"
+    "<author position='01'>Giovanna G.</author>"
+    "</authors>"
+    "</article>"
+    "</articles>"
+    "</issue>"
+    "</SigmodRecord>"
+)
+
+
+@pytest.fixture
+def figure1():
+    """The Figure 1 document (fresh copy per test)."""
+    return parse_document(FIGURE1_XML)
+
+
+@pytest.fixture
+def figure1_oracle(figure1):
+    return DocumentOracle(figure1)
+
+
+@pytest.fixture
+def figure1_labeling(figure1):
+    return ContainmentLabeling().build(figure1)
+
+
+@pytest.fixture
+def small_doc():
+    """A tiny mixed document: attributes, text, empty elements."""
+    return parse_document(
+        "<a x='1'><b>hi</b><c/><d k='v'>tail<e/></d></a>")
+
+
+def forest(text):
+    """Parse a forest of parameter trees (test helper)."""
+    return parse_forest(text)
+
+
+@pytest.fixture(name="forest")
+def forest_fixture():
+    return forest

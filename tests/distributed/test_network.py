@@ -1,0 +1,44 @@
+"""Tests for the simulated network and messages."""
+
+from repro.distributed.messages import DocumentSnapshot, PULMessage
+from repro.distributed.network import SimulatedNetwork
+
+
+class TestMessages:
+    def test_pul_message_size(self):
+        message = PULMessage("<pul/>", origin="p", sequence=2,
+                             base_version=1)
+        assert message.size_bytes() == 6
+        assert message.sequence == 2
+
+    def test_snapshot(self):
+        snapshot = DocumentSnapshot("<a/>", version=3, id_start=1,
+                                    id_stride=2)
+        assert snapshot.size_bytes() == 4
+        assert snapshot.version == 3
+
+    def test_utf8_size(self):
+        message = PULMessage("é", origin="p")
+        assert message.size_bytes() == 2
+
+
+class TestNetwork:
+    def test_clock_advances_with_latency_and_bandwidth(self):
+        network = SimulatedNetwork(latency=0.5, bandwidth=100)
+        network.send("a", "b", PULMessage("x" * 50, origin="a"))
+        assert network.clock == 0.5 + 0.5
+
+    def test_log_and_summary(self):
+        network = SimulatedNetwork(latency=0.0, bandwidth=1000)
+        network.send("a", "b", PULMessage("12345", origin="a"))
+        network.send("b", "a", PULMessage("123", origin="b"),
+                     kind="checkout")
+        summary = network.summary()
+        assert summary["transfers"] == 2
+        assert summary["bytes"] == 8
+        assert set(summary["by_kind"]) == {"pul", "checkout"}
+
+    def test_bytes_transferred(self):
+        network = SimulatedNetwork()
+        network.send("a", "b", PULMessage("1234", origin="a"))
+        assert network.bytes_transferred == 4

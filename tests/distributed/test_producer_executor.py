@@ -1,0 +1,166 @@
+"""End-to-end tests of the decoupled producer/executor architecture."""
+
+import pytest
+
+from repro.distributed import Executor, Producer
+from repro.errors import ReproError
+from repro.integration import ProducerPolicy
+from repro.xdm import parse_document
+from repro.xdm.compare import documents_equal, nodes_equal
+
+ARTICLE = ("<article><title>T</title><authors><author>A</author></authors>"
+           "</article>")
+
+
+@pytest.fixture
+def executor():
+    return Executor(ARTICLE)
+
+
+def checked_out(executor, name, policy=None):
+    executor.register_producer(name, policy)
+    producer = Producer(name)
+    producer.checkout(executor.snapshot_for(name))
+    return producer
+
+
+class TestCheckout:
+    def test_snapshot_reproduces_document(self, executor):
+        producer = checked_out(executor, "p1")
+        assert documents_equal(producer.document, executor.document,
+                               with_ids=True)
+
+    def test_id_spaces_disjoint(self, executor):
+        p1 = checked_out(executor, "p1")
+        p2 = checked_out(executor, "p2")
+        a = {p1._new_id_allocator.allocate() for __ in range(20)}
+        b = {p2._new_id_allocator.allocate() for __ in range(20)}
+        assert not a & b
+
+    def test_unknown_producer_rejected(self, executor):
+        with pytest.raises(ReproError):
+            executor.snapshot_for("nobody")
+
+    def test_duplicate_registration_rejected(self, executor):
+        executor.register_producer("p1")
+        with pytest.raises(ReproError):
+            executor.register_producer("p1")
+
+    def test_producer_requires_checkout(self):
+        with pytest.raises(ReproError):
+            Producer("p").produce("delete node /article/title")
+
+
+class TestSingleProducer:
+    def test_produce_does_not_touch_local_copy(self, executor):
+        producer = checked_out(executor, "p1")
+        before = documents_equal(producer.document, executor.document)
+        producer.produce("delete node /article/title")
+        assert documents_equal(producer.document, executor.document)
+        assert before
+
+    def test_roundtrip_execution(self, executor):
+        producer = checked_out(executor, "p1")
+        pul = producer.produce(
+            'replace value of node /article/title/text() with "T2"')
+        message = producer.message_for(pul)
+        executor.execute(executor.receive(message))
+        assert "<title>T2</title>" in executor.text()
+        assert executor.version == 1
+
+    def test_streaming_and_inmemory_executors_agree(self):
+        for streaming in (True, False):
+            executor = Executor(ARTICLE, streaming=streaming)
+            producer = checked_out(executor, "p1")
+            pul = producer.produce(
+                "insert node <author>B</author> as last into "
+                "/article/authors")
+            executor.execute(executor.receive(producer.message_for(pul)))
+            assert "<author>B</author>" in executor.text()
+
+    def test_reduce_first(self, executor):
+        producer = checked_out(executor, "p1")
+        pul = producer.produce(
+            "rename node /article/title as dead, "
+            "replace node /article/title with <title>new</title>")
+        executor.execute(executor.receive(producer.message_for(pul)),
+                         reduce_first=True)
+        assert "<title>new</title>" in executor.text()
+
+
+class TestParallel:
+    def test_conflict_free_merge(self, executor):
+        p1 = checked_out(executor, "p1")
+        p2 = checked_out(executor, "p2")
+        m1 = p1.message_for(p1.produce(
+            "insert node <year>2011</year> as last into /article"))
+        m2 = p2.message_for(p2.produce(
+            'replace value of node /article/title/text() with "T2"'))
+        version, conflicts = executor.execute_parallel([m1, m2])
+        assert version == 1
+        assert conflicts == []
+        assert "<year>2011</year>" in executor.text()
+        assert "T2" in executor.text()
+
+    def test_conflicting_edits_reconciled(self, executor):
+        p1 = checked_out(executor, "p1",
+                         ProducerPolicy(preserve_inserted_data=True))
+        p2 = checked_out(executor, "p2")
+        m1 = p1.message_for(p1.produce(
+            'replace value of node /article/title/text() with "mine"'))
+        m2 = p2.message_for(p2.produce(
+            'replace value of node /article/title/text() with "theirs"'))
+        __, conflicts = executor.execute_parallel([m1, m2])
+        assert len(conflicts) == 1
+        assert "mine" in executor.text()
+
+    def test_mixed_base_versions_rejected(self, executor):
+        p1 = checked_out(executor, "p1")
+        m1 = p1.message_for(p1.produce("delete node /article/title"))
+        executor.execute(executor.receive(m1))
+        p2 = checked_out(executor, "p2")  # checks out version 1
+        m2 = p2.message_for(p2.produce("delete node /article/authors"))
+        with pytest.raises(ReproError):
+            executor.execute_parallel([m1, m2])
+
+
+class TestSequential:
+    def test_disconnected_session_converges(self, executor):
+        producer = checked_out(executor, "laptop")
+        session = [
+            producer.produce_and_apply(
+                "insert node <sec><p>one</p></sec> as last into /article"),
+            producer.produce_and_apply(
+                "insert node <p>two</p> as last into /article/sec"),
+            producer.produce_and_apply(
+                'replace value of node /article/sec/p[1]/text() '
+                'with "ONE"'),
+        ]
+        messages = [producer.message_for(pul) for pul in session]
+        executor.execute_sequential(messages)
+        assert nodes_equal(executor.document.root, producer.document.root,
+                           with_ids=True)
+
+    def test_aggregated_session_converges(self, executor):
+        producer = checked_out(executor, "laptop")
+        session = [
+            producer.produce_and_apply(
+                "insert node <sec><p>one</p></sec> as last into /article"),
+            producer.produce_and_apply(
+                "insert node <p>two</p> as last into /article/sec"),
+        ]
+        delta = producer.aggregate_session(session)
+        executor.execute_sequential([producer.message_for(delta)])
+        assert nodes_equal(executor.document.root, producer.document.root,
+                           with_ids=True)
+
+    def test_messages_sorted_by_sequence(self, executor):
+        producer = checked_out(executor, "laptop")
+        first = producer.produce_and_apply(
+            "insert node <sec/> as last into /article")
+        second = producer.produce_and_apply(
+            "rename node /article/sec as section")
+        m1 = producer.message_for(first)
+        m2 = producer.message_for(second)
+        executor.execute_sequential([m2, m1])  # out of order on purpose
+        assert "<section/>" in executor.text()

@@ -1,0 +1,132 @@
+"""Unit tests for the Figure 3 conflict relations and the conflict model."""
+
+import pytest
+
+from repro.integration.conflicts import (
+    Conflict,
+    ConflictType,
+    TaggedOp,
+    insertion_order,
+    local_override,
+    non_local_override,
+    repeated_attribute_insertion,
+    repeated_modification,
+)
+from repro.pul.ops import (
+    Delete,
+    InsertAfter,
+    InsertAttributes,
+    InsertBefore,
+    InsertInto,
+    InsertIntoAsFirst,
+    InsertIntoAsLast,
+    Rename,
+    ReplaceChildren,
+    ReplaceNode,
+    ReplaceValue,
+)
+from repro.reasoning import DocumentOracle
+from repro.xdm import parse_document
+from repro.xdm.node import Node
+from repro.xdm.parser import parse_forest
+
+
+class TestPairwiseRelations:
+    def test_repeated_modification(self):
+        assert repeated_modification(Rename(1, "a"), Rename(1, "b"))
+        assert repeated_modification(ReplaceValue(1, "a"),
+                                     ReplaceValue(1, "b"))
+        assert not repeated_modification(Rename(1, "a"),
+                                         ReplaceValue(1, "b"))
+        assert not repeated_modification(Rename(1, "a"), Rename(2, "b"))
+        assert not repeated_modification(Delete(1), Delete(1))
+
+    def test_repeated_attribute_insertion_requires_shared_name(self):
+        a = InsertAttributes(1, [Node.attribute("k", "1")])
+        b = InsertAttributes(1, [Node.attribute("k", "2")])
+        c = InsertAttributes(1, [Node.attribute("other", "3")])
+        assert repeated_attribute_insertion(a, b)
+        assert not repeated_attribute_insertion(a, c)
+
+    def test_insertion_order_kinds(self):
+        for cls in (InsertBefore, InsertAfter, InsertIntoAsFirst,
+                    InsertIntoAsLast):
+            assert insertion_order(cls(1, parse_forest("<a/>")),
+                                   cls(1, parse_forest("<b/>")))
+        assert not insertion_order(InsertInto(1, parse_forest("<a/>")),
+                                   InsertInto(1, parse_forest("<b/>")))
+        assert not insertion_order(
+            InsertBefore(1, parse_forest("<a/>")),
+            InsertAfter(1, parse_forest("<b/>")))
+
+    def test_local_override(self):
+        assert local_override(Delete(1), Rename(1, "x"))
+        assert local_override(ReplaceNode(1, []), InsertInto(
+            1, parse_forest("<a/>")))
+        assert not local_override(Delete(1), Delete(1))
+        assert not local_override(Delete(1), InsertBefore(
+            1, parse_forest("<a/>")))
+        assert local_override(ReplaceChildren(1, "t"),
+                              InsertIntoAsLast(1, parse_forest("<a/>")))
+        assert not local_override(ReplaceChildren(1, "t"),
+                                  InsertAttributes(
+                                      1, [Node.attribute("k", "v")]))
+
+    def test_non_local_override(self, small_doc):
+        oracle = DocumentOracle(small_doc)
+        assert non_local_override(Delete(0), Rename(2, "x"), oracle)
+        assert not non_local_override(Delete(0), Delete(2), oracle)
+        assert not non_local_override(Rename(0, "x"), Rename(2, "y"),
+                                      oracle)
+        # repC does not reach the target's own attributes
+        assert not non_local_override(ReplaceChildren(0, "t"),
+                                      ReplaceValue(1, "w"), oracle)
+        assert non_local_override(ReplaceChildren(0, "t"),
+                                  ReplaceValue(3, "w"), oracle)
+
+
+class TestConflictModel:
+    def _tagged(self, op, pul=0):
+        return TaggedOp(op, pul)
+
+    def test_symmetric_needs_two(self):
+        with pytest.raises(ValueError):
+            Conflict(ConflictType.REPEATED_MODIFICATION,
+                     [self._tagged(Rename(1, "a"))])
+
+    def test_symmetric_refuses_overrider(self):
+        with pytest.raises(ValueError):
+            Conflict(ConflictType.INSERTION_ORDER,
+                     [self._tagged(Rename(1, "a")),
+                      self._tagged(Rename(1, "b"), 1)],
+                     overrider=self._tagged(Delete(1), 2))
+
+    def test_asymmetric_needs_overrider(self):
+        with pytest.raises(ValueError):
+            Conflict(ConflictType.LOCAL_OVERRIDE,
+                     [self._tagged(Rename(1, "a"))])
+
+    def test_focus(self):
+        symmetric = Conflict(
+            ConflictType.REPEATED_MODIFICATION,
+            [self._tagged(Rename(4, "a")), self._tagged(Rename(4, "b"), 1)])
+        assert symmetric.focus() == 4
+        asymmetric = Conflict(
+            ConflictType.NON_LOCAL_OVERRIDE,
+            [self._tagged(Rename(4, "a"))],
+            overrider=self._tagged(Delete(2), 1))
+        assert asymmetric.focus() == 2
+
+    def test_all_tagged(self):
+        conflict = Conflict(
+            ConflictType.LOCAL_OVERRIDE,
+            [self._tagged(Rename(1, "a"))],
+            overrider=self._tagged(Delete(1), 1))
+        assert len(conflict.all_tagged()) == 2
+
+    def test_symmetry_property(self):
+        assert ConflictType.REPEATED_MODIFICATION.symmetric
+        assert ConflictType.REPEATED_ATTRIBUTE_INSERTION.symmetric
+        assert ConflictType.INSERTION_ORDER.symmetric
+        assert not ConflictType.LOCAL_OVERRIDE.symmetric
+        assert not ConflictType.NON_LOCAL_OVERRIDE.symmetric

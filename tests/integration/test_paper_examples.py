@@ -1,0 +1,101 @@
+"""The paper's Examples 6 and 9, end to end."""
+
+import pytest
+
+from repro.errors import ReconciliationError
+from repro.integration import ProducerPolicy, integrate, reconcile
+from repro.pul.ops import (
+    InsertAfter,
+    InsertAttributes,
+    InsertBefore,
+    Rename,
+    ReplaceChildren,
+    ReplaceNode,
+    ReplaceValue,
+)
+from repro.pul.pul import PUL, merge
+from repro.reasoning import DocumentOracle
+from repro.reduction import reduce_deterministic
+from repro.xdm import parse_document
+from repro.xdm.node import Node
+from repro.xdm.parser import parse_forest
+
+DOC = ("<r><author>AA</author><person><name>BB</name></person>"
+       "<page>33</page></r>")
+# r=0 author=1 'AA'=2 person=3 name=4 'BB'=5 page=6 '33'=7
+
+
+@pytest.fixture
+def doc():
+    return parse_document(DOC)
+
+
+@pytest.fixture
+def oracle(doc):
+    return DocumentOracle(doc)
+
+
+class TestExample6:
+    def test_conflict_free_integration_reduces_like_the_paper(self, doc,
+                                                              oracle):
+        d1 = PUL([InsertAttributes(1, [Node.attribute(
+                      "initPage", "132")]),
+                  ReplaceValue(2, "MM"),
+                  ReplaceNode(3, parse_forest("<authors/>"))], origin="a")
+        d2 = PUL([InsertAttributes(1, [Node.attribute(
+                      "lastPage", "134")]),
+                  Rename(6, "title")], origin="b")
+        result = integrate([d1, d2], structure=oracle)
+        assert not result.has_conflicts
+        assert result.pul == merge(d1, d2)
+        reduced = reduce_deterministic(result.pul, oracle)
+        # the two insA on node 1 collapse (rule I5)
+        ins_attrs = [op for op in reduced
+                     if op.op_name == "insertAttributes"]
+        assert len(ins_attrs) == 1
+        assert len(ins_attrs[0].trees) == 2
+
+
+class TestExample9:
+    def _puls(self):
+        op11 = InsertAttributes(3, [Node.attribute("email", "c@disi")])
+        op21 = InsertAfter(1, parse_forest("<author>G G</author>"))
+        op31 = ReplaceValue(7, "34")
+        d1 = PUL([op11, op21, op31], origin="p1")
+        op12 = InsertAttributes(3, [Node.attribute("email", "c@gmail")])
+        op22 = InsertAfter(1, parse_forest("<author>A C</author>"))
+        op32 = ReplaceValue(7, "35")
+        op42 = ReplaceValue(5, "F C")
+        op52 = InsertBefore(3, parse_forest("<author>F C</author>"))
+        d2 = PUL([op12, op22, op32, op42, op52], origin="p2")
+        op13 = ReplaceChildren(3, "G G")
+        d3 = PUL([op13], origin="p3")
+        keep = dict(op11=op11, op31=op31, op52=op52, op13=op13,
+                    op12=op12, op32=op32, op42=op42)
+        return d1, d2, d3, keep
+
+    def test_resolution_matches_the_paper(self, doc, oracle):
+        d1, d2, d3, ops = self._puls()
+        policies = {
+            "p1": ProducerPolicy(preserve_insertion_order=True,
+                                 preserve_inserted_data=True),
+            "p3": ProducerPolicy(preserve_inserted_data=True),
+        }
+        result = reconcile([d1, d2, d3], policies=policies,
+                           structure=oracle)
+        # expected: {ins→(1, [G G, A C]), op11, op31, op13, op52}
+        assert len(result) == 5
+        merged = next(op for op in result if op.op_name == "insertAfter")
+        assert merged.param_key() == \
+            "<author>G G</author><author>A C</author>"
+        for name in ("op11", "op31", "op13", "op52"):
+            assert ops[name] in result
+        for name in ("op12", "op32", "op42"):
+            assert ops[name] not in result
+
+    def test_all_demand_order_fails(self, doc, oracle):
+        d1, d2, d3, __ = self._puls()
+        policies = {name: ProducerPolicy(preserve_insertion_order=True)
+                    for name in ("p1", "p2", "p3")}
+        with pytest.raises(ReconciliationError):
+            reconcile([d1, d2, d3], policies=policies, structure=oracle)

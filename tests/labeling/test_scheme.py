@@ -1,0 +1,170 @@
+"""Tests for label construction and update-tolerant maintenance."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.labeling import CDQSEncoder, ContainmentLabeling
+from repro.labeling import predicates as P
+from repro.xdm import parse_document
+from repro.xdm.navigation import (
+    depth,
+    is_ancestor,
+    is_attribute_of,
+    is_first_child,
+    is_last_child,
+    is_left_sibling,
+    is_parent,
+    precedes,
+)
+from repro.xdm.node import Node
+
+from tests.strategies import documents
+
+
+def assert_labels_match_tree(document, labeling):
+    """Every Table 1 predicate computed on labels must agree with the
+    navigational ground truth."""
+    nodes = list(document.nodes())
+    for node in nodes:
+        label = labeling.label_of(node.node_id)
+        assert label.node_type is node.node_type
+        assert label.level == depth(node)
+        parent = node.parent
+        assert label.parent_id == (parent.node_id if parent else None)
+    for one in nodes:
+        l1 = labeling.label_of(one.node_id)
+        for two in nodes:
+            if one is two:
+                continue
+            l2 = labeling.label_of(two.node_id)
+            assert P.is_descendant(l1, l2) == is_ancestor(two, one)
+            assert P.is_child(l1, l2) == is_parent(two, one)
+            assert P.is_attribute_of(l1, l2) == is_attribute_of(one, two)
+            assert P.is_left_sibling(l1, l2) == is_left_sibling(one, two)
+            assert P.is_first_child(l1, l2) == (
+                is_parent(two, one) and is_first_child(one))
+            assert P.is_last_child(l1, l2) == (
+                is_parent(two, one) and is_last_child(one))
+            assert P.precedes(l1, l2) == precedes(one, two)
+            assert P.is_nonattribute_descendant(l1, l2) == (
+                is_ancestor(two, one) and not is_attribute_of(one, two))
+
+
+class TestBuild:
+    def test_figure1_predicates(self, figure1):
+        labeling = ContainmentLabeling().build(figure1)
+        assert_labels_match_tree(figure1, labeling)
+
+    def test_cdqs_encoder(self, figure1):
+        labeling = ContainmentLabeling(encoder=CDQSEncoder()).build(figure1)
+        assert_labels_match_tree(figure1, labeling)
+
+    def test_empty_document(self):
+        from repro.xdm.document import Document
+        labeling = ContainmentLabeling().build(Document())
+        assert len(labeling) == 0
+
+    def test_lookup_api(self, small_doc):
+        labeling = ContainmentLabeling().build(small_doc)
+        assert 0 in labeling
+        assert labeling.find(999) is None
+        from repro.errors import LabelingError
+        with pytest.raises(LabelingError):
+            labeling.label_of(999)
+
+    @settings(max_examples=30, deadline=None)
+    @given(documents())
+    def test_random_documents(self, document):
+        labeling = ContainmentLabeling().build(document)
+        assert_labels_match_tree(document, labeling)
+
+
+class TestSync:
+    def test_existing_codes_never_change(self, small_doc):
+        labeling = ContainmentLabeling().build(small_doc)
+        before = {nid: (lab.start, lab.end)
+                  for nid, lab in labeling.as_mapping().items()}
+        parent = small_doc.get(0)
+        for position in (0, 2, len(parent.children)):
+            tree = Node.element("ins{}".format(position))
+            parent.insert_child(min(position, len(parent.children)), tree)
+            small_doc.register_tree(tree)
+        labeling.sync(small_doc)
+        for node_id, codes in before.items():
+            label = labeling.label_of(node_id)
+            assert (label.start, label.end) == codes
+
+    def test_new_nodes_labeled_consistently(self, small_doc):
+        labeling = ContainmentLabeling().build(small_doc)
+        parent = small_doc.get(4)  # <c/>
+        tree = Node.element("kid")
+        tree.append_child(Node.text("payload"))
+        parent.append_child(tree)
+        small_doc.register_tree(tree)
+        labeling.sync(small_doc)
+        assert_labels_match_tree(small_doc, labeling)
+
+    def test_removed_nodes_forgotten(self, small_doc):
+        labeling = ContainmentLabeling().build(small_doc)
+        victim = small_doc.get(2)
+        small_doc.detach_node(victim)
+        labeling.sync(small_doc)
+        assert 2 not in labeling
+        assert_labels_match_tree(small_doc, labeling)
+
+    def test_sibling_pointers_updated(self, small_doc):
+        labeling = ContainmentLabeling().build(small_doc)
+        parent = small_doc.get(0)
+        middle = Node.element("mid")
+        parent.insert_child(1, middle)
+        small_doc.register_tree(middle)
+        labeling.sync(small_doc)
+        left = labeling.label_of(parent.children[0].node_id)
+        mid = labeling.label_of(middle.node_id)
+        right = labeling.label_of(parent.children[2].node_id)
+        assert left.right_sibling_id == middle.node_id
+        assert mid.left_sibling_id == parent.children[0].node_id
+        assert mid.right_sibling_id == parent.children[2].node_id
+        assert right.left_sibling_id == middle.node_id
+
+    @settings(max_examples=20, deadline=None)
+    @given(documents(), documents(max_depth=1))
+    def test_random_insertion_keeps_invariants(self, document, extra):
+        labeling = ContainmentLabeling().build(document)
+        before = {nid: (lab.start, lab.end)
+                  for nid, lab in labeling.as_mapping().items()}
+        host = document.root
+        graft = extra.root.deep_copy()
+        host.insert_child(len(host.children) // 2, graft)
+        document.register_tree(graft)
+        labeling.sync(document)
+        assert_labels_match_tree(document, labeling)
+        for node_id, codes in before.items():
+            label = labeling.label_of(node_id)
+            assert (label.start, label.end) == codes
+
+
+class TestAssignTree:
+    def test_assign_between_children(self, small_doc):
+        labeling = ContainmentLabeling().build(small_doc)
+        first = labeling.label_of(2)
+        second = labeling.label_of(4)
+        tree = Node.element("wedge", node_id=100)
+        labeling.assign_tree([tree], parent_id=0, parent_level=0,
+                             left_code=first.end, right_code=second.start)
+        wedge = labeling.label_of(100)
+        assert P.is_child(wedge, labeling.label_of(0))
+        assert P.precedes(first, wedge)
+        assert P.precedes(wedge, second)
+
+    def test_attached_tree_rejected(self, small_doc):
+        from repro.errors import LabelingError
+        labeling = ContainmentLabeling().build(small_doc)
+        with pytest.raises(LabelingError):
+            labeling.assign_tree([small_doc.get(2)], 0, 0, None, None)
+
+    def test_forget(self, small_doc):
+        labeling = ContainmentLabeling().build(small_doc)
+        labeling.forget(2)
+        assert 2 not in labeling
+        labeling.forget(2)  # idempotent

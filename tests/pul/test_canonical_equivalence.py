@@ -1,0 +1,61 @@
+"""The canonical-form equivalence check: soundness against the exact
+obtainable-set oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pul.equivalence import equivalent, equivalent_by_canonical
+from repro.pul.ops import InsertAfter, InsertIntoAsLast, Rename
+from repro.pul.pul import PUL
+from repro.pul.semantics import ObtainableLimitExceeded
+from repro.reasoning import DocumentOracle
+from repro.xdm.parser import parse_forest
+
+from tests.strategies import applicable_puls, documents
+
+
+class TestCanonicalEquivalence:
+    def test_shuffled_pul_is_canonically_equivalent(self, small_doc):
+        oracle = DocumentOracle(small_doc)
+        ops = [Rename(2, "x"),
+               InsertAfter(4, parse_forest("<p/>")),
+               InsertIntoAsLast(0, parse_forest("<q/>"))]
+        assert equivalent_by_canonical(PUL(ops), PUL(ops[::-1]), oracle)
+
+    def test_collapsible_variants_detected(self, small_doc):
+        oracle = DocumentOracle(small_doc)
+        split = PUL([InsertAfter(4, parse_forest("<p/>")),
+                     InsertAfter(4, parse_forest("<q/>"))])
+        merged = PUL([InsertAfter(4, parse_forest("<p/><q/>"))])
+        assert equivalent_by_canonical(split, merged, oracle)
+
+    def test_different_effects_not_equal(self, small_doc):
+        oracle = DocumentOracle(small_doc)
+        assert not equivalent_by_canonical(
+            PUL([Rename(2, "x")]), PUL([Rename(2, "y")]), oracle)
+
+    def test_incomplete_for_cross_shape_equivalence(self, figure1):
+        """Example 4's equivalent pair uses different primitives; the
+        syntactic check conservatively says False."""
+        from repro.pul.ops import ReplaceChildren, ReplaceValue
+        oracle = DocumentOracle(figure1)
+        pul1 = PUL([ReplaceValue(20, "R")])
+        pul2 = PUL([ReplaceChildren(19, "R")])
+        assert equivalent(pul1, pul2, figure1)
+        assert not equivalent_by_canonical(pul1, pul2, oracle)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_soundness_against_exact_oracle(data):
+    """Canonically-equal PULs always have equal obtainable sets."""
+    document = data.draw(documents(max_depth=2, max_children=2))
+    oracle = DocumentOracle(document)
+    pul1 = data.draw(applicable_puls(document, max_ops=4))
+    pul2 = data.draw(applicable_puls(document, max_ops=4))
+    if not equivalent_by_canonical(pul1, pul2, oracle):
+        return
+    try:
+        assert equivalent(pul1, pul2, document, limit=3000)
+    except ObtainableLimitExceeded:
+        pass

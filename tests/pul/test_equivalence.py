@@ -1,0 +1,81 @@
+"""Tests for PUL equivalence and substitutability (Definition 6)."""
+
+from repro.pul.equivalence import (
+    equivalent,
+    obtainable_strings,
+    sequential_obtainable_strings,
+    substitutable,
+)
+from repro.pul.ops import (
+    InsertAfter,
+    InsertIntoAsLast,
+    ReplaceChildren,
+    ReplaceValue,
+)
+from repro.pul.pul import PUL
+from repro.xdm import parse_document
+from repro.xdm.parser import parse_forest
+
+
+class TestExample4:
+    """The paper's Example 4, on the Figure 1 document."""
+
+    def test_equivalence(self, figure1):
+        # ins→ after the last author (25) ~ ins↘ into authors (21);
+        # repV on the title text (20) ~ repC on the title element (19)
+        pul1 = PUL([InsertAfter(25, parse_forest(
+                        "<author>M.Mesiti</author>")),
+                    ReplaceValue(20, "Report on ...")])
+        pul2 = PUL([InsertIntoAsLast(21, parse_forest(
+                        "<author>M.Mesiti</author>")),
+                    ReplaceChildren(19, "Report on ...")])
+        assert equivalent(pul1, pul2, figure1)
+
+    def test_substitutability(self, figure1):
+        pul1 = PUL([
+            InsertIntoAsLast(7, parse_forest("<initP>132</initP>")),
+            InsertIntoAsLast(7, parse_forest("<lastP>134</lastP>")),
+        ])
+        pul2 = PUL([
+            InsertIntoAsLast(
+                7, parse_forest("<initP>132</initP><lastP>134</lastP>")),
+        ])
+        assert substitutable(pul2, pul1, figure1)
+        assert not substitutable(pul1, pul2, figure1)
+        assert not equivalent(pul1, pul2, figure1)
+
+
+class TestRelationsAreOrdersModuloEquivalence:
+    def test_equivalence_is_reflexive(self, small_doc):
+        pul = PUL([ReplaceValue(3, "x")])
+        assert equivalent(pul, pul, small_doc)
+
+    def test_substitutability_is_reflexive(self, small_doc):
+        pul = PUL([ReplaceValue(3, "x")])
+        assert substitutable(pul, pul, small_doc)
+
+    def test_empty_puls_equivalent(self, small_doc):
+        assert equivalent(PUL(), PUL(), small_doc)
+
+    def test_identity_matters_with_ids(self, small_doc):
+        # replacing a text node with an equal-valued new one is value-equal
+        # but not identity-equal
+        from repro.pul.ops import Delete, ReplaceNode
+        from repro.xdm.node import Node
+        pul1 = PUL([ReplaceValue(3, "hi")])   # keeps node 3
+        pul2 = PUL([ReplaceNode(3, [Node.text("hi")])])  # fresh node
+        assert equivalent(pul1, pul2, small_doc)
+        assert not equivalent(pul1, pul2, small_doc, with_ids=True)
+
+
+class TestSequential:
+    def test_sequence_composition(self, small_doc):
+        first = PUL([ReplaceValue(3, "one")])
+        second = PUL([ReplaceValue(3, "two")])
+        keys = sequential_obtainable_strings(small_doc, [first, second])
+        only = obtainable_strings(small_doc, second)
+        assert keys == only
+
+    def test_empty_sequence(self, small_doc):
+        keys = sequential_obtainable_strings(small_doc, [])
+        assert len(keys) == 1

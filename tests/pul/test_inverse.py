@@ -1,0 +1,170 @@
+"""Tests for PUL inversion (the Section 6 future-work extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotApplicableError
+from repro.pul.inverse import invert_pul
+from repro.pul.ops import (
+    Delete,
+    InsertAfter,
+    InsertAttributes,
+    InsertBefore,
+    InsertInto,
+    InsertIntoAsFirst,
+    InsertIntoAsLast,
+    Rename,
+    ReplaceChildren,
+    ReplaceNode,
+    ReplaceValue,
+)
+from repro.pul.pul import PUL
+from repro.pul.semantics import apply_pul
+from repro.xdm import parse_document, serialize
+from repro.xdm.compare import canonical_string
+from repro.xdm.node import Node
+from repro.xdm.parser import parse_forest
+
+from tests.strategies import applicable_puls, documents
+
+
+def roundtrip(xml, ops):
+    """Apply forward then inverse; assert the document is restored with
+    original-node identity preserved; return the intermediate state."""
+    document = parse_document(xml)
+    before = canonical_string(document.root, with_ids=True)
+    forward, inverse = invert_pul(PUL(ops), document)
+    apply_pul(document, forward, preserve_ids=True)
+    intermediate = serialize(document) if document.root else ""
+    apply_pul(document, inverse, preserve_ids=True)
+    assert canonical_string(document.root, with_ids=True) == before
+    return intermediate
+
+
+class TestPerOperation:
+    def test_insert_variants(self):
+        xml = "<a><b>x</b><c/></a>"
+        intermediate = roundtrip(xml, [
+            InsertBefore(1, parse_forest("<p/>")),
+            InsertAfter(1, parse_forest("<q/>")),
+            InsertIntoAsFirst(0, parse_forest("<f/>")),
+            InsertIntoAsLast(0, parse_forest("<l/>")),
+            InsertInto(3, parse_forest("<i/>")),
+        ])
+        for marker in ("<p/>", "<q/>", "<f/>", "<l/>", "<i/>"):
+            assert marker in intermediate
+
+    def test_insert_attributes(self):
+        roundtrip("<a k='v'/>", [
+            InsertAttributes(0, [Node.attribute("k2", "w")])])
+
+    def test_delete_element(self):
+        intermediate = roundtrip("<a><b/><c/><d/></a>", [Delete(2)])
+        assert "<c/>" not in intermediate
+
+    def test_delete_first_child(self):
+        roundtrip("<a><b/><c/></a>", [Delete(1)])
+
+    def test_delete_text(self):
+        roundtrip("<a>x<b/>y</a>", [Delete(1), Delete(3)])
+
+    def test_delete_attribute(self):
+        roundtrip("<a k='v' m='n'/>", [Delete(1)])
+
+    def test_delete_adjacent_run_order_restored(self):
+        roundtrip("<a><b/><c/><d/><e/></a>", [Delete(2), Delete(3)])
+
+    def test_delete_all_children(self):
+        roundtrip("<a><b/><c/></a>", [Delete(1), Delete(2)])
+
+    def test_replace_node(self):
+        intermediate = roundtrip(
+            "<a><b>x</b></a>",
+            [ReplaceNode(1, parse_forest("<n1/><n2/>"))])
+        assert "<n1/><n2/>" in intermediate
+
+    def test_replace_node_empty_is_deletion(self):
+        roundtrip("<a><b/><c/></a>", [ReplaceNode(1, [])])
+
+    def test_replace_attribute(self):
+        roundtrip("<a k='v'/>", [ReplaceNode(1, [Node.attribute(
+            "k2", "w")])])
+
+    def test_replace_value(self):
+        roundtrip("<a k='v'>txt</a>", [ReplaceValue(1, "w"),
+                                       ReplaceValue(2, "changed")])
+
+    def test_replace_children(self):
+        intermediate = roundtrip("<a><b/>x<c/></a>",
+                                 [ReplaceChildren(0, "flat")])
+        assert ">flat<" in intermediate
+
+    def test_rename(self):
+        roundtrip("<a k='v'><b/></a>", [Rename(0, "r"), Rename(1, "k2")])
+
+
+class TestInteractions:
+    def test_nested_delete_handled_by_reduction(self):
+        roundtrip("<a><b><c/></b><d/></a>", [Delete(2), Delete(1)])
+
+    def test_override_inside_replaced_subtree(self):
+        roundtrip("<a><b><c/></b></a>",
+                  [Rename(2, "dead"),
+                   ReplaceNode(1, parse_forest("<z/>"))])
+
+    def test_delete_next_to_replacement(self):
+        roundtrip("<a><b/><c/></a>",
+                  [ReplaceNode(1, parse_forest("<z/>")), Delete(2)])
+
+    def test_insert_then_delete_anchor(self):
+        roundtrip("<a><b/><c/></a>",
+                  [InsertAfter(1, parse_forest("<j/>")), Delete(1)])
+
+    def test_mixed_everything(self):
+        roundtrip(
+            "<a k='1'><b>x</b><c><d/></c>tail</a>",
+            [Rename(0, "root"),
+             ReplaceValue(1, "2"),
+             Delete(4),
+             InsertIntoAsLast(0, parse_forest("<new>n</new>")),
+             ReplaceChildren(5, "inner")])
+
+    def test_root_delete_not_invertible(self):
+        document = parse_document("<a/>")
+        with pytest.raises(NotApplicableError):
+            invert_pul(PUL([Delete(0)]), document)
+
+    def test_inapplicable_pul_rejected(self):
+        document = parse_document("<a/>")
+        with pytest.raises(NotApplicableError):
+            invert_pul(PUL([Delete(99)]), document)
+
+    def test_forward_is_reduced_and_pinned(self):
+        document = parse_document("<a><b/></a>")
+        pul = PUL([Rename(1, "dead"), Delete(1),
+                   InsertIntoAsLast(0, parse_forest("<n/>"))])
+        forward, __ = invert_pul(pul, document)
+        assert len(forward) == 2  # the rename was overridden
+        insert = next(op for op in forward
+                      if op.op_name == "insertIntoAsLast")
+        assert all(node.node_id is not None
+                   for tree in insert.trees
+                   for node in tree.iter_subtree())
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_random_puls_roundtrip(data):
+    document = data.draw(documents(max_depth=2, max_children=3))
+    pul = data.draw(applicable_puls(document, max_ops=5))
+    if any(op.op_name == "delete" and op.target == 0 for op in pul):
+        return
+    before = canonical_string(document.root, with_ids=True)
+    try:
+        forward, inverse = invert_pul(pul, document)
+        apply_pul(document, forward, preserve_ids=True)
+    except NotApplicableError:
+        return  # e.g. duplicate attribute insertion
+    apply_pul(document, inverse, preserve_ids=True)
+    assert canonical_string(document.root, with_ids=True) == before

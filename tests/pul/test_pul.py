@@ -1,0 +1,132 @@
+"""Unit tests for the PUL container (Definitions 3-5)."""
+
+import pytest
+
+from repro.errors import (
+    IncompatibleOperationsError,
+    MergeError,
+    NotApplicableError,
+)
+from repro.pul.ops import (
+    Delete,
+    InsertAfter,
+    Rename,
+    ReplaceNode,
+    ReplaceValue,
+)
+from repro.pul.pul import PUL, merge
+from repro.xdm.parser import parse_forest
+
+
+class TestContainer:
+    def test_iteration_and_len(self):
+        pul = PUL([Delete(1), Rename(2, "x")])
+        assert len(pul) == 2
+        assert [op.op_name for op in pul] == ["delete", "rename"]
+
+    def test_only_operations_allowed(self):
+        with pytest.raises(TypeError):
+            PUL(["not an op"])
+
+    def test_targets(self):
+        pul = PUL([Delete(1), Rename(2, "x"), Delete(1)])
+        assert pul.targets() == {1, 2}
+
+    def test_equality_is_order_insensitive(self):
+        a = PUL([Delete(1), Rename(2, "x")])
+        b = PUL([Rename(2, "x"), Delete(1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_equality_is_multiset(self):
+        a = PUL([Delete(1), Delete(1)])
+        b = PUL([Delete(1)])
+        assert a != b
+
+    def test_copy_deep(self):
+        a = PUL([InsertAfter(1, parse_forest("<x/>"))], origin="p")
+        b = a.copy()
+        assert a == b
+        assert b.origin == "p"
+        b[0].trees[0].name = "mutated"
+        assert a != b
+
+
+class TestCompatibility:
+    def test_incompatible_renames(self):
+        pul = PUL([Rename(1, "a"), Rename(1, "b")])
+        with pytest.raises(IncompatibleOperationsError):
+            pul.check_compatible()
+
+    def test_compatible_mixed(self):
+        pul = PUL([Rename(1, "a"), ReplaceValue(2, "v"), Delete(1)])
+        pul.check_compatible()
+
+    def test_incompatible_pairs_listed(self):
+        pul = PUL([ReplaceValue(1, "a"), ReplaceValue(1, "b"),
+                   Rename(2, "x")])
+        pairs = list(pul.incompatible_pairs())
+        assert len(pairs) == 1
+
+    def test_duplicate_deletes_are_compatible(self):
+        PUL([Delete(1), Delete(1)]).check_compatible()
+
+
+class TestApplicability:
+    def test_applicable(self, small_doc):
+        pul = PUL([Delete(2), Rename(4, "z")])
+        assert pul.is_applicable(small_doc)
+
+    def test_unknown_target_reported(self, small_doc):
+        pul = PUL([Delete(999)])
+        errors = pul.applicability_errors(small_doc)
+        assert len(errors) == 1
+        with pytest.raises(NotApplicableError):
+            pul.require_applicable(small_doc)
+
+    def test_incompatibility_reported(self, small_doc):
+        pul = PUL([Rename(4, "a"), Rename(4, "b")])
+        assert any("incompatible" in e
+                   for e in pul.applicability_errors(small_doc))
+
+
+class TestNormalization:
+    def test_empty_repn_becomes_delete(self):
+        pul = PUL([ReplaceNode(3, []), ReplaceNode(4, parse_forest("<x/>"))])
+        normalized = pul.normalized()
+        names = sorted(op.op_name for op in normalized)
+        assert names == ["delete", "replaceNode"]
+
+    def test_normalize_preserves_labels_and_origin(self):
+        pul = PUL([ReplaceNode(3, [])], labels={3: "L"}, origin="p")
+        normalized = pul.normalized()
+        assert normalized.labels == {3: "L"}
+        assert normalized.origin == "p"
+
+
+class TestMerge:
+    def test_merge_unions_operations(self):
+        a = PUL([Delete(1)], labels={1: "la"})
+        b = PUL([Rename(2, "x")], labels={2: "lb"})
+        merged = merge(a, b)
+        assert len(merged) == 2
+        assert set(merged.labels) == {1, 2}
+
+    def test_merge_rejects_incompatible(self):
+        a = PUL([Rename(1, "x")])
+        b = PUL([Rename(1, "y")])
+        with pytest.raises(MergeError):
+            merge(a, b)
+
+    def test_merge_with_document_checks_applicability(self, small_doc):
+        a = PUL([Delete(999)])
+        with pytest.raises(MergeError):
+            merge(a, PUL(), document=small_doc)
+
+    def test_merge_of_same_rename_fails_per_w3c(self):
+        # two renames of the same node are incompatible regardless of the
+        # new name (Definition 3 compares no parameters)
+        a = PUL([Rename(1, "x")])
+        b = PUL([Rename(1, "x")])
+        with pytest.raises(MergeError):
+            merge(a, b)

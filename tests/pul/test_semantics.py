@@ -1,0 +1,260 @@
+"""Tests for the five-stage application semantics and obtainable sets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotApplicableError
+from repro.pul.ops import (
+    Delete,
+    InsertAfter,
+    InsertAttributes,
+    InsertBefore,
+    InsertInto,
+    InsertIntoAsFirst,
+    InsertIntoAsLast,
+    Rename,
+    ReplaceChildren,
+    ReplaceNode,
+    ReplaceValue,
+)
+from repro.pul.pul import PUL
+from repro.pul.semantics import (
+    apply_operation,
+    apply_pul,
+    apply_to_forest,
+    obtainable_set,
+    ObtainableLimitExceeded,
+)
+from repro.xdm import parse_document, serialize
+from repro.xdm.compare import canonical_string
+from repro.xdm.node import Node
+from repro.xdm.parser import parse_forest
+
+from tests.strategies import applicable_puls, documents
+
+
+def outcome(xml, pul_ops):
+    document = parse_document(xml)
+    apply_pul(document, PUL(pul_ops))
+    return serialize(document) if document.root is not None else ""
+
+
+class TestSingleOperations:
+    def test_insert_before_after(self):
+        assert outcome("<a><b/></a>",
+                       [InsertBefore(1, parse_forest("<p/>")),
+                        InsertAfter(1, parse_forest("<q/>"))]) == \
+            "<a><p/><b/><q/></a>"
+
+    def test_insert_first_last(self):
+        assert outcome("<a><b/></a>",
+                       [InsertIntoAsFirst(0, parse_forest("<p/>")),
+                        InsertIntoAsLast(0, parse_forest("<q/>"))]) == \
+            "<a><p/><b/><q/></a>"
+
+    def test_insert_into_deterministic_as_first(self):
+        assert outcome("<a><b/></a>",
+                       [InsertInto(0, parse_forest("<p/>"))]) == \
+            "<a><p/><b/></a>"
+
+    def test_insert_attributes(self):
+        assert outcome("<a/>",
+                       [InsertAttributes(0, [Node.attribute("k", "v")])]) \
+            == '<a k="v"/>'
+
+    def test_delete(self):
+        assert outcome("<a><b/><c/></a>", [Delete(1)]) == "<a><c/></a>"
+
+    def test_delete_attribute(self):
+        assert outcome("<a k='v'><b/></a>", [Delete(1)]) == "<a><b/></a>"
+
+    def test_delete_root_empties_document(self):
+        assert outcome("<a><b/></a>", [Delete(0)]) == ""
+
+    def test_replace_node(self):
+        assert outcome("<a><b/></a>",
+                       [ReplaceNode(1, parse_forest("<x/><y/>"))]) == \
+            "<a><x/><y/></a>"
+
+    def test_replace_node_with_nothing(self):
+        assert outcome("<a><b/><c/></a>", [ReplaceNode(1, [])]) == \
+            "<a><c/></a>"
+
+    def test_replace_attribute_node(self):
+        assert outcome("<a k='v'/>",
+                       [ReplaceNode(1, [Node.attribute("k2", "w")])]) == \
+            '<a k2="w"/>'
+
+    def test_replace_value_text(self):
+        assert outcome("<a>x</a>", [ReplaceValue(1, "y")]) == "<a>y</a>"
+
+    def test_replace_value_attribute(self):
+        assert outcome("<a k='v'/>", [ReplaceValue(1, "w")]) == '<a k="w"/>'
+
+    def test_replace_children_keeps_attributes(self):
+        assert outcome("<a k='v'><b/><c/></a>",
+                       [ReplaceChildren(0, "txt")]) == '<a k="v">txt</a>'
+
+    def test_replace_children_with_nothing(self):
+        assert outcome("<a><b/></a>", [ReplaceChildren(0, [])]) == "<a/>"
+
+    def test_rename_element_and_attribute(self):
+        assert outcome("<a k='v'><b/></a>",
+                       [Rename(0, "r"), Rename(1, "k2")]) == \
+            '<r k2="v"><b/></r>'
+
+    def test_apply_operation_single(self, small_doc):
+        apply_operation(small_doc, Rename(0, "root"))
+        assert small_doc.root.name == "root"
+
+
+class TestStagePrecedence:
+    def test_rename_overridden_by_replace(self):
+        # stage 1 rename happens, stage 3 replacement discards it
+        assert outcome("<a><b/></a>",
+                       [Rename(1, "dead"),
+                        ReplaceNode(1, parse_forest("<z/>"))]) == \
+            "<a><z/></a>"
+
+    def test_child_insert_overridden_by_repc(self):
+        assert outcome("<a><b/></a>",
+                       [InsertIntoAsLast(0, parse_forest("<x/>")),
+                        ReplaceChildren(0, "t")]) == "<a>t</a>"
+
+    def test_sibling_insert_survives_delete(self):
+        assert outcome("<a><b/></a>",
+                       [InsertBefore(1, parse_forest("<p/>")),
+                        InsertAfter(1, parse_forest("<q/>")),
+                        Delete(1)]) == "<a><p/><q/></a>"
+
+    def test_descendant_op_overridden_by_ancestor_delete(self):
+        assert outcome("<a><b><c/></b></a>",
+                       [Rename(2, "dead"), Delete(1)]) == "<a/>"
+
+    def test_insert_attributes_then_repc(self):
+        # repC wipes children but not the attributes inserted in stage 1
+        assert outcome("<a><b/></a>",
+                       [InsertAttributes(0, [Node.attribute("k", "v")]),
+                        ReplaceChildren(0, "t")]) == '<a k="v">t</a>'
+
+    def test_duplicate_attribute_dynamic_error(self):
+        document = parse_document("<a k='v'/>")
+        pul = PUL([InsertAttributes(0, [Node.attribute("k", "w")])])
+        with pytest.raises(NotApplicableError):
+            apply_pul(document, pul)
+
+    def test_multiple_same_anchor_inserts_pul_order(self):
+        assert outcome("<a><b/></a>",
+                       [InsertBefore(1, parse_forest("<p1/>")),
+                        InsertBefore(1, parse_forest("<p2/>"))]) == \
+            "<a><p1/><p2/><b/></a>"
+
+    def test_multiple_insert_after_reversed(self):
+        assert outcome("<a><b/></a>",
+                       [InsertAfter(1, parse_forest("<q1/>")),
+                        InsertAfter(1, parse_forest("<q2/>"))]) == \
+            "<a><b/><q2/><q1/></a>"
+
+
+class TestIdentifiers:
+    def test_new_ids_assigned_in_document_order(self):
+        document = parse_document("<a><b/></a>")  # ids 0, 1
+        pul = PUL([InsertBefore(1, parse_forest("<p/>")),
+                   InsertAfter(1, parse_forest("<q/>"))])
+        apply_pul(document, pul)
+        p, b, q = document.root.children
+        assert (p.node_id, q.node_id) == (2, 3)
+
+    def test_preserved_ids(self):
+        document = parse_document("<a><b/></a>")
+        tree = Node.element("p", node_id=77)
+        apply_pul(document, PUL([InsertAfter(1, [tree])]),
+                  preserve_ids=True)
+        assert document.get(77).name == "p"
+
+    def test_deleted_ids_not_reused(self):
+        document = parse_document("<a><b/><c/></a>")
+        apply_pul(document, PUL([Delete(1),
+                                 InsertIntoAsLast(0, parse_forest("<n/>"))]))
+        new = document.root.children[-1]
+        assert new.node_id == 3  # not the freed 1
+
+
+class TestForestApplication:
+    def test_apply_inside_fragment(self):
+        trees = parse_forest("<a><b>x</b></a>")
+        for index, node in enumerate(trees[0].iter_subtree()):
+            node.node_id = 100 + index
+        result = apply_to_forest(trees, [Rename(101, "bb")])
+        assert result[0].children[0].name == "bb"
+
+    def test_fragment_root_replacement(self):
+        trees = parse_forest("<a/>")
+        trees[0].node_id = 50
+        result = apply_to_forest(
+            trees, [ReplaceNode(50, parse_forest("<x/><y/>"))])
+        assert [t.name for t in result] == ["x", "y"]
+
+    def test_fragment_root_delete(self):
+        trees = parse_forest("<a/><b/>")
+        trees[0].node_id, trees[1].node_id = 60, 61
+        result = apply_to_forest(trees, [Delete(60)])
+        assert [t.name for t in result] == ["b"]
+
+    def test_unknown_fragment_target(self):
+        with pytest.raises(NotApplicableError):
+            apply_to_forest(parse_forest("<a/>"), [Delete(1)])
+
+
+class TestObtainableSets:
+    def test_paper_example1_deterministic_delete(self, figure1):
+        outcomes = obtainable_set(figure1, PUL([Delete(14)]))
+        assert len(outcomes) == 1
+
+    def test_paper_example1_insert_into(self, figure1):
+        # inserting one author into the two-author <authors> (node 21)
+        pul = PUL([InsertInto(21, parse_forest("<author>G.G.</author>"))])
+        assert len(obtainable_set(figure1, pul)) == 3
+
+    def test_paper_example3_cardinality(self, figure1):
+        pul = PUL([
+            InsertInto(21, parse_forest("<author>G.G.</author>")),
+            InsertIntoAsLast(7, parse_forest("<initP>132</initP>")),
+            InsertIntoAsLast(7, parse_forest("<lastP>134</lastP>")),
+        ])
+        assert len(obtainable_set(figure1, pul)) == 6
+
+    def test_deterministic_outcome_is_obtainable(self, figure1):
+        pul = PUL([
+            InsertInto(21, parse_forest("<author>G.G.</author>")),
+            InsertIntoAsLast(7, parse_forest("<initP>132</initP>")),
+        ])
+        outcomes = obtainable_set(figure1, pul)
+        applied = figure1.copy()
+        apply_pul(applied, pul)
+        assert canonical_string(applied.root) in outcomes
+
+    def test_limit_enforced(self, figure1):
+        ops = [InsertInto(0, parse_forest("<n{}/>".format(i)))
+               for i in range(6)]
+        with pytest.raises(ObtainableLimitExceeded):
+            obtainable_set(figure1, PUL(ops), limit=10)
+
+    def test_empty_pul_single_outcome(self, small_doc):
+        outcomes = obtainable_set(small_doc, PUL())
+        assert len(outcomes) == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_deterministic_apply_in_obtainable_set(self, data):
+        document = data.draw(documents(max_depth=2, max_children=2))
+        pul = data.draw(applicable_puls(document, max_ops=4))
+        try:
+            outcomes = obtainable_set(document, pul, limit=3000)
+        except ObtainableLimitExceeded:
+            return
+        applied = document.copy()
+        apply_pul(applied, pul)
+        key = canonical_string(applied.root) if applied.root else ""
+        assert key in outcomes

@@ -1,0 +1,116 @@
+"""Tests for the PUL exchange format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.labeling import ContainmentLabeling
+from repro.pul.ops import (
+    Delete,
+    InsertAfter,
+    InsertAttributes,
+    InsertIntoAsLast,
+    Rename,
+    ReplaceChildren,
+    ReplaceNode,
+    ReplaceValue,
+)
+from repro.pul.pul import PUL
+from repro.pul.serialize import pul_from_xml, pul_to_xml
+from repro.xdm.node import Node
+from repro.xdm.parser import parse_forest
+
+from tests.strategies import applicable_puls, documents
+
+
+def roundtrip(pul):
+    return pul_from_xml(pul_to_xml(pul))
+
+
+class TestRoundtrip:
+    def test_all_operation_kinds(self):
+        pul = PUL([
+            InsertAfter(3, parse_forest("<w>ww</w>")),
+            InsertIntoAsLast(2, parse_forest("x-text")),
+            InsertAttributes(0, [Node.attribute("k", "v")]),
+            Delete(1),
+            ReplaceNode(4, parse_forest("<z/>")),
+            ReplaceNode(5, []),
+            ReplaceValue(6, "new & <value>"),
+            ReplaceChildren(7, "content"),
+            ReplaceChildren(8, parse_forest("<g/>"), strict=False),
+            Rename(9, "renamed"),
+        ], origin="alice")
+        restored = roundtrip(pul)
+        assert restored == pul
+        assert restored.origin == "alice"
+
+    def test_labels_travel(self, small_doc):
+        labeling = ContainmentLabeling().build(small_doc)
+        pul = PUL([Delete(2)]).attach_labels(labeling)
+        restored = roundtrip(pul)
+        assert restored.labels[2] == labeling.label_of(2)
+
+    def test_generalized_repc_flag_preserved(self):
+        pul = PUL([ReplaceChildren(1, parse_forest("<a/><b/>"),
+                                   strict=False)])
+        restored = roundtrip(pul)
+        assert not restored[0].strict
+        assert len(restored[0].trees) == 2
+
+    def test_identified_parameter_nodes(self):
+        tree = parse_forest("<book><title>T</title></book>")[0]
+        for index, node in enumerate(tree.iter_subtree()):
+            node.node_id = 100 + index
+        pul = PUL([InsertAfter(3, [tree])])
+        restored = roundtrip(pul)
+        ids = [n.node_id for n in restored[0].trees[0].iter_subtree()]
+        assert ids == [100, 101, 102]
+
+    def test_identified_text_and_attribute_parameters(self):
+        text = Node.text("payload", node_id=200)
+        attr = Node.attribute("k", "v", node_id=201)
+        pul = PUL([InsertAfter(3, [text]),
+                   InsertAttributes(0, [attr])])
+        restored = roundtrip(pul)
+        assert restored[0].trees[0].node_id == 200
+        assert restored[1].trees[0].node_id == 201
+
+    def test_whitespace_only_text_parameter(self):
+        pul = PUL([InsertAfter(3, [Node.text("   ")])])
+        restored = roundtrip(pul)
+        assert restored[0].trees[0].value == "   "
+
+    def test_escaping_in_values(self):
+        pul = PUL([ReplaceValue(1, 'a"b<c>&d'), Rename(2, "n")])
+        assert roundtrip(pul) == pul
+
+    def test_mixed_content_parameter(self):
+        pul = PUL([InsertAfter(3, parse_forest("<a>x<b/>y</a>"))])
+        assert roundtrip(pul) == pul
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_random_puls(self, data):
+        document = data.draw(documents())
+        pul = data.draw(applicable_puls(document, stamp_ids=True))
+        assert roundtrip(pul) == pul
+
+
+class TestErrors:
+    def test_wrong_root(self):
+        with pytest.raises(SerializationError):
+            pul_from_xml("<nope/>")
+
+    def test_unknown_operation(self):
+        with pytest.raises(SerializationError):
+            pul_from_xml('<pul><op name="explode" target="1"/></pul>')
+
+    def test_missing_target(self):
+        with pytest.raises(SerializationError):
+            pul_from_xml('<pul><op name="delete"/></pul>')
+
+    def test_unexpected_element(self):
+        with pytest.raises(SerializationError):
+            pul_from_xml("<pul><operation/></pul>")

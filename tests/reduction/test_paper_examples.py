@@ -1,0 +1,124 @@
+"""Example 5 / Table 3 of the paper, replayed on a Figure 1 shaped
+document (our node ids; the roles match the paper's 4, 5, 7 and 16)."""
+
+import pytest
+
+from repro.pul.ops import (
+    InsertAfter,
+    InsertBefore,
+    InsertInto,
+    InsertIntoAsFirst,
+    InsertIntoAsLast,
+    Rename,
+    ReplaceNode,
+)
+from repro.pul.pul import PUL
+from repro.reasoning import DocumentOracle
+from repro.reduction import (
+    canonical_form,
+    reduce_deterministic,
+    reduce_pul,
+)
+from repro.xdm import parse_document
+from repro.xdm.parser import parse_forest
+
+#: article (plays node 4), title (plays 5, first child), authors (plays 7,
+#: last child), second authors element (plays 16)
+DOC = ("<r><article><title>T</title><authors><author>A</author></authors>"
+       "</article><article><authors><a1/><a2/></authors></article></r>")
+ARTICLE, TITLE, AUTHORS, AUTHORS2 = 1, 2, 4, 8
+
+
+@pytest.fixture
+def example5():
+    document = parse_document(DOC)
+    ops = [
+        InsertIntoAsFirst(ARTICLE, parse_forest("<year>2004</year>")),
+        InsertIntoAsLast(ARTICLE, parse_forest("<month>March</month>")),
+        Rename(TITLE, "title"),
+        InsertAfter(AUTHORS, parse_forest("<author>A.Chaudhri</author>")),
+        InsertBefore(TITLE, parse_forest(
+            "<title>Report on EDBT04 ...</title>")),
+        InsertAfter(AUTHORS, parse_forest("<author>G.Guerrini</author>")),
+        InsertAfter(AUTHORS, parse_forest("<author>F.Cavalieri</author>")),
+        ReplaceNode(TITLE, parse_forest("<author>M.Mesiti</author>")),
+        InsertInto(AUTHORS2, parse_forest("<author>P.Gardner</author>")),
+    ]
+    return document, PUL(ops), DocumentOracle(document)
+
+
+def by_name(pul):
+    return {op.op_name + str(op.target): op for op in pul}
+
+
+class TestExample5:
+    def test_reduction_shape(self, example5):
+        __, pul, oracle = example5
+        reduced = reduce_pul(pul, oracle)
+        assert len(reduced) == 3
+        ops = by_name(reduced)
+        rep_n = ops["replaceNode{}".format(TITLE)]
+        assert rep_n.param_key() == (
+            "<year>2004</year><title>Report on EDBT04 ...</title>"
+            "<author>M.Mesiti</author>")
+        ins_after = ops["insertAfter{}".format(AUTHORS)]
+        assert ins_after.param_key() == (
+            "<author>A.Chaudhri</author><author>G.Guerrini</author>"
+            "<author>F.Cavalieri</author><month>March</month>")
+        assert "insertInto{}".format(AUTHORS2) in ops
+
+    def test_reduction_is_not_deterministic(self, example5):
+        document, pul, oracle = example5
+        from repro.pul.equivalence import obtainable_strings
+        reduced = reduce_pul(pul, oracle)
+        assert len(obtainable_strings(document, reduced)) == 3
+
+    def test_deterministic_reduction(self, example5):
+        document, pul, oracle = example5
+        from repro.pul.equivalence import obtainable_strings
+        deterministic = reduce_deterministic(pul, oracle)
+        ops = by_name(deterministic)
+        assert "insertIntoAsFirst{}".format(AUTHORS2) in ops
+        assert len(obtainable_strings(document, deterministic)) == 1
+
+    def test_canonical_form_matches_table3(self, example5):
+        __, pul, oracle = example5
+        canonical = by_name(canonical_form(pul, oracle))
+        ins_after = canonical["insertAfter{}".format(AUTHORS)]
+        # canonical form reorders the collapsed inserts lexicographically
+        assert ins_after.param_key() == (
+            "<author>A.Chaudhri</author><author>F.Cavalieri</author>"
+            "<author>G.Guerrini</author><month>March</month>")
+
+    def test_substitutability_proposition1(self, example5):
+        document, pul, oracle = example5
+        from repro.pul.equivalence import obtainable_strings
+        full = obtainable_strings(document, pul)
+        for reducer in (reduce_pul, reduce_deterministic, canonical_form):
+            assert obtainable_strings(
+                document, reducer(pul, oracle)) <= full
+
+    def test_obtainable_cardinality_chain(self, example5):
+        document, pul, oracle = example5
+        from repro.pul.equivalence import obtainable_strings
+        sizes = [len(obtainable_strings(document, p)) for p in (
+            pul, reduce_pul(pul, oracle),
+            reduce_deterministic(pul, oracle),
+            canonical_form(pul, oracle))]
+        assert sizes[0] >= sizes[1] >= sizes[2] == sizes[3] == 1
+
+    def test_canonical_unique_under_shuffle(self, example5):
+        import random
+        __, pul, oracle = example5
+        reference = canonical_form(pul, oracle)
+        ops = pul.operations()
+        for seed in range(8):
+            shuffled = ops[:]
+            random.Random(seed).shuffle(shuffled)
+            assert canonical_form(PUL(shuffled), oracle) == reference
+
+    def test_idempotence(self, example5):
+        __, pul, oracle = example5
+        for reducer in (reduce_pul, reduce_deterministic, canonical_form):
+            once = reducer(pul, oracle)
+            assert reducer(once, oracle) == once

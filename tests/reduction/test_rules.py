@@ -1,0 +1,250 @@
+"""Per-rule tests of Figure 2.
+
+Each test builds the minimal document exhibiting the rule's structural
+side condition, checks that the rule produces the expected merged
+operation, and — where meaningful — that the merged operation is
+substitutable to the original pair (the semantic justification, via
+obtainable sets).
+"""
+
+import pytest
+
+from repro.pul.ops import (
+    Delete,
+    InsertAfter,
+    InsertAttributes,
+    InsertBefore,
+    InsertInto,
+    InsertIntoAsFirst,
+    InsertIntoAsLast,
+    Rename,
+    ReplaceChildren,
+    ReplaceNode,
+    ReplaceValue,
+)
+from repro.pul.pul import PUL
+from repro.pul.equivalence import obtainable_strings
+from repro.reasoning import DocumentOracle
+from repro.reduction.rules import REDUCTION_RULES
+from repro.xdm import parse_document
+from repro.xdm.node import Node
+from repro.xdm.parser import parse_forest
+
+RULES = {rule.rule_id: rule for rule in REDUCTION_RULES}
+
+#: <r><p><q/><s/></p></r> : r=0 p=1 q=2 s=3  (q first child, s last child)
+DOC = "<r><p><q/><s/></p></r>"
+
+
+@pytest.fixture
+def doc():
+    return parse_document(DOC)
+
+
+@pytest.fixture
+def oracle(doc):
+    return DocumentOracle(doc)
+
+
+def check_substitutable(doc, original_ops, reduced_ops):
+    reduced = obtainable_strings(doc, PUL(reduced_ops))
+    full = obtainable_strings(doc, PUL(original_ops))
+    assert reduced <= full
+
+
+class TestOverridingRules:
+    @pytest.mark.parametrize("victim", [
+        Rename(2, "x"), ReplaceValue(2, "v"), ReplaceChildren(2, "t"),
+        Delete(2), InsertIntoAsFirst(2, parse_forest("<n/>")),
+        InsertIntoAsLast(2, parse_forest("<n/>")),
+        InsertInto(2, parse_forest("<n/>")),
+        InsertAttributes(2, [Node.attribute("k", "v")]),
+    ])
+    def test_o1_same_target(self, oracle, victim):
+        killer = ReplaceNode(2, parse_forest("<z/>"))
+        assert RULES["O1"].match(victim, killer, oracle) is killer
+
+    def test_o1_not_for_sibling_inserts(self, oracle):
+        survivor = InsertBefore(2, parse_forest("<n/>"))
+        killer = Delete(2)
+        assert RULES["O1"].match(survivor, killer, oracle) is None
+
+    def test_o1_delete_overridden_by_repn(self, oracle):
+        deletion = Delete(2)
+        replacement = ReplaceNode(2, parse_forest("<z/>"))
+        assert RULES["O1"].match(deletion, replacement,
+                                 oracle) is replacement
+
+    def test_o2_child_inserts_under_repc(self, oracle):
+        victim = InsertIntoAsFirst(2, parse_forest("<n/>"))
+        killer = ReplaceChildren(2, "t")
+        assert RULES["O2"].match(victim, killer, oracle) is killer
+
+    def test_o2_not_for_insa(self, oracle):
+        from repro.xdm.node import Node
+        victim = InsertAttributes(2, [Node.attribute("k", "v")])
+        killer = ReplaceChildren(2, "t")
+        assert RULES["O2"].match(victim, killer, oracle) is None
+
+    def test_o3_descendant_killed(self, oracle):
+        victim = Rename(2, "x")
+        killer = Delete(1)
+        assert RULES["O3"].match(victim, killer, oracle) is killer
+
+    def test_o3_requires_strict_descent(self, oracle):
+        victim = Rename(2, "x")
+        killer = Delete(3)  # sibling, not ancestor
+        assert RULES["O3"].match(victim, killer, oracle) is None
+
+    def test_o4_repc_kills_descendants(self, oracle):
+        victim = Rename(2, "x")
+        killer = ReplaceChildren(1, "t")
+        assert RULES["O4"].match(victim, killer, oracle) is killer
+
+    def test_o4_spares_direct_attributes(self):
+        doc = parse_document("<r><p k='v'/></r>")  # r=0 p=1 @k=2
+        oracle = DocumentOracle(doc)
+        victim = ReplaceValue(2, "w")
+        killer = ReplaceChildren(1, "t")
+        assert RULES["O4"].match(victim, killer, oracle) is None
+
+
+class TestInsertCollapse:
+    def test_i5_same_variant(self, doc, oracle):
+        op1 = InsertAfter(2, parse_forest("<n1/>"))
+        op2 = InsertAfter(2, parse_forest("<n2/>"))
+        merged = RULES["I5"].match(op1, op2, oracle)
+        assert merged.param_key() == "<n1/><n2/>"
+        check_substitutable(doc, [op1, op2], [merged])
+
+    def test_i5_different_variants_do_not_match(self, oracle):
+        op1 = InsertAfter(2, parse_forest("<n1/>"))
+        op2 = InsertBefore(2, parse_forest("<n2/>"))
+        assert RULES["I5"].match(op1, op2, oracle) is None
+
+    def test_i6_into_then_first(self, doc, oracle):
+        op1 = InsertInto(1, parse_forest("<n1/>"))
+        op2 = InsertIntoAsFirst(1, parse_forest("<n2/>"))
+        merged = RULES["I6"].match(op1, op2, oracle)
+        assert merged.op_name == "insertIntoAsFirst"
+        assert merged.param_key() == "<n2/><n1/>"
+        check_substitutable(doc, [op1, op2], [merged])
+
+    def test_i7_into_then_last(self, doc, oracle):
+        op1 = InsertInto(1, parse_forest("<n1/>"))
+        op2 = InsertIntoAsLast(1, parse_forest("<n2/>"))
+        merged = RULES["I7"].match(op1, op2, oracle)
+        assert merged.op_name == "insertIntoAsLast"
+        assert merged.param_key() == "<n1/><n2/>"
+        check_substitutable(doc, [op1, op2], [merged])
+
+    def test_i10_into_merges_with_childs_before(self, doc, oracle):
+        op1 = InsertInto(1, parse_forest("<n1/>"))
+        op2 = InsertBefore(2, parse_forest("<n2/>"))
+        merged = RULES["I10"].match(op1, op2, oracle)
+        assert merged.op_name == "insertBefore"
+        assert merged.target == 2
+        assert merged.param_key() == "<n1/><n2/>"
+        check_substitutable(doc, [op1, op2], [merged])
+
+    def test_i11_into_merges_with_childs_after(self, doc, oracle):
+        op1 = InsertInto(1, parse_forest("<n1/>"))
+        op2 = InsertAfter(2, parse_forest("<n2/>"))
+        merged = RULES["I11"].match(op1, op2, oracle)
+        assert merged.target == 2
+        assert merged.param_key() == "<n2/><n1/>"
+        check_substitutable(doc, [op1, op2], [merged])
+
+    def test_i14_first_child_anchor(self, doc, oracle):
+        op1 = InsertBefore(2, parse_forest("<n1/>"))
+        op2 = InsertIntoAsFirst(1, parse_forest("<n2/>"))
+        merged = RULES["I14"].match(op1, op2, oracle)
+        assert merged.op_name == "insertBefore"
+        assert merged.param_key() == "<n2/><n1/>"
+        check_substitutable(doc, [op1, op2], [merged])
+
+    def test_i15_last_child_anchor(self, doc, oracle):
+        op1 = InsertAfter(3, parse_forest("<n1/>"))
+        op2 = InsertIntoAsLast(1, parse_forest("<n2/>"))
+        merged = RULES["I15"].match(op1, op2, oracle)
+        assert merged.param_key() == "<n1/><n2/>"
+        check_substitutable(doc, [op1, op2], [merged])
+
+    def test_i18_adjacent_siblings(self, doc, oracle):
+        op1 = InsertBefore(3, parse_forest("<n1/>"))
+        op2 = InsertAfter(2, parse_forest("<n2/>"))
+        merged = RULES["I18"].match(op1, op2, oracle)
+        assert merged.op_name == "insertBefore"
+        assert merged.target == 3
+        assert merged.param_key() == "<n2/><n1/>"
+        check_substitutable(doc, [op1, op2], [merged])
+
+
+class TestReplaceAbsorption:
+    def test_ir8_repn_absorbs_before(self, doc, oracle):
+        op1 = ReplaceNode(2, parse_forest("<z/>"))
+        op2 = InsertBefore(2, parse_forest("<n/>"))
+        merged = RULES["IR8"].match(op1, op2, oracle)
+        assert merged.param_key() == "<n/><z/>"
+        check_substitutable(doc, [op1, op2], [merged])
+
+    def test_ir9_repn_absorbs_after(self, doc, oracle):
+        op1 = ReplaceNode(2, parse_forest("<z/>"))
+        op2 = InsertAfter(2, parse_forest("<n/>"))
+        merged = RULES["IR9"].match(op1, op2, oracle)
+        assert merged.param_key() == "<z/><n/>"
+        check_substitutable(doc, [op1, op2], [merged])
+
+    def test_ir12_child_repn_absorbs_parent_into(self, doc, oracle):
+        op1 = ReplaceNode(2, parse_forest("<z/>"))
+        op2 = InsertInto(1, parse_forest("<n/>"))
+        merged = RULES["IR12"].match(op1, op2, oracle)
+        assert merged.param_key() == "<z/><n/>"
+        check_substitutable(doc, [op1, op2], [merged])
+
+    def test_ir13_attribute_repn_absorbs_insa(self):
+        from repro.xdm.node import Node
+        doc = parse_document("<r><p k='v'/></r>")
+        oracle = DocumentOracle(doc)
+        op1 = ReplaceNode(2, [Node.attribute("k1", "w1")])
+        op2 = InsertAttributes(1, [Node.attribute("k2", "w2")])
+        merged = RULES["IR13"].match(op1, op2, oracle)
+        assert merged.op_name == "replaceNode"
+        assert len(merged.trees) == 2
+        check_substitutable(doc, [op1, op2], [merged])
+
+    def test_ir16_first_child_repn_absorbs_first_insert(self, doc, oracle):
+        op1 = ReplaceNode(2, parse_forest("<z/>"))
+        op2 = InsertIntoAsFirst(1, parse_forest("<n/>"))
+        merged = RULES["IR16"].match(op1, op2, oracle)
+        assert merged.param_key() == "<n/><z/>"
+        check_substitutable(doc, [op1, op2], [merged])
+
+    def test_ir17_last_child_repn_absorbs_last_insert(self, doc, oracle):
+        op1 = ReplaceNode(3, parse_forest("<z/>"))
+        op2 = InsertIntoAsLast(1, parse_forest("<n/>"))
+        merged = RULES["IR17"].match(op1, op2, oracle)
+        assert merged.param_key() == "<z/><n/>"
+        check_substitutable(doc, [op1, op2], [merged])
+
+    def test_ir19_erratum_order(self, doc, oracle):
+        """The printed rule says [L1, L2]; only [L2, L1] is substitutable
+        (DESIGN.md errata)."""
+        op1 = ReplaceNode(3, parse_forest("<z/>"))
+        op2 = InsertAfter(2, parse_forest("<n/>"))
+        merged = RULES["IR19"].match(op1, op2, oracle)
+        assert merged.param_key() == "<n/><z/>"
+        check_substitutable(doc, [op1, op2], [merged])
+        # the printed order is NOT substitutable:
+        printed = op1.with_trees(
+            list(op1.trees) + list(op2.trees))
+        reduced = obtainable_strings(doc, PUL([printed]))
+        full = obtainable_strings(doc, PUL([op1, op2]))
+        assert not reduced <= full
+
+    def test_ir20_erratum_order(self, doc, oracle):
+        op1 = ReplaceNode(2, parse_forest("<z/>"))
+        op2 = InsertBefore(3, parse_forest("<n/>"))
+        merged = RULES["IR20"].match(op1, op2, oracle)
+        assert merged.param_key() == "<z/><n/>"
+        check_substitutable(doc, [op1, op2], [merged])

@@ -1,0 +1,158 @@
+"""CLI tests (in-process, via main())."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.pul.serialize import pul_from_xml
+
+DOC = ("<bib><paper><title>T</title><authors><author>A</author>"
+       "</authors></paper></bib>")
+
+
+@pytest.fixture
+def doc_path(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text(DOC)
+    return str(path)
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def produce(doc_path, tmp_path, query, name="p.pul", origin=None):
+    argv = ["produce", doc_path, query]
+    if origin:
+        argv += ["--origin", origin]
+    code, output = run(argv)
+    assert code == 0
+    path = tmp_path / name
+    path.write_text(output)
+    return str(path)
+
+
+class TestProduce:
+    def test_produce_prints_pul(self, doc_path, tmp_path):
+        code, output = run(["produce", doc_path,
+                            "delete nodes //author"])
+        assert code == 0
+        pul = pul_from_xml(output.strip())
+        assert len(pul) == 1
+        assert pul.labels  # labels attached
+
+    def test_origin_recorded(self, doc_path, tmp_path):
+        code, output = run(["produce", doc_path, "delete nodes //author",
+                            "--origin", "alice"])
+        assert pul_from_xml(output.strip()).origin == "alice"
+
+    def test_bad_query_fails_cleanly(self, doc_path):
+        code, __ = run(["produce", doc_path, "explode /bib"])
+        assert code == 2
+
+
+class TestReduce:
+    def test_reduce_collapses(self, doc_path, tmp_path):
+        pul_path = produce(
+            doc_path, tmp_path,
+            "rename node //title as dead, "
+            "replace node //title with <title>n</title>")
+        code, output = run(["reduce", doc_path, pul_path])
+        assert code == 0
+        assert len(pul_from_xml(output.strip())) == 1
+
+    def test_reduce_uses_pul_labels_without_document(self, doc_path,
+                                                     tmp_path):
+        pul_path = produce(
+            doc_path, tmp_path,
+            "rename node //title as dead, delete node //title")
+        code, output = run(["reduce", pul_path])
+        assert code == 0
+        assert len(pul_from_xml(output.strip())) == 1
+
+    def test_canonical_flag(self, doc_path, tmp_path):
+        pul_path = produce(doc_path, tmp_path,
+                           "insert node <x/> into //authors")
+        code, output = run(["reduce", "--canonical", doc_path, pul_path])
+        assert code == 0
+        (op,) = pul_from_xml(output.strip())
+        assert op.op_name == "insertIntoAsFirst"
+
+
+class TestIntegrate:
+    def test_conflicts_reported_with_exit_code(self, doc_path, tmp_path):
+        p1 = produce(doc_path, tmp_path,
+                     "rename node //title as a", name="p1.pul",
+                     origin="alice")
+        p2 = produce(doc_path, tmp_path,
+                     "rename node //title as b", name="p2.pul",
+                     origin="bob")
+        code, output = run(["integrate", "--document", doc_path, p1, p2])
+        assert code == 1  # conflicts present
+
+    def test_reconcile(self, doc_path, tmp_path):
+        p1 = produce(doc_path, tmp_path,
+                     "rename node //title as a", name="p1.pul",
+                     origin="alice")
+        p2 = produce(doc_path, tmp_path,
+                     "rename node //title as b", name="p2.pul",
+                     origin="bob")
+        code, output = run(["integrate", "--document", doc_path,
+                            "--reconcile", p1, p2])
+        assert code == 0
+        assert len(pul_from_xml(output.strip())) == 1
+
+    def test_policy_parsing(self, doc_path, tmp_path):
+        p1 = produce(doc_path, tmp_path,
+                     'replace value of node //title/text() with "mine"',
+                     name="p1.pul", origin="alice")
+        p2 = produce(doc_path, tmp_path,
+                     'replace value of node //title/text() with "theirs"',
+                     name="p2.pul", origin="bob")
+        code, output = run(["integrate", "--document", doc_path,
+                            "--reconcile", "--policy", "bob:inserted",
+                            p1, p2])
+        assert code == 0
+        (op,) = pul_from_xml(output.strip())
+        assert op.value == "theirs"
+
+
+class TestAggregateApplyInvert:
+    def test_aggregate(self, doc_path, tmp_path):
+        p1 = produce(doc_path, tmp_path,
+                     "insert node <y>1</y> as last into //paper",
+                     name="p1.pul")
+        p2 = produce(doc_path, tmp_path,
+                     "insert node <z>2</z> as last into //paper",
+                     name="p2.pul")
+        code, output = run(["aggregate", p1, p2])
+        assert code == 0
+        # rule C4 cumulates the two same-anchor inserts into one operation
+        (op,) = pul_from_xml(output.strip())
+        assert len(op.trees) == 2
+
+    def test_apply_streaming_and_inmemory_agree(self, doc_path, tmp_path):
+        pul_path = produce(doc_path, tmp_path,
+                           "rename node //title as maintitle")
+        code_s, out_s = run(["apply", doc_path, pul_path])
+        code_m, out_m = run(["apply", "--in-memory", doc_path, pul_path])
+        assert code_s == code_m == 0
+        assert out_s == out_m
+        assert "<maintitle>" in out_s
+
+    def test_invert_roundtrip(self, doc_path, tmp_path):
+        pul_path = produce(doc_path, tmp_path, "delete nodes //author")
+        code, forward_xml = run(["invert", "--forward", doc_path,
+                                 pul_path])
+        assert code == 0
+        code, inverse_xml = run(["invert", doc_path, pul_path])
+        assert code == 0
+        inverse = pul_from_xml(inverse_xml.strip())
+        assert len(inverse) == 1
+
+    def test_missing_file(self, doc_path):
+        code, __ = run(["apply", doc_path, "/nonexistent.pul"])
+        assert code == 2

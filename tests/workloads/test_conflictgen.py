@@ -1,0 +1,54 @@
+"""Tests for the conflict-controlled integration workload."""
+
+import pytest
+
+from repro.integration import detect_conflicts, reconcile
+from repro.pul.semantics import apply_pul
+from repro.reasoning import DocumentOracle
+from repro.workloads import generate_conflicting_puls, generate_xmark
+
+
+@pytest.fixture(scope="module")
+def xmark():
+    return generate_xmark(scale=0.05, seed=3)
+
+
+class TestConflictGen:
+    def test_planted_equals_detected(self, xmark):
+        puls, planted = generate_conflicting_puls(
+            xmark, pul_count=5, ops_per_pul=60, seed=1)
+        __, conflicts = detect_conflicts(
+            puls, structure=DocumentOracle(xmark))
+        assert len(conflicts) == planted
+
+    def test_conflicted_fraction_near_request(self, xmark):
+        puls, __ = generate_conflicting_puls(
+            xmark, pul_count=5, ops_per_pul=100,
+            conflict_fraction=0.5, ops_per_conflict=5, seed=2)
+        clean, conflicts = detect_conflicts(
+            puls, structure=DocumentOracle(xmark))
+        total = sum(len(p) for p in puls)
+        in_conflict = total - len(clean)
+        assert 0.35 <= in_conflict / total <= 0.65
+
+    def test_each_pul_applicable(self, xmark):
+        puls, __ = generate_conflicting_puls(
+            xmark, pul_count=4, ops_per_pul=50, seed=3)
+        for pul in puls:
+            assert pul.is_applicable(xmark)
+
+    def test_reconciliation_succeeds_without_policies(self, xmark):
+        puls, __ = generate_conflicting_puls(
+            xmark, pul_count=4, ops_per_pul=50, seed=4)
+        oracle = DocumentOracle(xmark)
+        result = reconcile(puls, policies={}, structure=oracle)
+        working = xmark.copy()
+        apply_pul(working, result)
+
+    def test_conflict_types_spread(self, xmark):
+        puls, __ = generate_conflicting_puls(
+            xmark, pul_count=5, ops_per_pul=100, seed=5)
+        __, conflicts = detect_conflicts(
+            puls, structure=DocumentOracle(xmark))
+        types = {int(c.conflict_type) for c in conflicts}
+        assert {1, 2, 3, 4, 5} <= types

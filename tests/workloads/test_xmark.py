@@ -1,0 +1,43 @@
+"""Tests for the XMark-shaped document generator."""
+
+from repro.workloads import generate_xmark, xmark_text
+from repro.xdm import parse_document
+from repro.xdm.compare import documents_equal
+
+
+class TestXMark:
+    def test_deterministic_per_seed(self):
+        a = generate_xmark(scale=0.02, seed=5)
+        b = generate_xmark(scale=0.02, seed=5)
+        assert documents_equal(a, b, with_ids=True)
+
+    def test_different_seeds_differ(self):
+        a = generate_xmark(scale=0.02, seed=5)
+        b = generate_xmark(scale=0.02, seed=6)
+        assert not documents_equal(a, b)
+
+    def test_shape(self):
+        document = generate_xmark(scale=0.02, seed=1)
+        sections = [child.name for child in document.root.children]
+        assert sections == ["regions", "categories", "people",
+                            "open_auctions"]
+        items = list(document.elements_by_name("item"))
+        assert items
+        assert all(any(a.name == "id" for a in item.attributes)
+                   for item in items)
+
+    def test_size_scales_roughly_linearly(self):
+        small = len(xmark_text(scale=0.02, seed=1))
+        large = len(xmark_text(scale=0.08, seed=1))
+        assert 2.5 < large / small < 6
+
+    def test_output_reparses(self):
+        text = xmark_text(scale=0.02, seed=1)
+        document = parse_document(text)
+        assert document.root.name == "site"
+
+    def test_people_have_profiles(self):
+        document = generate_xmark(scale=0.02, seed=1)
+        person = next(document.elements_by_name("person"))
+        child_names = {c.name for c in person.children}
+        assert {"name", "emailaddress", "address", "profile"} <= child_names

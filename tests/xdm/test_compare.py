@@ -1,0 +1,58 @@
+"""Unit tests for structural comparison."""
+
+from repro.xdm import parse_document
+from repro.xdm.compare import (
+    canonical_string,
+    documents_equal,
+    forests_equal,
+    nodes_equal,
+)
+from repro.xdm.parser import parse_forest
+
+
+class TestValueEquality:
+    def test_equal_documents(self):
+        a = parse_document("<a x='1'><b>t</b></a>")
+        b = parse_document("<a x='1'><b>t</b></a>")
+        assert documents_equal(a, b)
+
+    def test_attribute_order_irrelevant(self):
+        a = parse_document("<a x='1' y='2'/>")
+        b = parse_document("<a y='2' x='1'/>")
+        assert documents_equal(a, b)
+
+    def test_child_order_relevant(self):
+        a = parse_document("<a><b/><c/></a>")
+        b = parse_document("<a><c/><b/></a>")
+        assert not documents_equal(a, b)
+
+    def test_text_differs(self):
+        a = parse_document("<a>x</a>")
+        b = parse_document("<a>y</a>")
+        assert not documents_equal(a, b)
+
+    def test_forests(self):
+        f1 = parse_forest("<a/><b/>")
+        f2 = parse_forest("<a/><b/>")
+        f3 = parse_forest("<a/>")
+        assert forests_equal(f1, f2)
+        assert not forests_equal(f1, f3)
+
+
+class TestIdentityEquality:
+    def test_same_values_different_ids(self):
+        a = parse_document("<a><b/></a>")
+        b = parse_document("<a><b/></a>")
+        b.root.children[0].node_id = 99
+        assert nodes_equal(a.root, b.root)
+        assert not nodes_equal(a.root, b.root, with_ids=True)
+
+    def test_canonical_string_is_stable_key(self):
+        a = parse_document("<a x='1' y='2'><b>t</b></a>")
+        b = parse_document("<a y='2' x='1'><b>t</b></a>")
+        assert canonical_string(a.root) == canonical_string(b.root)
+
+    def test_canonical_string_distinguishes_types(self):
+        elem = parse_document("<a><b/></a>")
+        text = parse_document("<a>b</a>")
+        assert canonical_string(elem.root) != canonical_string(text.root)

@@ -1,0 +1,68 @@
+"""Unit tests for the serializer."""
+
+import pytest
+
+from repro.errors import DocumentError
+from repro.xdm import parse_document, serialize, serialize_node
+from repro.xdm.document import Document
+from repro.xdm.node import Node
+from repro.xdm.serializer import (
+    escape_attribute,
+    escape_text,
+    serialize_forest,
+)
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("<a> & </a>") == "&lt;a&gt; &amp; &lt;/a&gt;"
+
+    def test_attribute_escapes_quotes(self):
+        assert escape_attribute('a"b&c<d') == "a&quot;b&amp;c&lt;d"
+
+
+class TestSerialize:
+    def test_empty_element_self_closes(self):
+        assert serialize(parse_document("<a></a>")) == "<a/>"
+
+    def test_attributes(self):
+        assert serialize(parse_document('<a k="v"/>')) == '<a k="v"/>'
+
+    def test_with_ids(self, small_doc):
+        text = serialize(small_doc, with_ids=True)
+        assert 'repro:id="0"' in text
+
+    def test_with_labels(self, small_doc):
+        labels = {0: "LBL"}
+        text = serialize(small_doc, labels=labels)
+        assert 'repro:label="LBL"' in text
+
+    def test_declaration(self, small_doc):
+        text = serialize(small_doc, declaration=True)
+        assert text.startswith("<?xml")
+
+    def test_indent(self):
+        doc = parse_document("<a><b><c/></b></a>")
+        text = serialize(doc, indent="  ")
+        assert "\n  <b>" in text
+
+    def test_indented_text_only_element_stays_inline(self):
+        doc = parse_document("<a><b>text</b></a>")
+        text = serialize(doc, indent="  ")
+        assert "<b>text</b>" in text
+
+    def test_empty_document_raises(self):
+        with pytest.raises(DocumentError):
+            serialize(Document())
+
+    def test_bare_attribute_renders_literal(self):
+        attr = Node.attribute("k", 'v"w')
+        assert serialize_node(attr) == 'k="v&quot;w"'
+
+    def test_forest(self):
+        trees = [Node.element("a"), Node.text("x & y")]
+        assert serialize_forest(trees) == "<a/>x &amp; y"
+
+    def test_roundtrip_preserves_entities(self):
+        text = "<a>&amp;&lt;</a>"
+        assert serialize(parse_document(text)) == text

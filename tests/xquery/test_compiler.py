@@ -1,0 +1,104 @@
+"""End-to-end PUL production from updating expressions."""
+
+import pytest
+
+from repro.errors import QueryEvaluationError
+from repro.labeling import ContainmentLabeling
+from repro.pul import apply_pul, pul_from_xml, pul_to_xml
+from repro.xdm import parse_document, serialize
+from repro.xquery import compile_pul
+
+DOC_XML = (
+    "<doc>"
+    "<paper id='p1'><title>Alpha</title>"
+    "<authors><author>A</author></authors></paper>"
+    "<paper id='p2' status='retracted'><title>Beta</title>"
+    "<abstract>old</abstract></paper>"
+    "</doc>")
+
+
+@pytest.fixture
+def doc():
+    return parse_document(DOC_XML)
+
+
+def run(doc, query):
+    pul = compile_pul(query, doc)
+    working = doc.copy()
+    apply_pul(working, pul)
+    return pul, serialize(working)
+
+
+class TestCompilation:
+    def test_insert_as_last(self, doc):
+        pul, out = run(doc, "insert node <author>G</author> as last into "
+                            "/doc/paper[1]/authors")
+        assert len(pul) == 1
+        assert "<author>A</author><author>G</author>" in out
+
+    def test_insert_attribute_constructor(self, doc):
+        __, out = run(doc, 'insert node attribute v {"2"} into '
+                           '/doc/paper[1]')
+        assert 'v="2"' in out
+
+    def test_mixed_source_splits_attribute_and_content(self, doc):
+        pul, __ = run(doc, 'insert nodes (attribute v {"2"}, <x/>) into '
+                           '/doc/paper[1]')
+        assert sorted(op.op_name for op in pul) == \
+            ["insertAttributes", "insertInto"]
+
+    def test_attribute_content_requires_into(self, doc):
+        with pytest.raises(QueryEvaluationError):
+            compile_pul('insert node attribute v {"2"} before /doc/paper[1]',
+                        doc)
+
+    def test_delete_many(self, doc):
+        pul, out = run(doc, "delete nodes //author, delete nodes //abstract")
+        assert len(pul) == 2
+        assert "<author>" not in out and "abstract" not in out
+
+    def test_replace_value(self, doc):
+        __, out = run(doc, 'replace value of node '
+                           '/doc/paper[1]/title/text() with "Gamma"')
+        assert "<title>Gamma</title>" in out
+
+    def test_replace_node(self, doc):
+        __, out = run(doc, "replace node /doc/paper[2] with <paper/>")
+        assert out.count("<paper") == 2
+
+    def test_replace_children(self, doc):
+        __, out = run(doc, 'replace children of node //abstract with "new"')
+        assert "<abstract>new</abstract>" in out
+
+    def test_rename(self, doc):
+        __, out = run(doc, "rename node //abstract as summary")
+        assert "<summary>old</summary>" in out
+
+    def test_snapshot_semantics(self, doc):
+        """All paths resolve against the original document (XQUF
+        snapshot): renaming then targeting the old name works."""
+        pul, out = run(doc, "rename node //abstract as summary, "
+                            'replace children of node //abstract with "x"')
+        assert "<summary>x</summary>" in out
+
+    def test_multiple_targets_for_single_target_expr_fail(self, doc):
+        with pytest.raises(QueryEvaluationError):
+            compile_pul("rename node //paper as article", doc)
+
+    def test_empty_target_fails(self, doc):
+        with pytest.raises(QueryEvaluationError):
+            compile_pul("replace node /doc/nothing with <x/>", doc)
+
+    def test_labels_and_origin_attached(self, doc):
+        labeling = ContainmentLabeling().build(doc)
+        pul = compile_pul("delete nodes //author", doc, labeling=labeling,
+                          origin="me")
+        assert pul.origin == "me"
+        assert set(pul.labels) == pul.targets()
+
+    def test_produced_pul_roundtrips(self, doc):
+        labeling = ContainmentLabeling().build(doc)
+        pul = compile_pul(
+            "insert node <a/> after //abstract, delete nodes //author",
+            doc, labeling=labeling)
+        assert pul_from_xml(pul_to_xml(pul)) == pul

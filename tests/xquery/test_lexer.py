@@ -1,0 +1,68 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.xquery.lexer import (
+    EOF,
+    INTEGER,
+    NAME,
+    STRING,
+    SYMBOL,
+    XML,
+    tokenize,
+)
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+class TestTokens:
+    def test_names_and_symbols(self):
+        tokens = tokenize("delete nodes /a//b[1]")
+        assert [t.value for t in tokens[:4]] == \
+            ["delete", "nodes", "/", "a"]
+        assert kinds("/a//b") == [SYMBOL, NAME, SYMBOL, NAME, EOF]
+
+    def test_strings_both_quotes(self):
+        tokens = tokenize("""'one' "two" """)
+        assert [t.value for t in tokens if t.kind == STRING] == \
+            ["one", "two"]
+
+    def test_integers(self):
+        tokens = tokenize("[42]")
+        assert tokens[1].kind == INTEGER and tokens[1].value == 42
+
+    def test_xml_constructor_single_token(self):
+        tokens = tokenize("insert node <a x='1'><b/>hi</a> into /r")
+        xml = [t for t in tokens if t.kind == XML]
+        assert len(xml) == 1
+        assert xml[0].value.name == "a"
+        assert xml[0].value.children[1].value == "hi"
+
+    def test_attribute_keyword_braces(self):
+        tokens = tokenize('attribute k {"v"}')
+        assert kinds('attribute k {"v"}') == \
+            [NAME, NAME, SYMBOL, STRING, SYMBOL, EOF]
+
+    def test_name_with_punctuation(self):
+        tokens = tokenize("a-b.c_d")
+        assert tokens[0].value == "a-b.c_d"
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("'oops")
+
+    def test_bad_xml(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("insert node <a><b></a> into /r")
+
+    def test_unknown_character(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("delete nodes /a ; whoops")
+
+    def test_position_reported(self):
+        with pytest.raises(QuerySyntaxError) as info:
+            tokenize("   'oops")
+        assert info.value.position == 3
