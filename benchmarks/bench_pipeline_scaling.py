@@ -1,0 +1,190 @@
+"""Pipeline scaling — sharded parallel reduction vs the sequential engine.
+
+Two entry points:
+
+* under pytest (like the figure benchmarks): ``pytest
+  benchmarks/bench_pipeline_scaling.py`` benchmarks the sequential
+  reduction against the pipeline at 1/2/4 workers;
+* as a script: ``python benchmarks/bench_pipeline_scaling.py --ops 10000``
+  prints a speedup table (and verifies every configuration produces the
+  sequential reduction), using the record-local ``min_depth`` pulgen
+  workload on an XMark document.
+
+Parallel speedup requires real cores: on a single-CPU host the process
+backend only adds serialization overhead, which the table makes visible
+rather than hiding.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+import pytest
+
+from repro.labeling import ContainmentLabeling
+from repro.pipeline import ParallelReducer, merge_shards, shard_pul
+from repro.pul.serialize import pul_from_xml, pul_to_xml
+from repro.reduction import reduce_deterministic
+from repro.workloads import generate_pul, generate_xmark
+
+WORKER_COUNTS = (1, 2, 4)
+OPS_PER_PUL = 10_000
+
+
+@pytest.fixture(scope="module")
+def workload(xmark_medium, xmark_medium_labeling):
+    pul = generate_pul(xmark_medium, OPS_PER_PUL, seed=23,
+                       labeling=xmark_medium_labeling, min_depth=3)
+    return xmark_medium, pul
+
+
+def test_sequential_reduction(benchmark, workload):
+    __, pul = workload
+    result = benchmark(reduce_deterministic, pul)
+    assert len(result) <= len(pul)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_pipeline_reduction(benchmark, workload, workers):
+    __, pul = workload
+    reducer = ParallelReducer(workers=workers, backend="process")
+
+    def run():
+        outcome = reducer.reduce(pul)
+        return merge_shards(outcome.reduced)
+
+    result = benchmark(run)
+    assert result == reduce_deterministic(pul)
+
+
+def test_shard_cost(benchmark, workload):
+    __, pul = workload
+    shards = benchmark(shard_pul, pul, 4)
+    assert sum(len(s) for s in shards) == len(pul)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_pipeline_wire_stage(benchmark, workload, workers):
+    """The distributed-worker stage: decode + reduce + encode per shard."""
+    __, pul = workload
+    payloads = [pul_to_xml(s) for s in shard_pul(pul, workers)]
+    reducer = ParallelReducer(workers=workers, backend="process")
+
+    def run():
+        reduced, __ = reducer.reduce_wire(payloads)
+        return reduced
+
+    reduced = benchmark(run)
+    merged = merge_shards([pul_from_xml(p) for p in reduced])
+    assert merged == reduce_deterministic(pul)
+
+
+# -- script mode -------------------------------------------------------------
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    result = None
+    for __ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="sharded pipeline scaling report")
+    parser.add_argument("--ops", type=int, default=OPS_PER_PUL)
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="XMark document scale")
+    parser.add_argument("--min-depth", type=int, default=3)
+    parser.add_argument("--workers", type=int, nargs="+",
+                        default=list(WORKER_COUNTS))
+    parser.add_argument("--backend", default="process",
+                        choices=("process", "thread", "serial"))
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    document = generate_xmark(scale=args.scale, seed=7)
+    labeling = ContainmentLabeling().build(document)
+    pul = generate_pul(document, args.ops, seed=23, labeling=labeling,
+                       min_depth=args.min_depth)
+    print("document: xmark scale={} ({} nodes); PUL: {} ops "
+          "(min_depth={}); cores: {}".format(
+              args.scale, sum(1 for __ in document.nodes()), len(pul),
+              args.min_depth, os.cpu_count()))
+
+    sequential_time, sequential = _best_of(
+        args.repeats, lambda: reduce_deterministic(pul))
+    print("sequential reduction: {:8.4f}s  ({} -> {} ops)".format(
+        sequential_time, len(pul), len(sequential)))
+
+    shards = shard_pul(pul, max(args.workers))
+    print("sharding: {} shards, sizes {}".format(
+        len(shards), sorted((len(s) for s in shards), reverse=True)))
+
+    print("\nstage A — in-memory reduction (shard + reduce + merge):")
+    print("{:>8} {:>10} {:>9}  {}".format(
+        "workers", "time", "speedup", "backend=" + args.backend))
+    reached = {}
+    for workers in args.workers:
+        reducer = ParallelReducer(workers=workers, backend=args.backend)
+
+        def run():
+            outcome = reducer.reduce(pul)
+            return merge_shards(outcome.reduced)
+
+        elapsed, merged = _best_of(args.repeats, run)
+        reducer.close()
+        if merged != sequential:
+            print("!! workers={}: result differs from the sequential "
+                  "reduction".format(workers))
+            return 1
+        speedup = sequential_time / elapsed if elapsed else float("inf")
+        print("{:>8} {:>9.4f}s {:>8.2f}x  (verified equal)".format(
+            workers, elapsed, speedup))
+
+    # stage B: the distributed-worker stage. The executor receives the
+    # PUL on the wire, so the sequential engine pays decode + reduce +
+    # encode — exactly what wire-mode workers parallelize.
+    wire = pul_to_xml(pul)
+    sequential_wire_time, __ = _best_of(
+        args.repeats,
+        lambda: pul_to_xml(reduce_deterministic(pul_from_xml(wire))))
+    print("\nstage B — wire stage (decode + reduce + encode):")
+    print("sequential: {:8.4f}s".format(sequential_wire_time))
+    print("{:>8} {:>10} {:>9}".format("workers", "time", "speedup"))
+    for workers in args.workers:
+        payloads = [pul_to_xml(s) for s in shard_pul(pul, workers)]
+        reducer = ParallelReducer(workers=workers, backend=args.backend)
+
+        def run_wire():
+            reduced, __ = reducer.reduce_wire(payloads)
+            return reduced
+
+        elapsed, reduced = _best_of(args.repeats, run_wire)
+        reducer.close()
+        merged = merge_shards([pul_from_xml(p) for p in reduced])
+        if merged != sequential:
+            print("!! workers={}: wire result differs from the "
+                  "sequential reduction".format(workers))
+            return 1
+        speedup = sequential_wire_time / elapsed if elapsed \
+            else float("inf")
+        reached[workers] = speedup
+        print("{:>8} {:>9.4f}s {:>8.2f}x  (verified equal)".format(
+            workers, elapsed, speedup))
+
+    target = 1.5
+    best = max(reached.values())
+    verdict = "meets" if best >= target else "below"
+    print("\npeak wire-stage speedup {:.2f}x — {} the {:.1f}x target"
+          " (parallel gains need >1 core; this host has {})".format(
+              best, verdict, target, os.cpu_count()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,3 +1,20 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-xquery-pul",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'Updating XML documents through PULs' "
+        "(EDBT 2011): PUL reduction, aggregation, integration, and a "
+        "sharded parallel pipeline"),
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+)

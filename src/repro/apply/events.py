@@ -270,6 +270,15 @@ class XMLEventWriter:
             self._parts.append(self._open_start + ">")
             self._open_start = None
 
+    def drain(self):
+        """Return and clear the completed output so far, or ``""`` while
+        a start tag is still pending (nothing can be flushed safely)."""
+        if self._open_start is not None:
+            return ""
+        chunk = "".join(self._parts)
+        self._parts.clear()
+        return chunk
+
     def result(self):
         if self._open_start is not None:
             raise SerializationError("unterminated element in event stream")
@@ -299,12 +308,12 @@ def events_to_file(events, handle, with_ids=False, labels=None,
     for event in events:
         writer.write(event)
         pending += 1
-        if pending >= flush_every and writer._open_start is None:
-            chunk = "".join(writer._parts)
-            writer._parts.clear()
-            handle.write(chunk)
-            written += len(chunk)
-            pending = 0
+        if pending >= flush_every:
+            chunk = writer.drain()
+            if chunk:
+                handle.write(chunk)
+                written += len(chunk)
+                pending = 0
     chunk = writer.result()
     handle.write(chunk)
     written += len(chunk)

@@ -10,6 +10,8 @@ Subcommands mirror the library's pipeline (``-`` reads stdin):
 * ``aggregate`` — aggregate a sequence of PULs into one delta;
 * ``apply``     — make a PUL effective on a document (streaming by
   default);
+* ``pipeline``  — shard a PUL, reduce the shards in parallel
+  (``--workers N``), merge and apply through the batched streaming path;
 * ``invert``    — compute the inverse of a PUL against its document.
 
 Examples::
@@ -32,6 +34,7 @@ from repro.apply.streaming import apply_streaming
 from repro.errors import ReproError
 from repro.integration import ProducerPolicy, integrate, reconcile
 from repro.labeling import ContainmentLabeling
+from repro.pipeline import DEFAULT_BATCH_SIZE, run_pipeline
 from repro.pul.inverse import invert_pul
 from repro.pul.serialize import pul_from_xml, pul_to_xml
 from repro.reasoning import DocumentOracle
@@ -137,6 +140,24 @@ def cmd_apply(args, out):
     return 0
 
 
+def cmd_pipeline(args, out):
+    text = _read(args.document)
+    pul = _load_pul(args.pul)
+    if args.sequential:
+        workers, backend, shards = 1, "serial", 1
+    else:
+        workers, backend, shards = args.workers, args.backend, args.shards
+    result = run_pipeline(text, pul, workers=workers, backend=backend,
+                          num_shards=shards, batch_size=args.batch_size)
+    out.write(result.text + "\n")
+    stats = result.stats()
+    sys.stderr.write(
+        "{shards} shards {shard_sizes} | {input_ops} -> {reduced_ops} ops "
+        "| backend={backend} workers={workers} failures={failures}\n"
+        .format(**stats))
+    return 0
+
+
 def cmd_invert(args, out):
     document = _load_document(args.document)
     pul = _load_pul(args.pul)
@@ -194,6 +215,24 @@ def build_parser():
     apply_cmd.add_argument("--in-memory", action="store_true",
                            help="use the in-memory evaluator")
     apply_cmd.set_defaults(func=cmd_apply)
+
+    pipeline_cmd = commands.add_parser(
+        "pipeline",
+        help="reduce a PUL in parallel shards and apply it (streaming)")
+    pipeline_cmd.add_argument("document")
+    pipeline_cmd.add_argument("pul")
+    pipeline_cmd.add_argument("--workers", type=int, default=2,
+                              help="concurrent reduction workers")
+    pipeline_cmd.add_argument("--backend", default="process",
+                              choices=("process", "thread", "serial"))
+    pipeline_cmd.add_argument("--shards", type=int, default=None,
+                              help="shard count (defaults to --workers)")
+    pipeline_cmd.add_argument("--batch-size", type=int,
+                              default=DEFAULT_BATCH_SIZE,
+                              help="output events per serialized batch")
+    pipeline_cmd.add_argument("--sequential", action="store_true",
+                              help="single-shard serial reference run")
+    pipeline_cmd.set_defaults(func=cmd_pipeline)
 
     invert_cmd = commands.add_parser(
         "invert", help="compute the inverse of a PUL")

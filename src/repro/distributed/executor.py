@@ -12,12 +12,19 @@ from __future__ import annotations
 from repro.aggregation import aggregate
 from repro.apply.events import document_events, events_to_document
 from repro.apply.streaming import apply_streaming
-from repro.distributed.messages import DocumentSnapshot
+from repro.distributed.messages import (
+    DocumentSnapshot,
+    PULMessage,
+    ShardEnvelope,
+)
 from repro.errors import ReproError
 from repro.integration import integrate, reconcile
 from repro.labeling.scheme import ContainmentLabeling
+from repro.pipeline.merge import merge_shards
+from repro.pipeline.parallel import ParallelReducer
+from repro.pipeline.shard import shard_pul
 from repro.pul.semantics import apply_pul
-from repro.pul.serialize import pul_from_xml
+from repro.pul.serialize import pul_from_xml, pul_to_xml
 from repro.reduction import reduce_deterministic
 from repro.xdm.parser import parse_document
 from repro.xdm.serializer import serialize
@@ -41,6 +48,8 @@ class Executor:
         self.streaming = streaming
         self.policies = {}
         self._producers = []
+        #: warm ParallelReducer pools, keyed (workers, backend)
+        self._reducers = {}
 
     # -- producer management ----------------------------------------------------
 
@@ -118,6 +127,71 @@ class Executor:
         puls = [self.receive(m) for m in ordered]
         combined = aggregate(puls)
         return self.execute(combined, reduce_first=reduce_first)
+
+    # -- sharded pipeline ---------------------------------------------------------
+
+    def dispatch_shards(self, pul, num_shards, network=None):
+        """Partition ``pul`` into independent shards and wrap them as
+        :class:`ShardEnvelope` messages in shard order.
+
+        When a :class:`~repro.distributed.network.SimulatedNetwork` is
+        given, every envelope is sent executor → its reduction worker, so
+        the sharding traffic shows up in the network's cost model.
+        """
+        pul = pul.copy()
+        pul.attach_labels(self.labeling)
+        shards = shard_pul(pul, num_shards)
+        envelopes = []
+        for index, shard in enumerate(shards):
+            envelope = ShardEnvelope(
+                pul_to_xml(shard), origin=pul.origin,
+                shard_index=index, shard_count=len(shards),
+                base_version=self.version)
+            if network is not None:
+                network.send("executor", "reducer-{}".format(index),
+                             envelope, kind="shard")
+            envelopes.append(envelope)
+        return envelopes
+
+    def execute_pipeline(self, source, workers=2, backend="process",
+                         num_shards=None, network=None):
+        """Make one PUL effective through the sharded parallel pipeline.
+
+        ``source`` is a PUL or a :class:`PULMessage`. The PUL is
+        partitioned with :func:`~repro.pipeline.shard.shard_pul`, the
+        shards are round-tripped through the exchange format (and, when
+        ``network`` is given, through its cost model), reduced
+        concurrently, merged in shard order, and applied through the
+        executor's normal effectivity path.
+
+        Returns ``(version, outcome)`` with the
+        :class:`~repro.pipeline.parallel.ReduceOutcome` telemetry.
+        """
+        pul = self.receive(source) if isinstance(source, PULMessage) \
+            else source
+        envelopes = self.dispatch_shards(pul, num_shards or workers,
+                                         network=network)
+        shards = [pul_from_xml(envelope.payload) for envelope in envelopes]
+        key = (workers, backend)
+        if key not in self._reducers:
+            self._reducers[key] = ParallelReducer(workers=workers,
+                                                  backend=backend)
+        outcome = self._reducers[key].reduce_shards(shards)
+        merged = merge_shards(outcome.reduced)
+        version = self.execute(merged)
+        return version, outcome
+
+    def close(self):
+        """Shut down the warm reduction pools (idempotent)."""
+        for reducer in self._reducers.values():
+            reducer.close()
+        self._reducers.clear()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
 
     # -- inspection ----------------------------------------------------------------------
 

@@ -33,6 +33,39 @@ class PULMessage:
             self.size_bytes())
 
 
+class ShardEnvelope:
+    """One shard of a partitioned PUL in transit to a reduction worker.
+
+    ``shard_index`` / ``shard_count`` identify the shard's position in the
+    batch (results must be merged in shard order); ``base_version`` is the
+    document version the parent PUL was produced against.
+    """
+
+    __slots__ = ("payload", "origin", "shard_index", "shard_count",
+                 "base_version")
+
+    def __init__(self, payload, origin, shard_index, shard_count,
+                 base_version=0):
+        if not 0 <= shard_index < shard_count:
+            raise ValueError(
+                "shard_index {} out of range for {} shards".format(
+                    shard_index, shard_count))
+        self.payload = payload
+        self.origin = origin
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self.base_version = base_version
+
+    def size_bytes(self):
+        return len(self.payload.encode("utf-8"))
+
+    def __repr__(self):
+        return "ShardEnvelope(origin={!r}, shard={}/{}, base=v{}, " \
+            "{} bytes)".format(self.origin, self.shard_index,
+                               self.shard_count, self.base_version,
+                               self.size_bytes())
+
+
 class DocumentSnapshot:
     """A full document checkout: serialized text (ids derivable by
     document order), the version number, and the id-space assignment for

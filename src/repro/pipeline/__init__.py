@@ -1,0 +1,39 @@
+"""Document-partitioned parallel PUL pipeline.
+
+Shard a PUL into structurally independent partitions (containment
+intervals of the extended labels), reduce the shards concurrently, merge
+the results through the aggregation engine, and apply the merged PUL with
+the batched streaming evaluator. The pipeline is an *optimization layer*:
+its output is equivalent to the sequential reduce-then-apply path, a
+contract the property suite checks differentially.
+"""
+
+from repro.pipeline.batch import (
+    DEFAULT_BATCH_SIZE,
+    apply_batched,
+    apply_batched_text,
+    serialize_batches,
+)
+from repro.pipeline.merge import merge_shards
+from repro.pipeline.parallel import (
+    ParallelReducer,
+    ReduceOutcome,
+    ShardFailure,
+)
+from repro.pipeline.runner import PipelineResult, run_pipeline
+from repro.pipeline.shard import partition_targets, shard_pul
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "ParallelReducer",
+    "PipelineResult",
+    "ReduceOutcome",
+    "ShardFailure",
+    "apply_batched",
+    "apply_batched_text",
+    "merge_shards",
+    "partition_targets",
+    "run_pipeline",
+    "serialize_batches",
+    "shard_pul",
+]

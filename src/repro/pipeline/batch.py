@@ -1,0 +1,59 @@
+"""Batched streaming apply.
+
+The pipeline's final stage makes the merged PUL effective through the
+streaming evaluator (:func:`repro.apply.streaming.apply_streaming`), but
+instead of materializing either the full output event list or the full
+output text, the transformed stream is cut into serialized text chunks of
+roughly ``batch_size`` events each. Memory stays proportional to document
+depth plus batch size; sinks (files, sockets, hashers) consume chunks as
+they are produced. The concatenation of the chunks is byte-identical to
+:func:`repro.apply.events.events_to_xml` of the same stream.
+"""
+
+from __future__ import annotations
+
+from repro.apply.events import XMLEventWriter
+from repro.apply.streaming import apply_streaming
+from repro.errors import ReproError
+
+#: default number of output events per serialized chunk
+DEFAULT_BATCH_SIZE = 1024
+
+
+def serialize_batches(events, batch_size=DEFAULT_BATCH_SIZE, with_ids=False,
+                      labels=None):
+    """Serialize an event stream into XML text chunks of ``batch_size``
+    events (the writer is only drained between complete tags)."""
+    if batch_size < 1:
+        raise ReproError("batch_size must be >= 1, got {}".format(
+            batch_size))
+    writer = XMLEventWriter(with_ids=with_ids, labels=labels)
+    pending = 0
+    for event in events:
+        writer.write(event)
+        pending += 1
+        if pending >= batch_size:
+            chunk = writer.drain()
+            if chunk:
+                yield chunk
+                pending = 0
+    chunk = writer.result()
+    if chunk:
+        yield chunk
+
+
+def apply_batched(events, pul, batch_size=DEFAULT_BATCH_SIZE,
+                  fresh_start=None, labeling=None, check=True):
+    """Apply ``pul`` to the input ``events`` stream, yielding serialized
+    XML chunks of the result (see module docstring)."""
+    output = apply_streaming(events, pul, fresh_start=fresh_start,
+                             labeling=labeling, check=check)
+    return serialize_batches(output, batch_size=batch_size)
+
+
+def apply_batched_text(events, pul, batch_size=DEFAULT_BATCH_SIZE,
+                       fresh_start=None, labeling=None, check=True):
+    """Like :func:`apply_batched` but joins the chunks into one string."""
+    return "".join(apply_batched(events, pul, batch_size=batch_size,
+                                 fresh_start=fresh_start, labeling=labeling,
+                                 check=check))

@@ -155,19 +155,39 @@ def _staged(pul):
     return stages
 
 
-def _check_attribute_uniqueness(ops, targets):
-    """The XQUF dynamic error on duplicate attribute names, raised for
-    elements targeted by ``insA`` (the error integration's conflict type 2
-    guards against)."""
-    for op in ops:
-        if not isinstance(op, InsertAttributes):
+def _attribute_checked_elements(pul, targets):
+    """The elements whose attribute sets ``pul`` modifies — ``insA``
+    targets plus the owners of renamed or replaced attributes. Resolved
+    before application (a replaced attribute loses its parent pointer)."""
+    elements = {}
+    for op in pul:
+        node = targets[op.target]
+        if node is None:
             continue
-        element = targets[op.target]
+        if isinstance(op, InsertAttributes):
+            elements[id(node)] = node
+        elif isinstance(op, (Rename, ReplaceNode)) and node.is_attribute \
+                and node.parent is not None:
+            elements[id(node.parent)] = node.parent
+    return list(elements.values())
+
+
+def _check_attribute_uniqueness(elements, root):
+    """The XQUF dynamic error on duplicate attribute names (the error
+    integration's conflict type 2 guards against), checked on every
+    element whose attribute set the PUL modified and that is still part
+    of the result — matching the streaming evaluator exactly."""
+    for element in elements:
+        node = element
+        while node.parent is not None:
+            node = node.parent
+        if node is not root:
+            continue  # detached by a replacement/deletion higher up
         names = [attr.name for attr in element.attributes]
         if len(names) != len(set(names)):
             raise NotApplicableError(
                 "duplicate attribute on element {}: {}".format(
-                    op.target, sorted(names)))
+                    element.node_id, sorted(names)))
 
 
 def apply_pul(document, pul, check=True, preserve_ids=False):
@@ -183,15 +203,15 @@ def apply_pul(document, pul, check=True, preserve_ids=False):
     if check:
         pul.require_applicable(document)
     targets = {op.target: document.get(op.target) for op in pul}
+    checked = _attribute_checked_elements(pul, targets)
     scope = Scope([document.root])
     stages = _staged(pul)
     for stage in STAGES:
         for op in stages[stage]:
             apply_to_node(scope, targets[op.target], op,
                           preserve_ids=preserve_ids)
-        if stage == 1:
-            _check_attribute_uniqueness(stages[1], targets)
     document.root = scope.roots[0] if scope.roots else None
+    _check_attribute_uniqueness(checked, document.root)
     document.rebuild_index()
     return document
 

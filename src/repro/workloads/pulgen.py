@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import random
 
+from repro.errors import ReproError
 from repro.pul.ops import (
     Delete,
     InsertAfter,
@@ -43,10 +44,24 @@ _OP_KINDS = (
 )
 
 
-class _PulBuilder:
-    """Accumulates applicability bookkeeping while drawing operations."""
+def _depth(node):
+    level = 0
+    while node.parent is not None:
+        node = node.parent
+        level += 1
+    return level
 
-    def __init__(self, document, rng, labeling=None):
+
+class _PulBuilder:
+    """Accumulates applicability bookkeeping while drawing operations.
+
+    ``min_depth`` restricts the target pools to nodes at least that deep
+    (document root at depth 0) — the "record-local edits" workload shape
+    where updates never touch the top-level structure, which is what keeps
+    the pipeline's shards independent.
+    """
+
+    def __init__(self, document, rng, labeling=None, min_depth=0):
         self.document = document
         self.rng = rng
         self.labeling = labeling
@@ -54,6 +69,8 @@ class _PulBuilder:
         self.texts = []
         self.attributes = []
         for node in document.nodes():
+            if min_depth and _depth(node) < min_depth:
+                continue
             if node.is_element:
                 self.elements.append(node)
             elif node.is_text:
@@ -77,6 +94,8 @@ class _PulBuilder:
                               str(self.rng.randrange(1000)))
 
     def _pick(self, pool, exclude_root=False):
+        if not pool:
+            return None
         for __ in range(16):
             node = self.rng.choice(pool)
             if exclude_root and node.parent is None:
@@ -97,12 +116,16 @@ class _PulBuilder:
             return op_class(node.node_id, [self._fresh_tree()])
         if kind in ("insertIntoAsFirst", "insertIntoAsLast", "insertInto"):
             node = self._pick(self.elements)
+            if node is None:
+                return None
             op_class = {"insertIntoAsFirst": InsertIntoAsFirst,
                         "insertIntoAsLast": InsertIntoAsLast,
                         "insertInto": InsertInto}[kind]
             return op_class(node.node_id, [self._fresh_tree()])
         if kind == "insertAttributes":
             node = self._pick(self.elements)
+            if node is None:
+                return None
             return InsertAttributes(node.node_id,
                                     [self._fresh_attribute()])
         if kind == "delete":
@@ -132,7 +155,8 @@ class _PulBuilder:
                                 "rv{}".format(self.rng.randrange(10 ** 6)))
         if kind == "replaceChildren":
             node = self._pick(self.elements)
-            if ("replaceChildren", node.node_id) in self.used_replace:
+            if node is None or ("replaceChildren", node.node_id) in \
+                    self.used_replace:
                 return None
             self.used_replace.add(("replaceChildren", node.node_id))
             return ReplaceChildren(node.node_id,
@@ -140,7 +164,8 @@ class _PulBuilder:
         if kind == "rename":
             pool = self.elements + self.attributes
             node = self._pick(pool, exclude_root=False)
-            if ("rename", node.node_id) in self.used_replace:
+            if node is None or ("rename", node.node_id) in \
+                    self.used_replace:
                 return None
             self.used_replace.add(("rename", node.node_id))
             return Rename(node.node_id,
@@ -154,19 +179,41 @@ class _PulBuilder:
         return pul
 
 
-def generate_pul(document, size, seed=0, labeling=None, origin=None):
+def generate_pul(document, size, seed=0, labeling=None, origin=None,
+                 min_depth=0):
     """A PUL of ``size`` operations, evenly mixed over the 11 primitives,
-    applicable on ``document``."""
+    applicable on ``document``. ``min_depth > 0`` keeps every target at
+    least that deep (record-local edits; see :class:`_PulBuilder`)."""
     rng = random.Random(seed)
-    builder = _PulBuilder(document, rng, labeling=labeling)
+    builder = _PulBuilder(document, rng, labeling=labeling,
+                          min_depth=min_depth)
+    _fill(builder, size)
+    rng.shuffle(builder.ops)
+    return builder.build(origin=origin)
+
+
+def _fill(builder, size):
+    """Draw operations round-robin over the kinds until ``size`` is
+    reached; on a successful draw the attempt count equals the operation
+    count, so the kind sequence matches the historical generator. Bails
+    out when the (possibly ``min_depth``-filtered) pools cannot yield the
+    requested mix instead of spinning forever."""
     kinds = list(_OP_KINDS)
+    attempts = 0
+    limit = 16 * (size + len(kinds))
     while len(builder.ops) < size:
-        kind = kinds[len(builder.ops) % len(kinds)]
+        if attempts >= limit:
+            raise ReproError(
+                "cannot draw {} applicable operations: the target pools "
+                "are too small ({} elements, {} texts, {} attributes "
+                "after filtering)".format(
+                    size, len(builder.elements), len(builder.texts),
+                    len(builder.attributes)))
+        kind = kinds[attempts % len(kinds)]
+        attempts += 1
         op = builder.draw(kind)
         if op is not None:
             builder.ops.append(op)
-    rng.shuffle(builder.ops)
-    return builder.build(origin=origin)
 
 
 _REDUCIBLE_RECIPES = ("override-del", "override-desc", "collapse-insert",
@@ -183,12 +230,7 @@ def generate_reducible_pul(document, size, hit_ratio=0.1, seed=0,
     for index in range(pairs):
         recipe = _REDUCIBLE_RECIPES[index % len(_REDUCIBLE_RECIPES)]
         _plant_pair(builder, recipe, rng)
-    kinds = list(_OP_KINDS)
-    while len(builder.ops) < size:
-        kind = kinds[len(builder.ops) % len(kinds)]
-        op = builder.draw(kind)
-        if op is not None:
-            builder.ops.append(op)
+    _fill(builder, size)
     rng.shuffle(builder.ops)
     return builder.build(origin=origin)
 

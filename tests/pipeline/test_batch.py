@@ -1,0 +1,50 @@
+"""Batched streaming apply: chunking is invisible in the output."""
+
+import pytest
+
+from repro.apply.events import document_events, events_to_xml, parse_events
+from repro.apply.streaming import apply_streaming
+from repro.errors import ReproError
+from repro.pipeline import apply_batched, apply_batched_text, \
+    serialize_batches
+from repro.workloads import generate_pul
+from repro.xdm.serializer import serialize
+
+
+def test_rejects_bad_batch_size(figure1):
+    with pytest.raises(ReproError):
+        list(serialize_batches(document_events(figure1), batch_size=0))
+
+
+@pytest.mark.parametrize("batch_size", (1, 2, 7, 4096))
+def test_chunk_concatenation_is_plain_serialization(figure1, batch_size):
+    chunks = list(serialize_batches(document_events(figure1),
+                                    batch_size=batch_size))
+    assert "".join(chunks) == events_to_xml(document_events(figure1))
+    if batch_size == 1:
+        assert len(chunks) > 1
+
+
+def test_small_batches_yield_many_chunks(figure1):
+    assert len(list(serialize_batches(document_events(figure1),
+                                      batch_size=2))) > 2
+
+
+@pytest.mark.parametrize("batch_size", (1, 3, 1024))
+def test_apply_batched_matches_streaming_apply(figure1, figure1_labeling,
+                                               batch_size):
+    text = serialize(figure1)
+    pul = generate_pul(figure1, 15, seed=2, labeling=figure1_labeling)
+    fresh = figure1.allocator.next_value
+    expected = events_to_xml(apply_streaming(
+        parse_events(text), pul, fresh_start=fresh))
+    chunked = apply_batched_text(parse_events(text), pul,
+                                 batch_size=batch_size, fresh_start=fresh)
+    assert chunked == expected
+
+
+def test_apply_batched_is_lazy(figure1, figure1_labeling):
+    pul = generate_pul(figure1, 6, seed=4, labeling=figure1_labeling)
+    chunks = apply_batched(document_events(figure1), pul, batch_size=4)
+    first = next(chunks)
+    assert isinstance(first, str) and first

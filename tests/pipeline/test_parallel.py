@@ -1,0 +1,142 @@
+"""ParallelReducer backends, telemetry and failure recovery."""
+
+import pytest
+
+import repro.pipeline.parallel as parallel_mod
+from repro.errors import ReproError
+from repro.labeling import ContainmentLabeling
+from repro.pipeline import ParallelReducer, merge_shards
+from repro.pul.ops import Delete, InsertIntoAsLast, Rename
+from repro.pul.pul import PUL
+from repro.reduction import reduce_deterministic
+from repro.xdm import parse_document
+from repro.xdm.node import Node
+
+
+@pytest.fixture
+def pul():
+    """A PUL spanning eight independent subtrees (shards > 1 guaranteed)."""
+    document = parse_document("<r>" + "".join(
+        "<s{0}><c{0}>t</c{0}></s{0}>".format(i) for i in range(8)) + "</r>")
+    labeling = ContainmentLabeling().build(document)
+    ops = []
+    for index, subtree in enumerate(document.root.children):
+        # target the inner children: unlike the subtree roots they are
+        # not siblings of one another, so each subtree is one component
+        child = subtree.children[0]
+        ops.append(Rename(child.node_id, "x{}".format(index)))
+        if index % 2:
+            ops.append(Delete(child.children[0].node_id))
+        else:
+            ops.append(InsertIntoAsLast(child.node_id,
+                                        [Node.element("n")]))
+    pul = PUL(ops)
+    pul.attach_labels(labeling)
+    return pul
+
+
+def test_rejects_unknown_backend():
+    with pytest.raises(ReproError):
+        ParallelReducer(backend="gpu")
+
+
+def test_rejects_bad_worker_count():
+    with pytest.raises(ReproError):
+        ParallelReducer(workers=0)
+
+
+@pytest.mark.parametrize("backend", ("serial", "thread"))
+def test_backends_match_sequential_reduction(backend, pul):
+    outcome = ParallelReducer(workers=4, backend=backend).reduce(pul)
+    assert merge_shards(outcome.reduced) == reduce_deterministic(pul)
+    assert outcome.input_ops == len(pul)
+    assert outcome.output_ops == sum(len(s) for s in outcome.reduced)
+    assert outcome.failures == []
+
+
+@pytest.mark.slow
+def test_process_backend_matches_sequential_reduction(pul):
+    outcome = ParallelReducer(workers=2, backend="process").reduce(pul)
+    assert merge_shards(outcome.reduced) == reduce_deterministic(pul)
+
+
+def test_wire_mode_matches_sequential_reduction(pul):
+    from repro.pipeline.shard import shard_pul
+    from repro.pul.serialize import pul_from_xml, pul_to_xml
+
+    payloads = [pul_to_xml(s) for s in shard_pul(pul, 4)]
+    with ParallelReducer(workers=4, backend="thread") as reducer:
+        reduced, failures = reducer.reduce_wire(payloads)
+    assert failures == []
+    merged = merge_shards([pul_from_xml(p) for p in reduced])
+    assert merged == reduce_deterministic(pul)
+
+
+def test_close_is_idempotent_and_pool_rewarms(pul):
+    reducer = ParallelReducer(workers=2, backend="thread")
+    first = reducer.reduce(pul)
+    reducer.close()
+    reducer.close()
+    second = reducer.reduce(pul)
+    reducer.close()
+    assert merge_shards(first.reduced) == merge_shards(second.reduced)
+
+
+def test_single_shard_short_circuits_to_serial(pul):
+    reducer = ParallelReducer(workers=4, backend="thread")
+    outcome = reducer.reduce(pul, num_shards=1)
+    assert outcome.backend == "serial"
+    assert len(outcome.shards) == 1
+
+
+class _FlakyReduce:
+    """Fails the first pool-side attempt on every other shard."""
+
+    def __init__(self, real):
+        self.real = real
+        self.calls = 0
+        self.failed = set()
+
+    def __call__(self, shard, deterministic):
+        self.calls += 1
+        key = id(shard)
+        if self.calls % 2 == 1 and key not in self.failed:
+            self.failed.add(key)
+            raise RuntimeError("worker crashed mid-batch")
+        return self.real(shard, deterministic)
+
+
+def test_worker_failure_mid_batch_is_recovered(monkeypatch, pul):
+    real = parallel_mod._reduce_shard
+    flaky = _FlakyReduce(real)
+    monkeypatch.setattr(parallel_mod, "_reduce_shard", flaky)
+    reducer = ParallelReducer(workers=4, backend="thread")
+    outcome = reducer.reduce(pul)
+    assert outcome.failures, "expected at least one recovered failure"
+    assert all(f.shard_index is not None for f in outcome.failures)
+    monkeypatch.setattr(parallel_mod, "_reduce_shard", real)
+    assert merge_shards(outcome.reduced) == reduce_deterministic(pul)
+
+
+def test_worker_failure_without_retry_raises(monkeypatch, pul):
+    def always_broken(shard, deterministic):
+        raise RuntimeError("worker crashed mid-batch")
+
+    monkeypatch.setattr(parallel_mod, "_reduce_shard", always_broken)
+    reducer = ParallelReducer(workers=4, backend="thread",
+                              retry_serial=False)
+    with pytest.raises(ReproError, match="pipeline workers failed"):
+        reducer.reduce(pul)
+
+
+def test_domain_errors_propagate_not_retried(monkeypatch, pul):
+    calls = []
+
+    def domain_error(shard, deterministic):
+        calls.append(1)
+        raise ReproError("shard is semantically broken")
+
+    monkeypatch.setattr(parallel_mod, "_reduce_shard", domain_error)
+    reducer = ParallelReducer(workers=4, backend="thread")
+    with pytest.raises(ReproError, match="semantically broken"):
+        reducer.reduce(pul)

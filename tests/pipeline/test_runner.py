@@ -1,0 +1,95 @@
+"""run_pipeline / CLI `pipeline` subcommand."""
+
+import io
+
+import pytest
+
+from repro.apply.inmemory import apply_in_memory
+from repro.cli import main
+from repro.pipeline import run_pipeline
+from repro.pul.serialize import pul_to_xml
+from repro.reduction import reduce_deterministic
+from repro.workloads import generate_pul
+from repro.xdm.serializer import serialize
+
+
+@pytest.fixture
+def pul(figure1, figure1_labeling):
+    return generate_pul(figure1, 30, seed=7, labeling=figure1_labeling)
+
+
+class TestRunPipeline:
+    def test_matches_sequential_reference(self, figure1, pul):
+        text = serialize(figure1)
+        expected = apply_in_memory(text, reduce_deterministic(pul))
+        result = run_pipeline(text, pul, workers=4, backend="serial")
+        assert result.text == expected
+
+    def test_attaches_missing_labels(self, figure1, pul):
+        bare = pul.replace_operations(pul.operations())
+        bare.labels.clear()
+        result = run_pipeline(serialize(figure1), bare, workers=4,
+                              backend="serial")
+        assert result.text == run_pipeline(
+            serialize(figure1), pul, workers=4, backend="serial").text
+
+    def test_input_pul_is_not_mutated(self, figure1, pul):
+        bare = pul.replace_operations(pul.operations())
+        bare.labels.clear()
+        run_pipeline(serialize(figure1), bare, workers=2, backend="serial")
+        assert bare.labels == {}
+
+    def test_stats_shape(self, figure1, pul):
+        result = run_pipeline(serialize(figure1), pul, workers=4,
+                              backend="serial")
+        stats = result.stats()
+        assert stats["backend"] == "serial"
+        assert stats["workers"] == 4
+        assert stats["shards"] == len(stats["shard_sizes"])
+        assert stats["input_ops"] == len(pul)
+        assert stats["reduced_ops"] <= stats["input_ops"]
+        assert stats["failures"] == 0
+
+    def test_accepts_document_instance(self, figure1, pul):
+        from_doc = run_pipeline(figure1, pul, workers=2, backend="serial")
+        from_text = run_pipeline(serialize(figure1), pul, workers=2,
+                                 backend="serial")
+        assert from_doc.text == from_text.text
+
+
+class TestCliPipeline:
+    @pytest.fixture
+    def paths(self, tmp_path, figure1, pul):
+        doc_path = tmp_path / "doc.xml"
+        doc_path.write_text(serialize(figure1))
+        pul_path = tmp_path / "p.pul"
+        pul_path.write_text(pul_to_xml(pul))
+        return str(doc_path), str(pul_path)
+
+    def _run(self, argv):
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_parallel_matches_sequential_flag(self, paths):
+        doc_path, pul_path = paths
+        code, parallel = self._run(
+            ["pipeline", doc_path, pul_path, "--workers", "4",
+             "--backend", "thread"])
+        assert code == 0
+        code, sequential = self._run(
+            ["pipeline", doc_path, pul_path, "--sequential"])
+        assert code == 0
+        assert parallel == sequential
+
+    def test_shards_override(self, paths, capsys):
+        doc_path, pul_path = paths
+        code, __ = self._run(
+            ["pipeline", doc_path, pul_path, "--backend", "serial",
+             "--shards", "8"])
+        assert code == 0
+
+    def test_missing_file_fails_cleanly(self, paths):
+        doc_path, __ = paths
+        code, __ = self._run(["pipeline", doc_path, "/nonexistent.pul"])
+        assert code == 2

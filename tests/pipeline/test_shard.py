@@ -1,0 +1,227 @@
+"""Unit tests for containment-interval sharding."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.pipeline.shard import partition_targets, shard_pul
+from repro.pul.ops import Delete, InsertAfter, InsertBefore, Rename
+from repro.pul.pul import PUL
+from repro.reasoning import DocumentOracle
+from repro.workloads import generate_pul
+from repro.xdm import parse_document
+from repro.xdm.node import Node
+
+
+def _component_sets(components):
+    return {frozenset(component) for component in components}
+
+
+def _find(document, path):
+    """Node id at a /-separated child-index path like '0/2/1'."""
+    node = document.root
+    for step in filter(None, path.split("/")):
+        node = node.children[int(step)]
+    return node.node_id
+
+
+@pytest.fixture
+def wide_doc():
+    """Root with four independent element subtrees."""
+    return parse_document(
+        "<r><a><a1/><a2/></a><b><b1/></b><c><c1/><c2/></c><d/></r>")
+
+
+class TestPartitionTargets:
+    def test_disjoint_subtrees_stay_apart(self, wide_doc):
+        oracle = DocumentOracle(wide_doc)
+        a1 = _find(wide_doc, "0/0")
+        c1 = _find(wide_doc, "2/0")
+        components = partition_targets([a1, c1], oracle)
+        assert _component_sets(components) == {
+            frozenset([a1]), frozenset([c1])}
+
+    def test_ancestor_descendant_grouped(self, wide_doc):
+        oracle = DocumentOracle(wide_doc)
+        a = _find(wide_doc, "0")
+        a2 = _find(wide_doc, "0/1")
+        components = partition_targets([a, a2], oracle)
+        assert _component_sets(components) == {frozenset([a, a2])}
+
+    def test_ancestor_chain_transitively_grouped(self, wide_doc):
+        oracle = DocumentOracle(wide_doc)
+        root = wide_doc.root.node_id
+        a = _find(wide_doc, "0")
+        a1 = _find(wide_doc, "0/0")
+        b = _find(wide_doc, "1")
+        components = partition_targets([root, a, a1, b], oracle)
+        # the root contains everything: a single component
+        assert _component_sets(components) == {
+            frozenset([root, a, a1, b])}
+
+    def test_adjacent_siblings_grouped(self, wide_doc):
+        oracle = DocumentOracle(wide_doc)
+        a1 = _find(wide_doc, "0/0")
+        a2 = _find(wide_doc, "0/1")
+        components = partition_targets([a1, a2], oracle)
+        assert _component_sets(components) == {frozenset([a1, a2])}
+
+    def test_nonadjacent_siblings_stay_apart(self, wide_doc):
+        oracle = DocumentOracle(wide_doc)
+        a = _find(wide_doc, "0")   # <a> and <c> are two apart
+        c = _find(wide_doc, "2")
+        components = partition_targets([a, c], oracle)
+        assert _component_sets(components) == {
+            frozenset([a]), frozenset([c])}
+
+    def test_attribute_grouped_with_element(self, small_doc):
+        oracle = DocumentOracle(small_doc)
+        d = next(n for n in small_doc.nodes()
+                 if n.is_element and n.name == "d")
+        attr = d.attributes[0]
+        components = partition_targets([d.node_id, attr.node_id], oracle)
+        assert _component_sets(components) == {
+            frozenset([d.node_id, attr.node_id])}
+
+    def test_unknown_targets_share_one_component(self, wide_doc):
+        oracle = DocumentOracle(wide_doc)
+        a1 = _find(wide_doc, "0/0")
+        components = partition_targets([a1, 777777, 888888], oracle)
+        assert _component_sets(components) == {
+            frozenset([a1]), frozenset([777777, 888888])}
+
+
+class TestRefinedPartition:
+    """With per-target operation names, only rule-capable pairs connect."""
+
+    def test_renames_on_adjacent_siblings_stay_apart(self, wide_doc):
+        oracle = DocumentOracle(wide_doc)
+        a1, a2 = _find(wide_doc, "0/0"), _find(wide_doc, "0/1")
+        components = partition_targets(
+            {a1: {"rename"}, a2: {"rename"}}, oracle)
+        assert _component_sets(components) == {
+            frozenset([a1]), frozenset([a2])}
+
+    def test_sibling_insert_join_connects(self, wide_doc):
+        oracle = DocumentOracle(wide_doc)
+        a1, a2 = _find(wide_doc, "0/0"), _find(wide_doc, "0/1")
+        components = partition_targets(
+            {a1: {"insertAfter"}, a2: {"insertBefore"}}, oracle)
+        assert _component_sets(components) == {frozenset([a1, a2])}
+
+    def test_repn_left_of_insert_before_connects(self, wide_doc):
+        oracle = DocumentOracle(wide_doc)
+        a1, a2 = _find(wide_doc, "0/0"), _find(wide_doc, "0/1")
+        components = partition_targets(
+            {a1: {"replaceNode"}, a2: {"insertBefore"}}, oracle)
+        assert _component_sets(components) == {frozenset([a1, a2])}
+
+    def test_nonkiller_ancestor_stays_apart(self, wide_doc):
+        oracle = DocumentOracle(wide_doc)
+        a, a1 = _find(wide_doc, "0"), _find(wide_doc, "0/0")
+        components = partition_targets(
+            {a: {"rename"}, a1: {"rename"}}, oracle)
+        assert _component_sets(components) == {
+            frozenset([a]), frozenset([a1])}
+
+    def test_killer_ancestor_captures_descendants(self, wide_doc):
+        oracle = DocumentOracle(wide_doc)
+        a, a1 = _find(wide_doc, "0"), _find(wide_doc, "0/0")
+        components = partition_targets(
+            {a: {"delete"}, a1: {"rename"}}, oracle)
+        assert _component_sets(components) == {frozenset([a, a1])}
+
+    def test_child_insert_parent_connects_to_receiver_child(
+            self, wide_doc):
+        oracle = DocumentOracle(wide_doc)
+        a, a1 = _find(wide_doc, "0"), _find(wide_doc, "0/0")
+        components = partition_targets(
+            {a: {"insertInto"}, a1: {"insertBefore"}}, oracle)
+        assert _component_sets(components) == {frozenset([a, a1])}
+
+    def test_child_insert_parent_with_rename_child_stays_apart(
+            self, wide_doc):
+        oracle = DocumentOracle(wide_doc)
+        a, a1 = _find(wide_doc, "0"), _find(wide_doc, "0/0")
+        components = partition_targets(
+            {a: {"insertInto"}, a1: {"rename"}}, oracle)
+        assert _component_sets(components) == {
+            frozenset([a]), frozenset([a1])}
+
+
+class TestShardPul:
+    def test_rejects_bad_shard_count(self, wide_doc):
+        with pytest.raises(ReproError):
+            shard_pul(PUL(), 0, structure=DocumentOracle(wide_doc))
+
+    def test_empty_pul_one_empty_shard(self, wide_doc):
+        shards = shard_pul(PUL(origin="p"), 4,
+                           structure=DocumentOracle(wide_doc))
+        assert len(shards) == 1
+        assert len(shards[0]) == 0
+        assert shards[0].origin == "p"
+
+    def test_single_shard_is_whole_pul(self, wide_doc, figure1_labeling,
+                                       figure1):
+        pul = generate_pul(figure1, 12, seed=3, labeling=figure1_labeling)
+        shards = shard_pul(pul, 1)
+        assert len(shards) == 1
+        assert shards[0].operations() == pul.operations()
+
+    def test_shards_partition_the_operations(self, wide_doc):
+        oracle = DocumentOracle(wide_doc)
+        a1 = _find(wide_doc, "0/0")
+        b1 = _find(wide_doc, "1/0")
+        c1 = _find(wide_doc, "2/0")
+        d = _find(wide_doc, "3")
+        ops = [Rename(a1, "x"), Delete(b1), Rename(c1, "y"),
+               Rename(d, "z"), Delete(c1)]
+        pul = PUL(ops)
+        shards = shard_pul(pul, 4, structure=oracle)
+        rejoined = [op for shard in shards for op in shard]
+        assert sorted(op.describe() for op in rejoined) == \
+            sorted(op.describe() for op in ops)
+        # same-target ops never split across shards
+        for shard in shards:
+            assert {op.target for op in shard}.isdisjoint(
+                {op.target for other in shards if other is not shard
+                 for op in other})
+
+    def test_relative_order_preserved_within_shard(self, wide_doc):
+        oracle = DocumentOracle(wide_doc)
+        a1 = _find(wide_doc, "0/0")
+        a2 = _find(wide_doc, "0/1")
+        # ins→(a1) / ins←(a2) joins the two targets (rule I18)
+        pul = PUL([Rename(a2, "n1"), InsertAfter(a1, [Node.element("t")]),
+                   Delete(a2), InsertBefore(a2, [Node.element("u")])])
+        [shard] = [s for s in shard_pul(pul, 4, structure=oracle) if len(s)]
+        assert [op.describe() for op in shard] == \
+            [op.describe() for op in pul]
+
+    def test_labels_restricted_to_shard_targets(self, figure1,
+                                                figure1_labeling):
+        pul = generate_pul(figure1, 20, seed=5, labeling=figure1_labeling)
+        for shard in shard_pul(pul, 8):
+            assert set(shard.labels) <= set(pul.labels)
+            for op in shard:
+                if op.target in pul.labels:
+                    assert op.target in shard.labels
+
+    def test_balanced_when_components_allow(self, wide_doc):
+        oracle = DocumentOracle(wide_doc)
+        targets = [_find(wide_doc, "0/0"), _find(wide_doc, "1/0"),
+                   _find(wide_doc, "2/0"), _find(wide_doc, "3")]
+        pul = PUL([Rename(t, "n") for t in targets])
+        shards = shard_pul(pul, 4, structure=oracle)
+        assert sorted(len(s) for s in shards) == [1, 1, 1, 1]
+
+    def test_sibling_insert_pair_lands_together(self, wide_doc):
+        """ins→(v) and ins←(right-sibling(v)) can interact (rule I18):
+        they must share a shard."""
+        oracle = DocumentOracle(wide_doc)
+        a1 = _find(wide_doc, "0/0")
+        a2 = _find(wide_doc, "0/1")
+        pul = PUL([InsertAfter(a1, [Node.element("t1")]),
+                   InsertBefore(a2, [Node.element("t2")])])
+        shards = [s for s in shard_pul(pul, 4, structure=oracle) if len(s)]
+        assert len(shards) == 1
+        assert len(shards[0]) == 2

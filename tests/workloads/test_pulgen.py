@@ -12,6 +12,7 @@ from repro.workloads import (
     generate_sequential_puls,
     generate_xmark,
 )
+from repro.xdm import parse_document
 from repro.xdm.compare import canonical_string
 
 
@@ -87,3 +88,26 @@ class TestSequentialPuls:
         snapshot = canonical_string(xmark.root, with_ids=True)
         generate_sequential_puls(xmark, 3, 40, seed=10)
         assert canonical_string(xmark.root, with_ids=True) == snapshot
+
+
+class TestMinDepth:
+    def test_targets_respect_min_depth(self):
+        from repro.xdm.navigation import depth
+        document = parse_document(
+            "<r><s><c>t</c></s><u><v>w</v></u></r>")
+        pul = generate_pul(document, 8, seed=1, min_depth=2)
+        for op in pul:
+            assert depth(document.find(op.target)) >= 2
+
+    def test_unreachable_depth_raises_cleanly(self):
+        from repro.errors import ReproError
+        document = parse_document("<a><b/></a>")
+        with pytest.raises(ReproError, match="target pools are too small"):
+            generate_pul(document, 5, min_depth=5)
+
+    def test_sparse_pools_terminate(self):
+        # replaceValue can never draw here (no texts/attributes at the
+        # depth); generation must still finish rather than spin forever
+        document = parse_document("<a><b/></a>")
+        pul = generate_pul(document, 9, min_depth=1)
+        assert len(pul) == 9
