@@ -2,11 +2,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-xquery-pul",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Reproduction of 'Updating XML documents through PULs' "
-        "(EDBT 2011): PUL reduction, aggregation, integration, and a "
-        "sharded parallel pipeline"),
+        "(EDBT 2011): PUL reduction, aggregation, integration, a "
+        "sharded parallel pipeline, and a resident multi-document "
+        "update store with incremental relabeling"),
     author="paper-repo-growth",
     license="MIT",
     package_dir={"": "src"},

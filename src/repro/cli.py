@@ -12,7 +12,12 @@ Subcommands mirror the library's pipeline (``-`` reads stdin):
   default);
 * ``pipeline``  — shard a PUL, reduce the shards in parallel
   (``--workers N``), merge and apply through the batched streaming path;
-* ``invert``    — compute the inverse of a PUL against its document.
+* ``invert``    — compute the inverse of a PUL against its document;
+* ``store``     — the resident multi-document update store:
+  ``store serve`` speaks the line protocol of
+  :mod:`repro.store.service` on stdin/stdout (or ``--script FILE``),
+  ``store bench`` reports resident-incremental vs parse+full-relabel
+  throughput.
 
 Examples::
 
@@ -39,6 +44,8 @@ from repro.pul.inverse import invert_pul
 from repro.pul.serialize import pul_from_xml, pul_to_xml
 from repro.reasoning import DocumentOracle
 from repro.reduction import canonical_form, reduce_deterministic, reduce_pul
+from repro.store import DEFAULT_MAX_CODE_LENGTH, DocumentStore, StoreService
+from repro.store.bench import run_store_benchmark
 from repro.xdm.parser import parse_document
 from repro.xquery import compile_pul
 
@@ -158,6 +165,28 @@ def cmd_pipeline(args, out):
     return 0
 
 
+def cmd_store_serve(args, out):
+    store = DocumentStore(workers=args.workers, backend=args.backend,
+                          max_code_length=args.max_code_length,
+                          on_conflict=args.on_conflict)
+    service = StoreService(store)
+    if args.script:
+        with open(args.script, "r", encoding="utf-8") as handle:
+            return service.serve(handle, out)
+    return service.serve(sys.stdin, out)
+
+
+def cmd_store_bench(args, out):
+    report = run_store_benchmark(
+        scale=args.scale, clients=args.clients, rounds=args.rounds,
+        ops_per_round=args.ops, workers=args.workers,
+        backend=args.backend, max_code_length=args.max_code_length,
+        seed=args.seed, min_depth=args.min_depth)
+    for line in report.lines():
+        out.write(line + "\n")
+    return 0
+
+
 def cmd_invert(args, out):
     document = _load_document(args.document)
     pul = _load_pul(args.pul)
@@ -233,6 +262,46 @@ def build_parser():
     pipeline_cmd.add_argument("--sequential", action="store_true",
                               help="single-shard serial reference run")
     pipeline_cmd.set_defaults(func=cmd_pipeline)
+
+    store_cmd = commands.add_parser(
+        "store", help="resident multi-document update store")
+    store_commands = store_cmd.add_subparsers(dest="store_command",
+                                              required=True)
+
+    def _store_options(parser_):
+        parser_.add_argument("--workers", type=int, default=2,
+                             help="concurrent reduction workers")
+        parser_.add_argument("--backend", default="thread",
+                             choices=("process", "thread", "serial"))
+        parser_.add_argument("--max-code-length", type=int,
+                             default=DEFAULT_MAX_CODE_LENGTH,
+                             help="containment-code headroom budget "
+                                  "before a full relabel")
+
+    serve_cmd = store_commands.add_parser(
+        "serve", help="drive the store over the line protocol "
+                      "(stdin/stdout)")
+    _store_options(serve_cmd)
+    serve_cmd.add_argument("--script", default=None,
+                           help="read commands from a file instead of "
+                                "stdin")
+    serve_cmd.add_argument("--on-conflict", default="error",
+                           choices=("error", "reconcile"))
+    serve_cmd.set_defaults(func=cmd_store_serve)
+
+    store_bench_cmd = store_commands.add_parser(
+        "bench", help="resident-incremental vs parse+full-relabel "
+                      "throughput")
+    _store_options(store_bench_cmd)
+    store_bench_cmd.add_argument("--scale", type=float, default=0.05,
+                                 help="XMark document scale")
+    store_bench_cmd.add_argument("--clients", type=int, default=4)
+    store_bench_cmd.add_argument("--rounds", type=int, default=8)
+    store_bench_cmd.add_argument("--ops", type=int, default=50,
+                                 help="operations per round")
+    store_bench_cmd.add_argument("--seed", type=int, default=11)
+    store_bench_cmd.add_argument("--min-depth", type=int, default=0)
+    store_bench_cmd.set_defaults(func=cmd_store_bench)
 
     invert_cmd = commands.add_parser(
         "invert", help="compute the inverse of a PUL")

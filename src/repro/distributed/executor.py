@@ -93,7 +93,11 @@ class Executor:
                 document_events(self.document), pul,
                 fresh_start=self.document.allocator.next_value,
                 labeling=self.labeling)
-            self.document = events_to_document(output)
+            # carrying the allocator over keeps removed-node identifiers
+            # burned across versions (a fresh allocator would restart at
+            # the highest *live* id and could resurrect them)
+            self.document = events_to_document(
+                output, allocator=self.document.allocator)
         else:
             apply_pul(self.document, pul, preserve_ids=True)
             self.labeling.sync(self.document)

@@ -13,24 +13,31 @@ class PULMessage:
 
     ``sequence`` orders the PULs of one producer (sequential intent);
     ``base_version`` is the document version the PUL was produced against
-    (parallel intent groups PULs by base version).
+    (parallel intent groups PULs by base version). ``doc_id`` names the
+    resident document the PUL targets — ``None`` for the single-document
+    executor, a store key when addressing a
+    :class:`~repro.store.store.DocumentStore`.
     """
 
-    __slots__ = ("payload", "origin", "sequence", "base_version")
+    __slots__ = ("payload", "origin", "sequence", "base_version", "doc_id")
 
-    def __init__(self, payload, origin, sequence=0, base_version=0):
+    def __init__(self, payload, origin, sequence=0, base_version=0,
+                 doc_id=None):
         self.payload = payload
         self.origin = origin
         self.sequence = sequence
         self.base_version = base_version
+        self.doc_id = doc_id
 
     def size_bytes(self):
         return len(self.payload.encode("utf-8"))
 
     def __repr__(self):
-        return "PULMessage(origin={!r}, seq={}, base=v{}, {} bytes)".format(
-            self.origin, self.sequence, self.base_version,
-            self.size_bytes())
+        doc = "" if self.doc_id is None else \
+            ", doc={!r}".format(self.doc_id)
+        return "PULMessage(origin={!r}, seq={}, base=v{}{}, {} bytes)" \
+            .format(self.origin, self.sequence, self.base_version, doc,
+                    self.size_bytes())
 
 
 class ShardEnvelope:
@@ -38,14 +45,16 @@ class ShardEnvelope:
 
     ``shard_index`` / ``shard_count`` identify the shard's position in the
     batch (results must be merged in shard order); ``base_version`` is the
-    document version the parent PUL was produced against.
+    document version the parent PUL was produced against. ``doc_id``
+    names the resident store document the shard belongs to, so reduction
+    workers serving a multi-document store can address their results.
     """
 
     __slots__ = ("payload", "origin", "shard_index", "shard_count",
-                 "base_version")
+                 "base_version", "doc_id")
 
     def __init__(self, payload, origin, shard_index, shard_count,
-                 base_version=0):
+                 base_version=0, doc_id=None):
         if not 0 <= shard_index < shard_count:
             raise ValueError(
                 "shard_index {} out of range for {} shards".format(
@@ -55,14 +64,17 @@ class ShardEnvelope:
         self.shard_index = shard_index
         self.shard_count = shard_count
         self.base_version = base_version
+        self.doc_id = doc_id
 
     def size_bytes(self):
         return len(self.payload.encode("utf-8"))
 
     def __repr__(self):
-        return "ShardEnvelope(origin={!r}, shard={}/{}, base=v{}, " \
+        doc = "" if self.doc_id is None else \
+            ", doc={!r}".format(self.doc_id)
+        return "ShardEnvelope(origin={!r}, shard={}/{}, base=v{}{}, " \
             "{} bytes)".format(self.origin, self.shard_index,
-                               self.shard_count, self.base_version,
+                               self.shard_count, self.base_version, doc,
                                self.size_bytes())
 
 

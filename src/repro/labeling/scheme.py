@@ -23,6 +23,7 @@ class ContainmentLabeling:
     def __init__(self, encoder=None):
         self.encoder = encoder or CDBSEncoder()
         self._labels = {}
+        self._max_code_len = 0
 
     # -- lookup -------------------------------------------------------------
 
@@ -51,13 +52,37 @@ class ContainmentLabeling:
     def import_label(self, label):
         """Register a label received from a peer (PUL deserialization)."""
         self._labels[label.node_id] = label
+        self._track(label.start, label.end)
         return label
+
+    # -- code headroom -------------------------------------------------------
+
+    @property
+    def max_code_length(self):
+        """Length of the longest containment code ever installed.
+
+        Repeated insertions between adjacent codes grow code length by
+        roughly one digit each, so this is the headroom indicator the
+        update-tolerance property trades on: once it crosses a caller's
+        budget, a full :meth:`build` rebalances every code back to
+        ``O(log n)`` digits. The counter is monotone under incremental
+        maintenance (dropping long-coded nodes does not shrink it — a
+        deliberately conservative reading of the remaining headroom) and
+        resets on :meth:`build`.
+        """
+        return self._max_code_len
+
+    def _track(self, *codes):
+        for code in codes:
+            if len(code) > self._max_code_len:
+                self._max_code_len = len(code)
 
     # -- construction --------------------------------------------------------
 
     def build(self, document):
         """Label every node of ``document`` with balanced fresh codes."""
         self._labels = {}
+        self._max_code_len = 0
         if document.root is None:
             return self
         slots = _boundary_slots(document.root)
@@ -76,6 +101,7 @@ class ContainmentLabeling:
         """
         if document.root is None:
             self._labels = {}
+            self._max_code_len = 0
             return self
         slots = _boundary_slots(document.root)
         live = {node.node_id for node, _ in slots}
@@ -130,6 +156,7 @@ class ContainmentLabeling:
                     parent_id=(node.parent.node_id
                                if node.parent is not None else None),
                 )
+                self._track(start, codes[index])
         if open_code:
             raise LabelingError("unbalanced boundary sequence")
 
@@ -191,6 +218,7 @@ class ContainmentLabeling:
                     parent_id=(node.parent.node_id
                                if node.parent is not None else parent_id),
                 )
+                self._track(start, codes[index])
         for tree in trees:
             self._refresh_pointers(tree)
         previous = None

@@ -1,0 +1,30 @@
+"""Resident multi-document update store (serving layer).
+
+The store keeps parsed documents and their containment labelings warm
+between update batches, coalesces concurrent-client PUL streams, routes
+batches through the sharded reduction pipeline and maintains labels
+incrementally (full-relabel fallback on code-headroom exhaustion). See
+``store.py`` for the machinery, ``baseline.py`` for the stateless
+differential oracle, ``service.py`` for the line protocol, and this
+package's README for the invariants.
+"""
+
+from repro.store.baseline import StatelessBaseline
+from repro.store.service import StoreService
+from repro.store.store import (
+    DEFAULT_MAX_CODE_LENGTH,
+    BatchResult,
+    DocumentStore,
+    StoredDocument,
+    coalesce_batch,
+)
+
+__all__ = [
+    "DEFAULT_MAX_CODE_LENGTH",
+    "BatchResult",
+    "DocumentStore",
+    "StatelessBaseline",
+    "StoredDocument",
+    "StoreService",
+    "coalesce_batch",
+]

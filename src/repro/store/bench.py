@@ -1,0 +1,112 @@
+"""Store throughput measurement: resident-incremental vs stateless.
+
+One session = one concurrent-client workload
+(:func:`~repro.workloads.clientgen.generate_client_batches`) flushed
+round by round through
+
+* the resident :class:`~repro.store.store.DocumentStore` (documents and
+  labelings stay warm; labels maintained incrementally, full relabel only
+  on code-headroom exhaustion), and
+* the :class:`~repro.store.baseline.StatelessBaseline` (per batch:
+  re-parse + full relabel + sequential reduce + apply — the cost model of
+  a service that keeps nothing resident).
+
+Outputs are byte-compared after every round, so the benchmark doubles as
+an end-to-end differential check; the returned report carries per-mode
+wall times, batch counts and relabel telemetry.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.store.baseline import StatelessBaseline
+from repro.store.store import DEFAULT_MAX_CODE_LENGTH, DocumentStore
+from repro.workloads.clientgen import generate_client_batches
+from repro.workloads.xmark import generate_xmark
+from repro.xdm.serializer import serialize
+
+
+class BenchReport:
+    """Timings and telemetry of one resident-vs-stateless comparison."""
+
+    __slots__ = ("rounds", "clients", "ops_per_round", "nodes",
+                 "resident_time", "stateless_time", "incremental_relabels",
+                 "full_relabels", "max_code_length", "verified")
+
+    def __init__(self, **fields):
+        for slot in self.__slots__:
+            setattr(self, slot, fields[slot])
+
+    @property
+    def speedup(self):
+        if not self.resident_time:
+            return float("inf")
+        return self.stateless_time / self.resident_time
+
+    def lines(self):
+        yield ("workload: {} rounds x {} ops from {} clients on {} nodes"
+               .format(self.rounds, self.ops_per_round, self.clients,
+                       self.nodes))
+        yield ("resident-incremental: {:8.4f}s  ({} incremental / {} full "
+               "relabels, max code {} digits)".format(
+                   self.resident_time, self.incremental_relabels,
+                   self.full_relabels, self.max_code_length))
+        yield "parse+full-relabel:   {:8.4f}s".format(self.stateless_time)
+        yield ("speedup: {:.2f}x  ({})".format(
+            self.speedup,
+            "outputs byte-identical every round" if self.verified
+            else "VERIFICATION FAILED"))
+
+
+def run_store_benchmark(scale=0.05, clients=4, rounds=8, ops_per_round=50,
+                        workers=2, backend="serial",
+                        max_code_length=DEFAULT_MAX_CODE_LENGTH, seed=11,
+                        min_depth=0):
+    """Run one resident-vs-stateless session; returns a
+    :class:`BenchReport`. Raises if any round's outputs diverge."""
+    document = generate_xmark(scale=scale, seed=7)
+    text = serialize(document)
+    nodes = sum(1 for __ in document.nodes())
+    batches, expected = generate_client_batches(
+        document, clients=clients, rounds=rounds,
+        ops_per_round=ops_per_round, seed=seed, min_depth=min_depth)
+
+    store = DocumentStore(workers=workers, backend=backend,
+                          max_code_length=max_code_length)
+    baseline = StatelessBaseline(measure_parse=True)
+    store.open("bench", text)
+    baseline.open("bench", text)
+    resident_time = 0.0
+    stateless_time = 0.0
+    verified = True
+    try:
+        for submissions in batches:
+            for client, pul in submissions:
+                store.submit("bench", pul.copy(), client=client)
+                baseline.submit("bench", pul.copy(), client=client)
+            start = time.perf_counter()
+            store.flush("bench")
+            resident_time += time.perf_counter() - start
+            start = time.perf_counter()
+            baseline.flush("bench")
+            stateless_time += time.perf_counter() - start
+            if store.text("bench") != baseline.text("bench"):
+                verified = False
+                break
+        if verified and store.text("bench") != serialize(expected):
+            verified = False
+        stats = store.stats("bench")
+    finally:
+        store.close()
+    if not verified:
+        raise AssertionError(
+            "resident and stateless outputs diverged — the incremental "
+            "relabeling machinery is broken")
+    return BenchReport(
+        rounds=rounds, clients=clients, ops_per_round=ops_per_round,
+        nodes=nodes, resident_time=resident_time,
+        stateless_time=stateless_time,
+        incremental_relabels=stats["incremental_relabels"],
+        full_relabels=stats["full_relabels"],
+        max_code_length=stats["max_code_length"], verified=verified)

@@ -1,0 +1,155 @@
+"""A line-oriented front end for the document store.
+
+``repro store serve`` speaks a tiny text protocol on stdin/stdout so the
+store can be driven by scripts, tests and interactive sessions without a
+network stack (the prototype boundary the paper draws in Section 6 —
+transport is pluggable, the store is the contract):
+
+::
+
+    open <doc-id> <xml-file>          make a document resident
+    submit <doc-id> <pul-file> [client]   queue a PUL (exchange format)
+    flush <doc-id>                    coalesce + execute pending PULs
+    flush-all                         flush every resident document
+    discard <doc-id>                  withdraw pending submissions
+                                      (e.g. after a rejected flush)
+    text <doc-id> [out-file]          serialized current document
+    stats [doc-id]                    per-document counters
+    docs                              list resident document ids
+    quit                              shut the store down and exit
+
+Every request yields exactly one response line starting with ``ok`` or
+``error``, so callers can pipeline commands.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.pul.serialize import pul_from_xml
+from repro.store.store import DocumentStore
+
+
+class StoreService:
+    """Stateful command interpreter over one :class:`DocumentStore`."""
+
+    def __init__(self, store=None):
+        self.store = store or DocumentStore()
+        self.closed = False
+
+    # -- command handlers ----------------------------------------------------
+
+    def _cmd_open(self, doc_id, path):
+        with open(path, "r", encoding="utf-8") as handle:
+            entry = self.store.open(doc_id, handle.read())
+        return "ok opened {} nodes={} version={}".format(
+            doc_id, len(entry.document), entry.version)
+
+    def _cmd_submit(self, doc_id, path, client=None):
+        with open(path, "r", encoding="utf-8") as handle:
+            pul = pul_from_xml(handle.read())
+        depth = self.store.submit(doc_id, pul, client=client)
+        return "ok queued {} ops={} depth={}".format(
+            doc_id, len(pul), depth)
+
+    def _cmd_flush(self, doc_id):
+        result = self.store.flush(doc_id)
+        if result is None:
+            return "ok flushed {} nothing-pending".format(doc_id)
+        return ("ok flushed {} version={} clients={} ops={}->{} "
+                "relabel={}".format(
+                    result.doc_id, result.version, result.clients,
+                    result.submitted_ops, result.reduced_ops,
+                    result.relabel))
+
+    def _cmd_flush_all(self):
+        results = self.store.flush_all()
+        return "ok flushed-all batches={} ops={}".format(
+            len(results), sum(r.reduced_ops for r in results))
+
+    def _cmd_text(self, doc_id, path=None):
+        text = self.store.text(doc_id)
+        if path is None:
+            # the protocol promises one response line per request, but
+            # text nodes may contain newlines; emit them as character
+            # references (unambiguous: a literal "&#10;" in a value is
+            # serialized as "&amp;#10;"), so the inline form parses back
+            # to the same document. File output stays verbatim.
+            inline = text.replace("\r", "&#13;").replace("\n", "&#10;")
+            return "ok text {} {}".format(doc_id, inline)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return "ok wrote {} bytes={}".format(
+            path, len(text.encode("utf-8")))
+
+    def _cmd_stats(self, doc_id=None):
+        if doc_id is not None:
+            stats = [self.store.stats(doc_id)]
+        else:
+            stats = self.store.stats()
+        rendered = " ".join(
+            "{doc_id}:v{version}/nodes={nodes}/pending={pending}"
+            "/batches={batches}/inc={incremental_relabels}"
+            "/full={full_relabels}/maxcode={max_code_length}".format(**s)
+            for s in stats)
+        return "ok stats {}".format(rendered or "-")
+
+    def _cmd_discard(self, doc_id):
+        dropped = self.store.discard_pending(doc_id)
+        return "ok discarded {} submissions={}".format(doc_id, dropped)
+
+    def _cmd_docs(self):
+        return "ok docs {}".format(
+            " ".join(self.store.doc_ids()) or "-")
+
+    def _cmd_quit(self):
+        self.store.close()
+        self.closed = True
+        return "ok bye"
+
+    _COMMANDS = {
+        "open": (_cmd_open, 2, 2),
+        "submit": (_cmd_submit, 2, 3),
+        "flush": (_cmd_flush, 1, 1),
+        "flush-all": (_cmd_flush_all, 0, 0),
+        "discard": (_cmd_discard, 1, 1),
+        "text": (_cmd_text, 1, 2),
+        "stats": (_cmd_stats, 0, 1),
+        "docs": (_cmd_docs, 0, 0),
+        "quit": (_cmd_quit, 0, 0),
+    }
+
+    # -- dispatch ------------------------------------------------------------
+
+    def handle_line(self, line):
+        """Execute one command line; returns the one-line response, or
+        ``None`` for blank/comment lines."""
+        words = line.strip().split()
+        if not words or words[0].startswith("#"):
+            return None
+        name, args = words[0], words[1:]
+        spec = self._COMMANDS.get(name)
+        if spec is None:
+            return "error unknown command {!r}".format(name)
+        handler, least, most = spec
+        if not least <= len(args) <= most:
+            return "error {} takes {}..{} arguments, got {}".format(
+                name, least, most, len(args))
+        try:
+            return handler(self, *args)
+        except (ReproError, OSError) as error:
+            return "error {}".format(error)
+
+    def serve(self, in_stream, out_stream):
+        """Drive the service from a line stream until ``quit`` or EOF."""
+        for line in in_stream:
+            response = self.handle_line(line)
+            if response is None:
+                continue
+            out_stream.write(response + "\n")
+            out_stream.flush()
+            if self.closed:
+                break
+        if not self.closed:
+            self.store.close()
+            self.closed = True
+        return 0

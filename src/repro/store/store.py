@@ -1,0 +1,421 @@
+"""The multi-document update store.
+
+A :class:`DocumentStore` is the serving-system generalization of the
+single-document :class:`~repro.distributed.executor.Executor`: it keeps
+many parsed documents *and their containment labelings* resident between
+update batches, accepts PUL submissions from concurrent clients, coalesces
+them into per-document batches, routes every batch through the sharded
+reduction pipeline (:mod:`repro.pipeline`) and makes it effective through
+the streaming evaluator — which maintains the labeling *incrementally*:
+only the nodes of touched subtrees gain or lose labels, existing
+containment codes are never rewritten (the update-tolerance property of
+Section 4.1).
+
+Incremental maintenance is not free forever: every insertion between two
+adjacent codes lengthens the fresh code by about one digit, so a hot spot
+degrades code length linearly with the number of batches that hit it.
+The store watches the labeling's :attr:`max_code_length` and, when it
+crosses ``max_code_length`` (the headroom budget), falls back to a full
+relabel — one :meth:`ContainmentLabeling.build` pass that rebalances every
+code back to ``O(log n)`` digits. The differential test suite checks that
+the resident-incremental path stays byte-identical to the stateless
+parse → reduce → apply → full-relabel baseline
+(:class:`~repro.store.baseline.StatelessBaseline`) on every batch.
+
+Batch coalescing follows the paper's two intents: submissions from the
+*same* client within a window are a sequential chain and are collapsed
+with the aggregation engine (later PULs may target nodes inserted by
+earlier ones — rule D6); the per-client aggregates are then parallel
+intents and are merged as a union (Definition 5). An incompatible union
+either fails the batch (``on_conflict="error"``, the default — no partial
+state is published) or is reconciled under per-client policies
+(``on_conflict="reconcile"``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.aggregation import aggregate
+from repro.apply.events import document_events, events_to_document
+from repro.apply.streaming import apply_streaming
+from repro.distributed.messages import ShardEnvelope
+from repro.errors import ReproError
+from repro.integration import reconcile
+from repro.labeling.scheme import ContainmentLabeling
+from repro.pipeline.merge import merge_shards
+from repro.pipeline.parallel import ParallelReducer
+from repro.pipeline.shard import shard_pul
+from repro.pul.pul import merge as merge_puls
+from repro.pul.serialize import pul_from_xml, pul_to_xml
+from repro.xdm.document import Document
+from repro.xdm.parser import parse_document
+from repro.xdm.serializer import serialize
+
+#: default headroom budget: containment codes may grow to this many digits
+#: before the store schedules a full relabel of the document
+DEFAULT_MAX_CODE_LENGTH = 64
+
+
+def coalesce_batch(pending, labeling, on_conflict="error", policies=None):
+    """Collapse pending submissions into one batch PUL.
+
+    ``pending`` is a list of ``(arrival, client, pul)``. Same-client runs
+    are sequential chains (collapsed with the aggregation engine, arrival
+    order); distinct clients are parallel intents (merged as a union —
+    Definition 5 — or reconciled under ``policies`` when
+    ``on_conflict="reconcile"``). Labels for all targets are attached from
+    ``labeling``. Shared by the resident store and the stateless baseline
+    so the two differ only in the machinery under test.
+    """
+    by_client = {}
+    order = []
+    for arrival, client, pul in sorted(pending, key=lambda p: p[0]):
+        if client not in by_client:
+            by_client[client] = []
+            order.append(client)
+        by_client[client].append(pul)
+    aggregates = []
+    for client in order:
+        chain = by_client[client]
+        combined = chain[0].copy() if len(chain) == 1 else aggregate(chain)
+        combined.attach_labels(labeling)
+        aggregates.append(combined)
+    if len(aggregates) == 1:
+        return aggregates[0]
+    if on_conflict == "reconcile":
+        return reconcile(aggregates, policies=policies or {})
+    merged = aggregates[0]
+    for other in aggregates[1:]:
+        merged = merge_puls(merged, other)
+    return merged
+
+
+class BatchResult:
+    """Telemetry of one flushed batch."""
+
+    __slots__ = ("doc_id", "version", "clients", "submitted_ops",
+                 "reduced_ops", "shard_sizes", "relabel", "failures",
+                 "max_code_length")
+
+    def __init__(self, doc_id, version, clients, submitted_ops,
+                 reduced_ops, shard_sizes, relabel, failures,
+                 max_code_length):
+        self.doc_id = doc_id
+        self.version = version
+        self.clients = clients
+        self.submitted_ops = submitted_ops
+        self.reduced_ops = reduced_ops
+        self.shard_sizes = shard_sizes
+        self.relabel = relabel          # "incremental" | "full"
+        self.failures = failures
+        self.max_code_length = max_code_length
+
+    def __repr__(self):
+        return ("BatchResult(doc={!r}, v{}, {} clients, {} -> {} ops, "
+                "relabel={})".format(
+                    self.doc_id, self.version, self.clients,
+                    self.submitted_ops, self.reduced_ops, self.relabel))
+
+
+class StoredDocument:
+    """One resident document: tree, labeling, version, pending queue."""
+
+    __slots__ = ("doc_id", "document", "labeling", "version", "lock",
+                 "flush_lock", "pending", "batches",
+                 "incremental_relabels", "full_relabels")
+
+    def __init__(self, doc_id, document, labeling):
+        self.doc_id = doc_id
+        self.document = document
+        self.labeling = labeling
+        self.version = 0
+        self.lock = threading.Lock()         # guards `pending`
+        self.flush_lock = threading.Lock()   # serializes batch execution
+        self.pending = []   # (arrival index, client, PUL) in arrival order
+        self.batches = 0
+        self.incremental_relabels = 0
+        self.full_relabels = 0
+
+    def stats(self):
+        return {
+            "doc_id": self.doc_id,
+            "version": self.version,
+            "nodes": len(self.document),
+            "pending": len(self.pending),
+            "batches": self.batches,
+            "incremental_relabels": self.incremental_relabels,
+            "full_relabels": self.full_relabels,
+            "max_code_length": self.labeling.max_code_length,
+        }
+
+
+class DocumentStore:
+    """Resident multi-document server over the sharded pipeline.
+
+    Parameters
+    ----------
+    workers / backend:
+        Concurrency of the per-batch shard reduction (a single warm
+        :class:`ParallelReducer` pool is shared by all documents).
+    max_code_length:
+        Headroom budget: when the labeling's longest containment code
+        exceeds this many digits after a batch, the document is fully
+        relabeled (codes rebalanced); below it, labels are maintained
+        incrementally.
+    on_conflict:
+        ``"error"`` (reject the whole batch, pending queue preserved) or
+        ``"reconcile"`` (resolve cross-client conflicts under
+        ``policies`` through the integration layer).
+    policies:
+        ``client name -> ProducerPolicy`` used by ``"reconcile"``.
+    """
+
+    def __init__(self, workers=2, backend="thread",
+                 max_code_length=DEFAULT_MAX_CODE_LENGTH,
+                 on_conflict="error", policies=None):
+        if on_conflict not in ("error", "reconcile"):
+            raise ReproError(
+                "on_conflict must be 'error' or 'reconcile', got {!r}"
+                .format(on_conflict))
+        if max_code_length < 1:
+            raise ReproError("max_code_length must be >= 1, got {}"
+                             .format(max_code_length))
+        self.workers = workers
+        self.max_code_length = max_code_length
+        self.on_conflict = on_conflict
+        self.policies = dict(policies) if policies else {}
+        self._entries = {}
+        self._lock = threading.Lock()
+        self._arrivals = 0
+        self._reducer = ParallelReducer(workers=workers, backend=backend)
+
+    # -- document lifecycle --------------------------------------------------
+
+    def open(self, doc_id, source):
+        """Make ``source`` (XML text or a :class:`Document`) resident
+        under ``doc_id``; parses and labels it once."""
+        if not isinstance(source, Document):
+            source = parse_document(source)
+        labeling = ContainmentLabeling().build(source)
+        entry = StoredDocument(doc_id, source, labeling)
+        with self._lock:
+            if doc_id in self._entries:
+                raise ReproError(
+                    "document {!r} is already resident".format(doc_id))
+            self._entries[doc_id] = entry
+        return entry
+
+    def close_document(self, doc_id):
+        """Evict a resident document (pending submissions are lost)."""
+        with self._lock:
+            self._entries.pop(self._require(doc_id).doc_id)
+
+    def doc_ids(self):
+        with self._lock:
+            return sorted(self._entries)
+
+    def __contains__(self, doc_id):
+        with self._lock:
+            return doc_id in self._entries
+
+    def _require(self, doc_id):
+        entry = self._entries.get(doc_id)
+        if entry is None:
+            raise ReproError(
+                "no resident document {!r} (open it first)".format(doc_id))
+        return entry
+
+    def document(self, doc_id):
+        return self._require(doc_id).document
+
+    def labeling(self, doc_id):
+        return self._require(doc_id).labeling
+
+    def version(self, doc_id):
+        return self._require(doc_id).version
+
+    def text(self, doc_id):
+        """Serialized text of the resident document."""
+        return serialize(self._require(doc_id).document)
+
+    def stats(self, doc_id=None):
+        if doc_id is not None:
+            return self._require(doc_id).stats()
+        with self._lock:
+            entries = list(self._entries.values())
+        return [entry.stats() for entry in entries]
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, doc_id, pul, client=None):
+        """Queue ``pul`` against ``doc_id``; returns the queue depth.
+
+        Thread-safe: concurrent clients may submit against the same
+        document. ``client`` defaults to the PUL's origin; submissions
+        sharing a client name are treated as that client's sequential
+        chain when the batch is coalesced.
+        """
+        entry = self._require(doc_id)
+        if client is None:
+            client = pul.origin
+        with self._lock:
+            arrival = self._arrivals
+            self._arrivals += 1
+        with entry.lock:
+            entry.pending.append((arrival, client, pul))
+            return len(entry.pending)
+
+    def discard_pending(self, doc_id):
+        """Withdraw everything queued against ``doc_id`` (e.g. after a
+        rejected flush); returns the discarded submission count."""
+        entry = self._require(doc_id)
+        with entry.lock:
+            dropped = len(entry.pending)
+            entry.pending = []
+        return dropped
+
+    def submit_message(self, message):
+        """Route a :class:`~repro.distributed.messages.PULMessage` to the
+        resident document named by its ``doc_id``."""
+        if message.doc_id is None:
+            raise ReproError(
+                "message {!r} carries no doc_id; the store cannot route "
+                "it".format(message))
+        pul = pul_from_xml(message.payload)
+        if pul.origin is None:
+            pul.origin = message.origin
+        return self.submit(message.doc_id, pul,
+                           client=message.origin or pul.origin)
+
+    # -- batch execution -----------------------------------------------------
+
+    def flush(self, doc_id, num_shards=None):
+        """Coalesce and execute everything pending against ``doc_id``.
+
+        Returns a :class:`BatchResult`, or ``None`` when nothing was
+        pending. Concurrent flushes of the same document are serialized
+        (submissions stay concurrent). On a coalescing or application
+        error the pending queue is restored untouched and the labeling —
+        which the streaming evaluator mutates in place — is rebuilt from
+        the unchanged document, so no partial batch state is ever
+        published.
+        """
+        entry = self._require(doc_id)
+        with entry.flush_lock:
+            with entry.lock:
+                pending = entry.pending
+                entry.pending = []
+            if not pending:
+                return None
+            try:
+                result = self._execute_batch(entry, pending, num_shards)
+            except Exception:
+                with entry.lock:
+                    entry.pending = pending + entry.pending
+                # a mid-stream failure may have left labels for nodes
+                # that were never published; relabeling the (unchanged)
+                # document restores consistency
+                entry.labeling.build(entry.document)
+                raise
+        return result
+
+    def flush_all(self, num_shards=None):
+        """Flush every resident document; returns its batch results.
+
+        One document's failing batch must not starve the others: every
+        document is attempted, each failing one keeps its pending queue
+        (per :meth:`flush`), and a single :class:`ReproError` naming all
+        failures is raised afterwards.
+        """
+        results = []
+        errors = []
+        for doc_id in self.doc_ids():
+            try:
+                result = self.flush(doc_id, num_shards=num_shards)
+            except ReproError as error:
+                errors.append((doc_id, error))
+                continue
+            if result is not None:
+                results.append(result)
+        if errors:
+            raise ReproError(
+                "flush failed for {}: {}".format(
+                    ", ".join(repr(doc_id) for doc_id, __ in errors),
+                    "; ".join(str(error) for __, error in errors)))
+        return results
+
+    def _execute_batch(self, entry, pending, num_shards):
+        batch = coalesce_batch(pending, entry.labeling,
+                               on_conflict=self.on_conflict,
+                               policies=self.policies)
+        submitted = len(batch)
+        shards = shard_pul(batch, num_shards or self.workers)
+        outcome = self._reducer.reduce_shards(shards)
+        reduced = merge_shards(outcome.reduced)
+        document = entry.document
+        output = apply_streaming(
+            document_events(document), reduced,
+            fresh_start=document.allocator.next_value,
+            labeling=entry.labeling)
+        # keep the original allocator: identifiers of removed nodes stay
+        # burned across batches (the never-reused discipline)
+        entry.document = events_to_document(output,
+                                            allocator=document.allocator)
+        entry.version += 1
+        entry.batches += 1
+        if entry.labeling.max_code_length > self.max_code_length:
+            entry.labeling.build(entry.document)
+            entry.full_relabels += 1
+            relabel = "full"
+        else:
+            entry.incremental_relabels += 1
+            relabel = "incremental"
+        return BatchResult(
+            doc_id=entry.doc_id, version=entry.version,
+            clients=len({client for __, client, __unused in pending}),
+            submitted_ops=submitted, reduced_ops=len(reduced),
+            shard_sizes=[len(s) for s in shards], relabel=relabel,
+            failures=list(outcome.failures),
+            max_code_length=entry.labeling.max_code_length)
+
+    # -- distributed hand-off ------------------------------------------------
+
+    def dispatch_shards(self, doc_id, pul, num_shards, network=None):
+        """Partition ``pul`` against the resident labeling and wrap the
+        shards as doc-targeted :class:`ShardEnvelope` messages, so remote
+        reduction workers can name the resident document they serve."""
+        entry = self._require(doc_id)
+        pul = pul.copy()
+        pul.attach_labels(entry.labeling)
+        shards = shard_pul(pul, num_shards)
+        envelopes = []
+        for index, shard in enumerate(shards):
+            envelope = ShardEnvelope(
+                pul_to_xml(shard), origin=pul.origin,
+                shard_index=index, shard_count=len(shards),
+                base_version=entry.version, doc_id=doc_id)
+            if network is not None:
+                network.send("store/{}".format(doc_id),
+                             "reducer-{}".format(index), envelope,
+                             kind="shard")
+            envelopes.append(envelope)
+        return envelopes
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self):
+        """Shut the shared reduction pool down (idempotent)."""
+        self._reducer.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def __repr__(self):
+        with self._lock:
+            count = len(self._entries)
+        return "DocumentStore({} documents, workers={})".format(
+            count, self.workers)

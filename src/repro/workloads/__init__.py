@@ -5,7 +5,10 @@
 * :mod:`repro.workloads.pulgen` — synthetic PULs with an even operation
   mix, controllable size, reducible-pair ratio and new-node ratio;
 * :mod:`repro.workloads.conflictgen` — families of PULs with a controlled
-  number/type/size of integration conflicts.
+  number/type/size of integration conflicts;
+* :mod:`repro.workloads.clientgen` — concurrent-client store traffic
+  (rounds of compatible PULs split over many submitters, with the
+  expected final document).
 """
 
 from repro.workloads.xmark import generate_xmark, xmark_text
@@ -15,6 +18,7 @@ from repro.workloads.pulgen import (
     generate_sequential_puls,
 )
 from repro.workloads.conflictgen import generate_conflicting_puls
+from repro.workloads.clientgen import generate_client_batches
 
 __all__ = [
     "generate_xmark",
@@ -23,4 +27,5 @@ __all__ = [
     "generate_reducible_pul",
     "generate_sequential_puls",
     "generate_conflicting_puls",
+    "generate_client_batches",
 ]

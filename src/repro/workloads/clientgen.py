@@ -1,0 +1,79 @@
+"""Concurrent-client store workloads.
+
+``generate_client_batches`` produces the traffic shape the document store
+serves: rounds of mutually compatible PULs, each round split across
+``clients`` concurrent submitters, every round applicable on the document
+as updated by the previous rounds. It simulates the store's own
+coalescing (per-client PULs are unioned in client order, reduced
+sequentially, applied with preserved identifiers) to keep its working
+copy — and therefore the target identifiers of later rounds — in
+lockstep with a resident :class:`~repro.store.store.DocumentStore` and
+with the stateless baseline, which is exactly what the differential
+harness needs.
+
+Compatibility across a round is by construction: each round is drawn as
+one applicable PUL (:func:`~repro.workloads.pulgen.generate_pul`, which
+admits no incompatible pairs) and then dealt round-robin to the clients,
+so the union the store rebuilds is the original PUL up to the reordering
+the coalescer performs. Attribute names are prefixed per round, keeping
+``insA`` parameters unique across the whole session.
+"""
+
+from __future__ import annotations
+
+from repro.pul.ops import InsertAttributes
+from repro.pul.pul import PUL
+from repro.pul.semantics import apply_pul
+from repro.reduction import reduce_deterministic
+from repro.workloads.pulgen import generate_pul
+
+
+def generate_client_batches(document, clients=4, rounds=5,
+                            ops_per_round=20, seed=0, min_depth=0):
+    """Build a concurrent-client workload against ``document``.
+
+    Returns ``(batches, final_document)``: ``batches`` is a list of
+    rounds, each round a list of ``(client name, PUL)`` submissions, and
+    ``final_document`` is the document every correct executor must reach
+    after flushing the rounds in order (``document`` itself is never
+    modified).
+    """
+    if clients < 1:
+        raise ValueError("clients must be >= 1, got {}".format(clients))
+    working = document.copy()
+    batches = []
+    for round_index in range(rounds):
+        pul = generate_pul(working, ops_per_round,
+                           seed=seed * 10007 + round_index,
+                           min_depth=min_depth)
+        _namespace_attributes(pul, round_index)
+        per_client = [[] for __ in range(clients)]
+        for position, op in enumerate(pul):
+            per_client[position % clients].append(op)
+        submissions = []
+        merged_ops = []
+        for index, ops in enumerate(per_client):
+            if not ops:
+                continue
+            name = "client-{}".format(index)
+            submissions.append((name, PUL(ops, origin=name)))
+            merged_ops.extend(ops)
+        batches.append(submissions)
+        # advance the working copy exactly the way the store coalesces:
+        # client unions in client order, sequential reduction, apply with
+        # producer identifiers preserved
+        reduced = reduce_deterministic(
+            PUL(merged_ops), structure=working)
+        apply_pul(working, reduced, check=False, preserve_ids=True)
+    return batches, working
+
+
+def _namespace_attributes(pul, round_index):
+    """Prefix generated attribute names with the round, so ``insA``
+    parameters of later rounds never collide with attributes inserted by
+    earlier ones (the per-round generator only guarantees uniqueness
+    within its own round)."""
+    for op in pul:
+        if isinstance(op, InsertAttributes):
+            for tree in op.trees:
+                tree.name = "r{}{}".format(round_index, tree.name)

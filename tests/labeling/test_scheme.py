@@ -168,3 +168,55 @@ class TestAssignTree:
         labeling.forget(2)
         assert 2 not in labeling
         labeling.forget(2)  # idempotent
+
+
+class TestMaxCodeLength:
+    def test_build_tracks_longest_code(self, small_doc):
+        labeling = ContainmentLabeling().build(small_doc)
+        expected = max(
+            max(len(l.start), len(l.end))
+            for l in labeling.as_mapping().values())
+        assert labeling.max_code_length == expected
+        assert ContainmentLabeling().max_code_length == 0
+
+    def test_grows_under_hot_spot_insertions(self, small_doc):
+        """Repeated insertion between the same neighbors lengthens codes
+        monotonically — the headroom signal the store's full-relabel
+        fallback watches."""
+        labeling = ContainmentLabeling().build(small_doc)
+        baseline = labeling.max_code_length
+        left = labeling.label_of(2).end
+        right = labeling.label_of(4).start
+        observed = [baseline]
+        for serial in range(8):
+            tree = Node.element("hot", node_id=200 + serial)
+            labeling.assign_tree([tree], parent_id=0, parent_level=0,
+                                 left_code=left, right_code=right)
+            left = labeling.label_of(tree.node_id).end
+            observed.append(labeling.max_code_length)
+        assert observed == sorted(observed)
+        assert observed[-1] > baseline
+
+    def test_full_rebuild_rebalances(self, small_doc):
+        labeling = ContainmentLabeling().build(small_doc)
+        left = labeling.label_of(2).end
+        right = labeling.label_of(4).start
+        for serial in range(8):
+            tree = Node.element("hot", node_id=300 + serial)
+            labeling.assign_tree([tree], parent_id=0, parent_level=0,
+                                 left_code=left, right_code=right)
+            left = labeling.label_of(tree.node_id).end
+        degraded = labeling.max_code_length
+        document = small_doc.copy()
+        labeling.build(document)
+        assert labeling.max_code_length < degraded
+
+    def test_import_label_tracks(self, small_doc):
+        labeling = ContainmentLabeling().build(small_doc)
+        from repro.labeling.containment import ExtendedLabel
+        from repro.xdm.node import NodeType
+        long_code = "1" * (labeling.max_code_length + 5)
+        labeling.import_label(ExtendedLabel(
+            node_id=999, node_type=NodeType.ELEMENT,
+            start=long_code, end=long_code + "1", level=1))
+        assert labeling.max_code_length == len(long_code) + 1

@@ -1,0 +1,88 @@
+"""Round-trip properties of the PUL exchange format.
+
+The wire format is contribution (i) of the paper: a PUL — operations,
+parameter trees with producer-assigned identifiers, target labels, the
+producer name — must survive serialization unchanged, because executors
+reason on exactly what arrives. Hypothesis drives random applicable PULs
+(with the escaping-hostile origins and values of
+:mod:`tests.strategies`) through ``pul_to_xml`` / ``pul_from_xml``.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.pul.serialize import pul_from_xml, pul_to_xml
+
+from tests.strategies import wire_puls
+
+_SETTINGS = dict(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _tree_shape(node):
+    """Structure + ids + names + values of a parameter tree."""
+    return (
+        node.node_type.value,
+        node.node_id,
+        getattr(node, "name", None),
+        getattr(node, "value", None),
+        tuple(_tree_shape(attr) for attr in
+              (node.attributes if node.is_element else ())),
+        tuple(_tree_shape(child) for child in
+              (node.children if node.is_element else ())),
+    )
+
+
+@settings(**_SETTINGS)
+@given(wire_puls())
+def test_round_trip_is_identity(pul):
+    restored = pul_from_xml(pul_to_xml(pul))
+    assert restored == pul
+    assert restored.origin == (
+        None if pul.origin is None else str(pul.origin))
+
+
+@settings(**_SETTINGS)
+@given(wire_puls())
+def test_round_trip_preserves_labels_exactly(pul):
+    restored = pul_from_xml(pul_to_xml(pul))
+    expected = {target: pul.labels[target] for target in pul.targets()
+                if target in pul.labels}
+    assert restored.labels == expected
+    for target, label in restored.labels.items():
+        assert label == expected[target]
+        assert label.to_string() == expected[target].to_string()
+
+
+@settings(**_SETTINGS)
+@given(wire_puls())
+def test_round_trip_preserves_operation_order_and_trees(pul):
+    """Beyond multiset equality: the wire keeps the operation sequence
+    and every parameter tree node-for-node (ids included)."""
+    restored = pul_from_xml(pul_to_xml(pul))
+    assert len(restored) == len(pul)
+    for original, decoded in zip(pul, restored):
+        assert decoded.op_name == original.op_name
+        assert decoded.target == original.target
+        assert [_tree_shape(t) for t in decoded.trees] == \
+            [_tree_shape(t) for t in original.trees]
+
+
+@settings(**_SETTINGS)
+@given(wire_puls())
+def test_serialization_is_idempotent(pul):
+    """serialize ∘ deserialize is the identity on wire texts."""
+    wire = pul_to_xml(pul)
+    assert pul_to_xml(pul_from_xml(wire)) == wire
+
+
+@settings(**_SETTINGS)
+@given(wire_puls())
+def test_serialization_does_not_mutate_the_pul(pul):
+    before = [op.describe() for op in pul]
+    labels_before = dict(pul.labels)
+    pul_to_xml(pul)
+    assert [op.describe() for op in pul] == before
+    assert pul.labels == labels_before

@@ -1,0 +1,156 @@
+"""The store's line protocol (``repro store serve``)."""
+
+import io
+
+import pytest
+
+from repro.pul.ops import Rename
+from repro.pul.pul import PUL
+from repro.pul.serialize import pul_to_xml
+from repro.store import DocumentStore, StoreService
+from repro.xdm.parser import parse_document
+
+DOC = "<bib><paper><title>T1</title></paper></bib>"
+
+
+@pytest.fixture
+def service():
+    service = StoreService(DocumentStore(workers=2, backend="serial"))
+    yield service
+    if not service.closed:
+        service.store.close()
+
+
+@pytest.fixture
+def doc_file(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text(DOC, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def pul_file(tmp_path):
+    document = parse_document(DOC)
+    title = next(n for n in document.nodes()
+                 if n.is_element and n.name == "title")
+    pul = PUL([Rename(title.node_id, "headline")], origin="alice")
+    path = tmp_path / "rename.pul"
+    path.write_text(pul_to_xml(pul), encoding="utf-8")
+    return str(path)
+
+
+class TestCommands:
+    def test_full_session(self, service, doc_file, pul_file):
+        assert service.handle_line(
+            "open d1 {}".format(doc_file)).startswith("ok opened d1")
+        assert "depth=1" in service.handle_line(
+            "submit d1 {} alice".format(pul_file))
+        flushed = service.handle_line("flush d1")
+        assert "version=1" in flushed and "relabel=incremental" in flushed
+        assert "<headline>T1</headline>" in service.handle_line("text d1")
+        assert "d1:v1" in service.handle_line("stats d1")
+        assert service.handle_line("docs") == "ok docs d1"
+        assert service.handle_line("quit") == "ok bye"
+        assert service.closed
+
+    def test_flush_all_and_flush_idle(self, service, doc_file, pul_file):
+        service.handle_line("open d1 {}".format(doc_file))
+        assert "nothing-pending" in service.handle_line("flush d1")
+        service.handle_line("submit d1 {}".format(pul_file))
+        assert "batches=1" in service.handle_line("flush-all")
+
+    def test_text_to_file(self, service, doc_file, tmp_path):
+        service.handle_line("open d1 {}".format(doc_file))
+        out = tmp_path / "out.xml"
+        response = service.handle_line("text d1 {}".format(out))
+        assert response.startswith("ok wrote")
+        assert out.read_text(encoding="utf-8") == DOC
+
+    def test_discard_unwedges_a_rejected_batch(self, service, doc_file,
+                                               tmp_path):
+        from repro.pul.ops import ReplaceValue
+        document = parse_document(DOC)
+        victim = next(n.node_id for n in document.nodes() if n.is_text)
+        for name, value in (("a.pul", "from-a"), ("b.pul", "from-b")):
+            path = tmp_path / name
+            path.write_text(pul_to_xml(
+                PUL([ReplaceValue(victim, value)])), encoding="utf-8")
+        service.handle_line("open d1 {}".format(doc_file))
+        service.handle_line("submit d1 {} alice".format(tmp_path / "a.pul"))
+        service.handle_line("submit d1 {} bob".format(tmp_path / "b.pul"))
+        assert service.handle_line("flush d1").startswith("error")
+        assert service.handle_line("flush d1").startswith("error")
+        assert service.handle_line("discard d1") == \
+            "ok discarded d1 submissions=2"
+        assert "nothing-pending" in service.handle_line("flush d1")
+
+    def test_wrote_reports_utf8_bytes(self, service, tmp_path):
+        doc = tmp_path / "uni.xml"
+        doc.write_text("<a>café</a>", encoding="utf-8")
+        service.handle_line("open d1 {}".format(doc))
+        out = tmp_path / "out.xml"
+        response = service.handle_line("text d1 {}".format(out))
+        assert response == "ok wrote {} bytes={}".format(
+            out, len(out.read_bytes()))
+
+    def test_inline_text_is_always_one_line(self, service, tmp_path):
+        """Newlines in text nodes must not break the one-response-line
+        protocol; they travel as character references that parse back to
+        the same document."""
+        from repro.xdm.parser import parse_document
+        from repro.xdm.serializer import serialize
+        doc = tmp_path / "multi.xml"
+        doc.write_text("<a>line1\nline2</a>", encoding="utf-8")
+        service.handle_line("open d1 {}".format(doc))
+        response = service.handle_line("text d1")
+        assert "\n" not in response
+        payload = response.split(" ", 3)[3]
+        assert serialize(parse_document(payload)) == \
+            serialize(parse_document("<a>line1\nline2</a>"))
+
+    def test_blank_and_comment_lines_ignored(self, service):
+        assert service.handle_line("") is None
+        assert service.handle_line("   ") is None
+        assert service.handle_line("# comment") is None
+
+    def test_errors_are_lines_not_exceptions(self, service, doc_file):
+        assert service.handle_line("frobnicate").startswith(
+            "error unknown command")
+        assert "arguments" in service.handle_line("open d1")
+        assert service.handle_line("flush ghost").startswith("error")
+        assert service.handle_line(
+            "open d1 /no/such/file.xml").startswith("error")
+        service.handle_line("open d1 {}".format(doc_file))
+        assert service.handle_line(
+            "open d1 {}".format(doc_file)).startswith("error")
+
+    def test_stats_without_documents(self, service):
+        assert service.handle_line("stats") == "ok stats -"
+        assert service.handle_line("docs") == "ok docs -"
+
+
+class TestServeLoop:
+    def test_serve_runs_a_script(self, doc_file, pul_file):
+        script = io.StringIO(
+            "open d1 {doc}\n"
+            "submit d1 {pul} alice\n"
+            "flush d1\n"
+            "text d1\n"
+            "quit\n"
+            "open never-reached {doc}\n".format(doc=doc_file,
+                                                pul=pul_file))
+        out = io.StringIO()
+        service = StoreService(DocumentStore(workers=2, backend="serial"))
+        assert service.serve(script, out) == 0
+        lines = out.getvalue().splitlines()
+        assert len(lines) == 5  # nothing after quit
+        assert lines[0].startswith("ok opened")
+        assert lines[-1] == "ok bye"
+        assert service.closed
+
+    def test_serve_closes_on_eof(self, doc_file):
+        script = io.StringIO("open d1 {}\n".format(doc_file))
+        out = io.StringIO()
+        service = StoreService(DocumentStore(workers=2, backend="serial"))
+        service.serve(script, out)
+        assert service.closed

@@ -168,3 +168,31 @@ def applicable_puls(draw, document, max_ops=6, stamp_ids=False,
             ops.append(Rename(target.node_id,
                               draw(st.sampled_from(("rn1", "rn2")))))
     return PUL(ops)
+
+
+#: origins exercising the attribute-escaping path of the exchange format
+_ORIGINS = (None, "alice", "bob-7", 'pro"ducer', "a&b<c>d", "  spaced  ")
+
+#: values exercising text/attribute escaping on the wire
+_WIRE_VALUES = ('', 'plain', 'a&b', '<tag>', '"quoted"', "it's",
+                'mixed &<>"\' end', '  leading and trailing  ', '\t\n')
+
+
+@st.composite
+def wire_puls(draw, max_ops=6):
+    """A PUL as it travels on the wire: applicable on some document,
+    optionally producer-stamped parameter ids, target labels attached,
+    and an origin/value mix that exercises the XML escaping paths."""
+    from repro.labeling import ContainmentLabeling
+
+    document = draw(documents())
+    pul = draw(applicable_puls(document, max_ops=max_ops,
+                               stamp_ids=draw(st.booleans())))
+    if draw(st.booleans()):
+        labeling = ContainmentLabeling().build(document)
+        pul.attach_labels(labeling)
+    pul.origin = draw(st.sampled_from(_ORIGINS))
+    for op in pul:
+        if isinstance(op, ReplaceValue) and draw(st.booleans()):
+            op.value = draw(st.sampled_from(_WIRE_VALUES))
+    return pul

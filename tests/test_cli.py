@@ -156,3 +156,42 @@ class TestAggregateApplyInvert:
     def test_missing_file(self, doc_path):
         code, __ = run(["apply", doc_path, "/nonexistent.pul"])
         assert code == 2
+
+
+class TestStore:
+    def test_serve_script(self, doc_path, tmp_path):
+        pul_path = produce(doc_path, tmp_path,
+                           "rename node //title as headline",
+                           origin="alice")
+        script = tmp_path / "session.txt"
+        script.write_text(
+            "open d1 {doc}\n"
+            "submit d1 {pul} alice\n"
+            "flush d1\n"
+            "text d1\n"
+            "quit\n".format(doc=doc_path, pul=pul_path))
+        code, output = run(["store", "serve", "--backend", "serial",
+                            "--script", str(script)])
+        assert code == 0
+        lines = output.splitlines()
+        assert lines[0].startswith("ok opened d1")
+        assert any("relabel=incremental" in line for line in lines)
+        assert any("<headline>T</headline>" in line for line in lines)
+        assert lines[-1] == "ok bye"
+
+    def test_serve_reports_command_errors(self, tmp_path):
+        script = tmp_path / "session.txt"
+        script.write_text("flush nowhere\nquit\n")
+        code, output = run(["store", "serve", "--backend", "serial",
+                            "--script", str(script)])
+        assert code == 0
+        assert output.splitlines()[0].startswith("error")
+
+    def test_bench_reports_comparison(self):
+        code, output = run(["store", "bench", "--backend", "serial",
+                            "--scale", "0.01", "--rounds", "2",
+                            "--ops", "6", "--clients", "2"])
+        assert code == 0
+        assert "resident-incremental" in output
+        assert "parse+full-relabel" in output
+        assert "byte-identical" in output

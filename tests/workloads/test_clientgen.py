@@ -1,0 +1,102 @@
+"""The concurrent-client workload generator."""
+
+import pytest
+
+from repro.pul.ops import InsertAttributes
+from repro.pul.pul import PUL, merge
+from repro.pul.semantics import apply_pul
+from repro.reduction import reduce_deterministic
+from repro.workloads import generate_client_batches
+from repro.xdm.parser import parse_document
+from repro.xdm.serializer import serialize
+
+DOC = ("<bib><paper><title>T1</title><authors><author>A</author>"
+       "</authors></paper><paper><title>T2</title></paper>"
+       "<note>n</note></bib>")
+
+
+@pytest.fixture
+def document():
+    return parse_document(DOC)
+
+
+class TestShape:
+    def test_round_and_client_structure(self, document):
+        batches, final = generate_client_batches(
+            document, clients=3, rounds=4, ops_per_round=9, seed=1)
+        assert len(batches) == 4
+        for submissions in batches:
+            assert 1 <= len(submissions) <= 3
+            assert sum(len(pul) for __, pul in submissions) == 9
+            names = [client for client, __ in submissions]
+            assert names == sorted(set(names), key=names.index)
+            for client, pul in submissions:
+                assert pul.origin == client
+
+    def test_source_document_untouched(self, document):
+        before = serialize(document)
+        generate_client_batches(document, clients=2, rounds=3,
+                                ops_per_round=6, seed=2)
+        assert serialize(document) == before
+
+    def test_deterministic(self, document):
+        first, final1 = generate_client_batches(
+            document, clients=2, rounds=3, ops_per_round=6, seed=5)
+        second, final2 = generate_client_batches(
+            document, clients=2, rounds=3, ops_per_round=6, seed=5)
+        assert serialize(final1) == serialize(final2)
+        for round1, round2 in zip(first, second):
+            for (c1, p1), (c2, p2) in zip(round1, round2):
+                assert c1 == c2 and p1 == p2
+
+    def test_rejects_zero_clients(self, document):
+        with pytest.raises(ValueError):
+            generate_client_batches(document, clients=0)
+
+
+class TestSemantics:
+    def test_rounds_union_compatible(self, document):
+        batches, __ = generate_client_batches(
+            document, clients=4, rounds=3, ops_per_round=12, seed=3)
+        for submissions in batches:
+            union = submissions[0][1]
+            for __, pul in submissions[1:]:
+                union = merge(union, pul)  # raises on incompatibility
+
+    def test_attribute_names_unique_across_rounds(self, document):
+        batches, final = generate_client_batches(
+            document, clients=2, rounds=5, ops_per_round=10, seed=4)
+        names = []
+        for submissions in batches:
+            for __, pul in submissions:
+                for op in pul:
+                    if isinstance(op, InsertAttributes):
+                        names.extend(t.name for t in op.trees)
+        assert len(names) == len(set(names))
+        for element in final.nodes():
+            if element.is_element:
+                attrs = [a.name for a in element.attributes]
+                assert len(attrs) == len(set(attrs))
+
+    def test_final_document_matches_sequential_replay(self, document):
+        """Replaying each round (client unions in client order, reduced,
+        applied) reproduces the advertised final document."""
+        batches, final = generate_client_batches(
+            document, clients=3, rounds=4, ops_per_round=8, seed=6)
+        working = document.copy()
+        for submissions in batches:
+            ops = [op for __, pul in submissions for op in pul]
+            reduced = reduce_deterministic(PUL(ops), structure=working)
+            apply_pul(working, reduced, check=False, preserve_ids=True)
+        assert serialize(working) == serialize(final)
+
+    def test_later_rounds_target_earlier_insertions(self, document):
+        """With enough rounds some operation targets a node that did not
+        exist in the source document — the statefulness the store must
+        get right."""
+        source_ids = set(document.node_ids())
+        batches, __ = generate_client_batches(
+            document, clients=2, rounds=6, ops_per_round=10, seed=7)
+        targets = {op.target for submissions in batches[1:]
+                   for __, pul in submissions for op in pul}
+        assert targets - source_ids
