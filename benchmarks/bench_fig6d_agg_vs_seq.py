@@ -11,7 +11,6 @@ from repro.aggregation import aggregate
 from repro.apply.events import events_to_xml, parse_events
 from repro.apply.streaming import apply_streaming
 from repro.workloads import generate_sequential_puls
-from repro.xdm.serializer import serialize
 
 COUNTS = (2, 5, 10)
 OPS_PER_PUL = 200

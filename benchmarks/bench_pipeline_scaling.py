@@ -16,6 +16,7 @@ rather than hiding.
 """
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -84,13 +85,23 @@ def test_pipeline_wire_stage(benchmark, workload, workers):
 
 
 def _best_of(repeats, fn):
-    best = float("inf")
+    times, result = _timed(repeats, fn)
+    return min(times), result
+
+
+def _timed(repeats, fn):
+    times = []
     result = None
     for __ in range(repeats):
         start = time.perf_counter()
         result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
+        times.append(time.perf_counter() - start)
+    return times, result
+
+
+def _median(times):
+    ordered = sorted(times)
+    return ordered[len(ordered) // 2]
 
 
 def main(argv=None):
@@ -105,6 +116,9 @@ def main(argv=None):
     parser.add_argument("--backend", default="process",
                         choices=("process", "thread", "serial"))
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="write a machine-readable summary (name -> "
+                             "ops/sec, median wall time) here")
     args = parser.parse_args(argv)
 
     document = generate_xmark(scale=args.scale, seed=7)
@@ -116,8 +130,9 @@ def main(argv=None):
               args.scale, sum(1 for __ in document.nodes()), len(pul),
               args.min_depth, os.cpu_count()))
 
-    sequential_time, sequential = _best_of(
+    sequential_times, sequential = _timed(
         args.repeats, lambda: reduce_deterministic(pul))
+    sequential_time = min(sequential_times)
     print("sequential reduction: {:8.4f}s  ({} -> {} ops)".format(
         sequential_time, len(pul), len(sequential)))
 
@@ -183,6 +198,17 @@ def main(argv=None):
     print("\npeak wire-stage speedup {:.2f}x — {} the {:.1f}x target"
           " (parallel gains need >1 core; this host has {})".format(
               best, verdict, target, os.cpu_count()))
+
+    if args.json:
+        median = _median(sequential_times)
+        payload = {"bench_pipeline_scaling": {
+            "ops_per_sec": len(pul) / median if median else float("inf"),
+            "median_wall_s": median,
+            "peak_wire_speedup": best,
+        }}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print("wrote {}".format(args.json))
     return 0
 
 

@@ -1,0 +1,155 @@
+"""The CI benchmark-regression gate.
+
+Runs the three throughput benchmarks in smoke mode, merges their
+``--json`` summaries into one trajectory file ``BENCH_<pr>.json``
+(schema: ``benches.<name> -> {ops_per_sec, median_wall_s, ...}``), and
+compares every shared bench against the newest *committed*
+``BENCH_*.json``: a bench whose ops/sec fell by more than the tolerance
+(default ±30%) fails the gate. Improvements always pass — the committed
+file is a floor, not a pin — and a missing baseline passes trivially
+(first gated PR).
+
+The trajectory convention: each PR commits its own ``BENCH_<pr>.json``
+at the repo root, so the series of files records how throughput moved
+across the project's history, and CI uploads the freshly measured file
+as an artifact for drill-down.
+
+Usage (CI runs exactly this)::
+
+    python benchmarks/ci_gate.py --pr 3 --tolerance 0.30
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_DIR = os.path.join(REPO_ROOT, "benchmarks")
+
+#: bench script -> smoke-mode arguments. Kept small enough for CI, but
+#: large enough that each timed section runs >~100ms best-of-N — the
+#: ±30% gate needs measurements steadier than the tolerance.
+SMOKE_RUNS = (
+    ("bench_pipeline_scaling.py",
+     ["--ops", "4000", "--scale", "0.05", "--repeats", "5",
+      "--workers", "1", "2"]),
+    ("bench_store_throughput.py",
+     ["--scale", "0.05", "--rounds", "5", "--ops", "60",
+      "--repeats", "3"]),
+    ("bench_durability.py",
+     ["--scale", "0.05", "--rounds", "5", "--ops", "50", "--repeats", "3",
+      "--policy", "log", "--policy", "log+snapshot:2",
+      "--max-overhead", "2.5"]),
+)
+
+
+def committed_trajectories():
+    """``pr number -> path`` for every ``BENCH_<pr>.json`` in the repo
+    root."""
+    found = {}
+    for path in glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")):
+        match = re.match(r"^BENCH_(\d+)\.json$", os.path.basename(path))
+        if match:
+            found[int(match.group(1))] = path
+    return found
+
+
+def run_benches(runs=SMOKE_RUNS):
+    """Run each bench script with ``--json``; returns the merged
+    ``bench name -> metrics`` dict."""
+    benches = {}
+    for script, arguments in runs:
+        with tempfile.NamedTemporaryFile(
+                mode="r", suffix=".json", delete=False) as handle:
+            json_path = handle.name
+        command = [sys.executable, os.path.join(BENCH_DIR, script)]
+        command += list(arguments) + ["--json", json_path]
+        print("== {} {}".format(script, " ".join(arguments)), flush=True)
+        try:
+            subprocess.run(command, check=True)
+            with open(json_path, "r", encoding="utf-8") as handle:
+                benches.update(json.load(handle))
+        finally:
+            try:
+                os.unlink(json_path)
+            except OSError:
+                pass
+    return benches
+
+
+def compare(current, previous, tolerance):
+    """Return the list of regression messages (empty = gate passes)."""
+    failures = []
+    for name in sorted(set(current) & set(previous)):
+        now = current[name].get("ops_per_sec")
+        then = previous[name].get("ops_per_sec")
+        if not isinstance(now, (int, float)) \
+                or not isinstance(then, (int, float)) or not then:
+            continue
+        floor = then * (1.0 - tolerance)
+        verdict = "ok" if now >= floor else "REGRESSION"
+        print("{:>11} {:<24} {:>12.0f} ops/s vs {:>12.0f} "
+              "(floor {:>12.0f})".format(verdict, name, now, then, floor))
+        if now < floor:
+            failures.append(
+                "{}: {:.0f} ops/s is below the {:.0f} ops/s floor "
+                "({:.0f} ops/s committed, -{:.0%} tolerance)".format(
+                    name, now, floor, then, tolerance))
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="benchmark smoke runs + regression gate")
+    parser.add_argument("--pr", type=int, default=None,
+                        help="trajectory number to write (default: the "
+                             "highest committed BENCH_<n>.json number)")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed relative ops/sec drop (0.30 = "
+                             "-30%%)")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: "
+                             "BENCH_<pr>.json in the repo root)")
+    args = parser.parse_args(argv)
+
+    committed = committed_trajectories()
+    pr = args.pr if args.pr is not None else max(committed, default=0)
+    out_path = args.out or os.path.join(REPO_ROOT,
+                                        "BENCH_{}.json".format(pr))
+
+    # resolve the baseline before the fresh file can overwrite it
+    baseline_pr = max((n for n in committed if n <= pr), default=None)
+    previous = {}
+    if baseline_pr is not None:
+        with open(committed[baseline_pr], "r", encoding="utf-8") as handle:
+            previous = json.load(handle).get("benches", {})
+
+    benches = run_benches()
+    payload = {"pr": pr, "schema": "bench name -> ops_per_sec, "
+                                   "median_wall_s", "benches": benches}
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("\nwrote {}".format(out_path))
+
+    if not previous:
+        print("no committed baseline: gate passes trivially")
+        return 0
+    print("comparing against BENCH_{}.json (tolerance -{:.0%}):".format(
+        baseline_pr, args.tolerance))
+    failures = compare(benches, previous, args.tolerance)
+    if failures:
+        for failure in failures:
+            print("FAIL: {}".format(failure))
+        return 1
+    print("benchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

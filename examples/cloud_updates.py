@@ -62,6 +62,7 @@ def main():
     batched = events_to_xml(apply_streaming(
         parse_events(text), combined, check=False))
     aggregated_time = time.perf_counter() - start
+    assert batched == current, "the two strategies must agree"
 
     print("\nsequential passes: {:.3f}s".format(sequential_time))
     print("aggregate + one pass: {:.3f}s  ({} ops collapsed to {})"

@@ -16,6 +16,9 @@ Subcommands mirror the library's pipeline (``-`` reads stdin):
 * ``store``     — the resident multi-document update store:
   ``store serve`` speaks the line protocol of
   :mod:`repro.store.service` on stdin/stdout (or ``--script FILE``),
+  optionally durable (``--wal-dir``, ``--durability log+snapshot:N``);
+  ``store recover`` rebuilds state from a durability directory
+  (``--verify`` byte-compares against the stateless replay oracle);
   ``store bench`` reports resident-incremental vs parse+full-relabel
   throughput.
 
@@ -30,6 +33,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.aggregation import aggregate
@@ -44,7 +48,13 @@ from repro.pul.inverse import invert_pul
 from repro.pul.serialize import pul_from_xml, pul_to_xml
 from repro.reasoning import DocumentOracle
 from repro.reduction import canonical_form, reduce_deterministic, reduce_pul
-from repro.store import DEFAULT_MAX_CODE_LENGTH, DocumentStore, StoreService
+from repro.store import (
+    DEFAULT_MAX_CODE_LENGTH,
+    DocumentStore,
+    DurabilityPolicy,
+    StoreService,
+    replay_oracle,
+)
 from repro.store.bench import run_store_benchmark
 from repro.xdm.parser import parse_document
 from repro.xquery import compile_pul
@@ -165,15 +175,76 @@ def cmd_pipeline(args, out):
     return 0
 
 
+def _durability_policy(args):
+    """Resolve the --wal-dir/--durability/--snapshot-every flags."""
+    if args.wal_dir is None:
+        if args.durability not in (None, "off"):
+            raise ReproError(
+                "--durability {} needs --wal-dir".format(args.durability))
+        return None, None
+    policy = DurabilityPolicy.parse(args.durability or "log")
+    if policy.mode == "snapshot" and args.snapshot_every is not None:
+        policy = DurabilityPolicy(mode="snapshot",
+                                  snapshot_every=args.snapshot_every)
+    return policy, args.wal_dir
+
+
 def cmd_store_serve(args, out):
+    policy, wal_dir = _durability_policy(args)
     store = DocumentStore(workers=args.workers, backend=args.backend,
                           max_code_length=args.max_code_length,
-                          on_conflict=args.on_conflict)
+                          on_conflict=args.on_conflict,
+                          durability=policy, wal_dir=wal_dir)
+    if store.recovery is not None:
+        # the report goes to stderr so the protocol stream stays a pure
+        # one-response-per-command channel
+        for line in store.recovery.lines():
+            sys.stderr.write("recover: {}\n".format(line))
     service = StoreService(store)
     if args.script:
         with open(args.script, "r", encoding="utf-8") as handle:
             return service.serve(handle, out)
     return service.serve(sys.stdin, out)
+
+
+def cmd_store_recover(args, out):
+    policy = DurabilityPolicy.parse(args.durability or "log")
+    store = DocumentStore(workers=args.workers, backend=args.backend,
+                          max_code_length=args.max_code_length,
+                          durability=policy, wal_dir=args.wal_dir)
+    try:
+        report = store.recovery
+        if report is None:
+            out.write("nothing to recover: {} holds no durable state\n"
+                      .format(args.wal_dir))
+            return 0
+        for line in report.lines():
+            out.write(line + "\n")
+        if args.dump_dir is not None:
+            os.makedirs(args.dump_dir, exist_ok=True)
+            for doc_id, __ in report.documents:
+                path = os.path.join(args.dump_dir,
+                                    "{}.xml".format(doc_id))
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(store.text(doc_id))
+                out.write("wrote {}\n".format(path))
+        if args.verify:
+            oracle = replay_oracle(args.wal_dir)
+            failures = []
+            for doc_id, version in report.documents:
+                expected_text, expected_version = oracle[doc_id]
+                if (store.text(doc_id) != expected_text
+                        or version != expected_version):
+                    failures.append(doc_id)
+            if failures:
+                out.write("verify: FAILED for {}\n".format(
+                    ", ".join(repr(d) for d in failures)))
+                return 1
+            out.write("verify: recovered state matches the stateless "
+                      "replay oracle byte-for-byte\n")
+    finally:
+        store.close()
+    return 0
 
 
 def cmd_store_bench(args, out):
@@ -278,16 +349,46 @@ def build_parser():
                              help="containment-code headroom budget "
                                   "before a full relabel")
 
+    def _durability_options(parser_):
+        parser_.add_argument("--wal-dir", default=None,
+                             help="durability directory (write-ahead "
+                                  "log + snapshots); existing state is "
+                                  "recovered on start")
+        parser_.add_argument("--durability", default=None,
+                             help="off, log, or log+snapshot[:N] "
+                                  "(default: log when --wal-dir is set)")
+        parser_.add_argument("--snapshot-every", type=int, default=None,
+                             help="batches between snapshot compactions "
+                                  "(log+snapshot mode)")
+
     serve_cmd = store_commands.add_parser(
         "serve", help="drive the store over the line protocol "
                       "(stdin/stdout)")
     _store_options(serve_cmd)
+    _durability_options(serve_cmd)
     serve_cmd.add_argument("--script", default=None,
                            help="read commands from a file instead of "
                                 "stdin")
     serve_cmd.add_argument("--on-conflict", default="error",
                            choices=("error", "reconcile"))
     serve_cmd.set_defaults(func=cmd_store_serve)
+
+    recover_cmd = store_commands.add_parser(
+        "recover", help="rebuild store state from a durability "
+                        "directory and report it")
+    _store_options(recover_cmd)
+    recover_cmd.add_argument("--wal-dir", required=True,
+                             help="durability directory to recover")
+    recover_cmd.add_argument("--durability", default=None,
+                             help="policy to reopen the directory "
+                                  "under (default: log)")
+    recover_cmd.add_argument("--verify", action="store_true",
+                             help="byte-compare the recovered state "
+                                  "against the stateless replay oracle")
+    recover_cmd.add_argument("--dump-dir", default=None,
+                             help="write each recovered document's XML "
+                                  "into this directory")
+    recover_cmd.set_defaults(func=cmd_store_recover)
 
     store_bench_cmd = store_commands.add_parser(
         "bench", help="resident-incremental vs parse+full-relabel "

@@ -89,6 +89,16 @@ class ReconciliationError(ReproError):
         self.reason = reason
 
 
+class DurabilityError(ReproError):
+    """Raised on write-ahead-log or snapshot failures (bad frames outside
+    the tolerated torn tail, unwritable durability directories, ...)."""
+
+
+class RecoveryError(DurabilityError):
+    """Raised when a durable state cannot be reconstructed (no valid
+    snapshot generation, replay diverging from the logged versions)."""
+
+
 class QueryError(ReproError):
     """Base error for the XQuery Update front end."""
 

@@ -77,6 +77,17 @@ class ContainmentLabeling:
             if len(code) > self._max_code_len:
                 self._max_code_len = len(code)
 
+    def note_code_length(self, length):
+        """Raise the max-code-length watermark to ``length``.
+
+        Restoring a labeling from a durability snapshot must preserve the
+        watermark exactly: the tracker is monotone between rebuilds, so it
+        may exceed the longest code currently installed, and recomputing
+        it from the imported labels would under-read the spent headroom.
+        """
+        if length > self._max_code_len:
+            self._max_code_len = length
+
     # -- construction --------------------------------------------------------
 
     def build(self, document):

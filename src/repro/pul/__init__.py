@@ -41,4 +41,5 @@ __all__ = [
     "equivalent", "equivalent_by_canonical", "substitutable",
     "obtainable_strings",
     "pul_to_xml", "pul_from_xml",
+    "invert_pul",
 ]

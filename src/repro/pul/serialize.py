@@ -48,6 +48,25 @@ _ATTR_WRAPPER = "repro:attr"
 _TEXT_WRAPPER = "repro:text"
 
 
+def tree_to_xml(node):
+    """Serialize one tree in the exchange-format representation.
+
+    Unlike :func:`repro.xdm.serializer.serialize_node`, identifiers of
+    *every* node kind survive (text nodes are wrapped as ``repro:text``,
+    identified attributes hoisted as ``repro:attr``), so the round trip
+    through :func:`tree_from_xml` is lossless — the representation the
+    durability snapshots rely on.
+    """
+    parts = []
+    _write_tree(node, parts, top=True)
+    return "".join(parts)
+
+
+def tree_from_xml(text):
+    """Parse one :func:`tree_to_xml` document back into a detached tree."""
+    return _read_tree(parse_fragment(text, keep_whitespace=True))
+
+
 # -- writing -------------------------------------------------------------------
 
 

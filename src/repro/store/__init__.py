@@ -5,11 +5,18 @@ between update batches, coalesces concurrent-client PUL streams, routes
 batches through the sharded reduction pipeline and maintains labels
 incrementally (full-relabel fallback on code-headroom exhaustion). See
 ``store.py`` for the machinery, ``baseline.py`` for the stateless
-differential oracle, ``service.py`` for the line protocol, and this
-package's README for the invariants.
+differential oracle, ``service.py`` for the line protocol,
+``durability/`` for the write-ahead log, snapshot compaction and crash
+recovery, and this package's README for the invariants.
 """
 
 from repro.store.baseline import StatelessBaseline
+from repro.store.durability import (
+    DurabilityManager,
+    DurabilityPolicy,
+    RecoveryReport,
+    replay_oracle,
+)
 from repro.store.service import StoreService
 from repro.store.store import (
     DEFAULT_MAX_CODE_LENGTH,
@@ -23,8 +30,12 @@ __all__ = [
     "DEFAULT_MAX_CODE_LENGTH",
     "BatchResult",
     "DocumentStore",
+    "DurabilityManager",
+    "DurabilityPolicy",
+    "RecoveryReport",
     "StatelessBaseline",
     "StoredDocument",
     "StoreService",
     "coalesce_batch",
+    "replay_oracle",
 ]

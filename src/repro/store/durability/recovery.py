@@ -1,0 +1,436 @@
+"""Durability policies, the log/snapshot directory, and recovery.
+
+Directory layout (one directory per store)::
+
+    wal-00000000.log        record segments, one per generation
+    snapshot-00000003.snap  state after every record of generations <= 3
+
+The *generation* counter ties the two together: records append to the
+segment of the current generation; compaction seals that segment,
+writes a snapshot carrying the same generation number (atomic tmp +
+rename), opens the next generation's segment and only then deletes the
+files the snapshot made redundant. Every crash point in that sequence
+leaves a directory that recovers to the same state.
+
+Record payloads are JSON objects (framed by :mod:`.wal`):
+
+``{"kind": "open", "doc": <document payload>}``
+    a document became resident (the payload is the full snapshot-form
+    state, so replay restores identifiers and labels exactly);
+``{"kind": "batch", "doc_id": ..., "version": n, "clients": k,
+"pul": <exchange XML>}``
+    one coalesced batch, logged *before* application (write-ahead) —
+    version ``n`` is the version the batch produces;
+``{"kind": "relabel", "doc_id": ...}``
+    the store rebuilt the document's labeling outside the headroom rule
+    (the failed-flush recovery path); replayed so the label timeline
+    stays digit-identical;
+``{"kind": "close", "doc_id": ...}``
+    the document was evicted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+
+from repro.errors import DurabilityError, RecoveryError
+from repro.pul.serialize import pul_from_xml
+from repro.pul.semantics import apply_pul
+from repro.reduction import reduce_deterministic
+from repro.store.durability.snapshot import restore_document
+from repro.store.durability.wal import (
+    WalWriter,
+    read_single_record,
+    scan_wal,
+    truncate_torn_tail,
+    write_file_atomically,
+)
+from repro.xdm.serializer import serialize
+
+_WAL_PATTERN = re.compile(r"^wal-(\d{8})\.log$")
+_SNAP_PATTERN = re.compile(r"^snapshot-(\d{8})\.snap$")
+
+DEFAULT_SNAPSHOT_EVERY = 8
+
+
+class DurabilityPolicy:
+    """What the store promises to survive.
+
+    ``off``
+        nothing is written; a crash loses every batch (the PR-2
+        behaviour).
+    ``log``
+        every flushed batch is appended to the write-ahead log and
+        fsynced before the flush returns: an acknowledged batch is never
+        lost, recovery replays the log.
+    ``snapshot``
+        ``log`` plus compaction: every ``snapshot_every`` batches the
+        full store state is snapshotted and the log truncated, bounding
+        recovery time by the snapshot interval instead of the session
+        length.
+    """
+
+    MODES = ("off", "log", "snapshot")
+
+    __slots__ = ("mode", "snapshot_every", "fsync")
+
+    def __init__(self, mode="off", snapshot_every=DEFAULT_SNAPSHOT_EVERY,
+                 fsync=True):
+        if mode not in self.MODES:
+            raise DurabilityError(
+                "durability mode must be one of {}, got {!r}".format(
+                    "/".join(self.MODES), mode))
+        if mode == "snapshot" and snapshot_every < 1:
+            raise DurabilityError(
+                "snapshot_every must be >= 1, got {}".format(snapshot_every))
+        self.mode = mode
+        self.snapshot_every = snapshot_every
+        self.fsync = fsync
+
+    @property
+    def durable(self):
+        return self.mode != "off"
+
+    @classmethod
+    def parse(cls, spec, fsync=True):
+        """Parse a CLI spec: ``off``, ``log``, ``log+snapshot`` or
+        ``log+snapshot:N`` (``snapshot[:N]`` is accepted as an alias)."""
+        text = (spec or "off").strip().lower()
+        if text in ("off", "log"):
+            return cls(mode=text, fsync=fsync)
+        for prefix in ("log+snapshot", "snapshot"):
+            if text == prefix:
+                return cls(mode="snapshot", fsync=fsync)
+            if text.startswith(prefix + ":"):
+                try:
+                    every = int(text[len(prefix) + 1:])
+                except ValueError:
+                    break
+                return cls(mode="snapshot", snapshot_every=every,
+                           fsync=fsync)
+        raise DurabilityError(
+            "unknown durability spec {!r} (use off, log, or "
+            "log+snapshot[:N])".format(spec))
+
+    def __repr__(self):
+        if self.mode == "snapshot":
+            return "DurabilityPolicy(log+snapshot:{})".format(
+                self.snapshot_every)
+        return "DurabilityPolicy({})".format(self.mode)
+
+
+class LoadedState:
+    """What :func:`load_durable_state` found on disk."""
+
+    __slots__ = ("documents", "records", "generation",
+                 "snapshot_generation", "clean", "truncated_bytes")
+
+    def __init__(self, documents, records, generation,
+                 snapshot_generation, clean, truncated_bytes):
+        self.documents = documents      # snapshot document payloads
+        self.records = records          # decoded tail records, in order
+        self.generation = generation    # generation new appends go to
+        self.snapshot_generation = snapshot_generation  # None = no snap
+        self.clean = clean              # False = a torn tail was dropped
+        self.truncated_bytes = truncated_bytes
+
+    @property
+    def empty(self):
+        return not self.documents and not self.records
+
+
+class RecoveryReport:
+    """Human- and test-facing summary of one recovery."""
+
+    __slots__ = ("documents", "replayed_batches", "skipped_records",
+                 "snapshot_generation", "clean", "truncated_bytes")
+
+    def __init__(self, documents, replayed_batches, skipped_records,
+                 snapshot_generation, clean, truncated_bytes):
+        self.documents = documents      # [(doc_id, version), ...]
+        self.replayed_batches = replayed_batches
+        self.skipped_records = skipped_records
+        self.snapshot_generation = snapshot_generation
+        self.clean = clean
+        self.truncated_bytes = truncated_bytes
+
+    def lines(self):
+        yield ("recovered {} document(s): {}".format(
+            len(self.documents),
+            ", ".join("{}@v{}".format(doc_id, version)
+                      for doc_id, version in self.documents) or "-"))
+        yield ("snapshot generation: {}; replayed {} batch(es), "
+               "skipped {} record(s)".format(
+                   "none" if self.snapshot_generation is None
+                   else self.snapshot_generation,
+                   self.replayed_batches, self.skipped_records))
+        if not self.clean:
+            yield ("torn tail: dropped {} trailing byte(s) of the final "
+                   "segment".format(self.truncated_bytes))
+
+
+def encode_payload(record):
+    """JSON-encode one record dict (canonical form, UTF-8)."""
+    return json.dumps(record, separators=(",", ":"),
+                      sort_keys=True).encode("utf-8")
+
+
+def decode_payload(payload):
+    try:
+        record = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise RecoveryError(
+            "undecodable log record: {}".format(exc)) from exc
+    if not isinstance(record, dict) or "kind" not in record:
+        raise RecoveryError(
+            "log record is not a tagged object: {!r}".format(record))
+    return record
+
+
+def _scan_directory(directory):
+    """Return ``(wal_generations, snapshot_generations)`` maps
+    ``generation -> path`` for ``directory``."""
+    wals, snaps = {}, {}
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return wals, snaps
+    for name in names:
+        match = _WAL_PATTERN.match(name)
+        if match:
+            wals[int(match.group(1))] = os.path.join(directory, name)
+        match = _SNAP_PATTERN.match(name)
+        if match:
+            snaps[int(match.group(1))] = os.path.join(directory, name)
+    return wals, snaps
+
+
+def load_durable_state(directory, repair=True):
+    """Read a durability directory back into a :class:`LoadedState`.
+
+    Picks the newest validating snapshot, decodes the record tail of
+    every later segment, and (with ``repair=True``) truncates a torn
+    final segment to its valid prefix so appends can resume in place. A
+    torn *non-final* segment means records were lost in the middle of
+    the history and raises :class:`RecoveryError`.
+    """
+    wals, snaps = _scan_directory(directory)
+    documents = []
+    snapshot_generation = None
+    for generation in sorted(snaps, reverse=True):
+        payload = read_single_record(snaps[generation])
+        if payload is None:
+            continue
+        snapshot = decode_payload(payload)
+        if snapshot.get("kind") != "snapshot":
+            continue
+        documents = snapshot["docs"]
+        snapshot_generation = generation
+        break
+    base = -1 if snapshot_generation is None else snapshot_generation
+    replay_generations = sorted(g for g in wals if g > base)
+    expected = list(range(base + 1, base + 1 + len(replay_generations)))
+    if replay_generations != expected:
+        raise RecoveryError(
+            "segment chain has gaps: expected generations {}, found {} "
+            "(a snapshot may have rotted after its segments were "
+            "compacted away)".format(expected, replay_generations))
+    records = []
+    clean = True
+    truncated = 0
+    for index, generation in enumerate(replay_generations):
+        path = wals[generation]
+        payloads, valid_bytes, segment_clean = scan_wal(path)
+        if not segment_clean:
+            if index != len(replay_generations) - 1:
+                raise RecoveryError(
+                    "segment {} is corrupt before its tail; records of "
+                    "later segments are unreachable".format(path))
+            clean = False
+            truncated = os.path.getsize(path) - valid_bytes
+            if repair:
+                truncate_torn_tail(path, valid_bytes)
+        records.extend(decode_payload(p) for p in payloads)
+    generation = max([base + 1] + replay_generations) if (
+        wals or snaps) else 0
+    return LoadedState(documents, records, generation,
+                       snapshot_generation, clean, truncated)
+
+
+class DurabilityManager:
+    """Owns one durability directory on behalf of one store.
+
+    Thread-safe: appends from concurrent per-document flushes are
+    serialized on an internal lock; compaction swaps the active segment
+    under the same lock.
+    """
+
+    def __init__(self, directory, policy):
+        if not policy.durable:
+            raise DurabilityError(
+                "a DurabilityManager needs a durable policy, got "
+                "{!r}".format(policy))
+        self.directory = directory
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._writer = None
+        self.generation = 0
+        self.batches_since_snapshot = 0
+        os.makedirs(directory, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------------
+
+    def _wal_path(self, generation):
+        return os.path.join(self.directory,
+                            "wal-{:08d}.log".format(generation))
+
+    def _snap_path(self, generation):
+        return os.path.join(self.directory,
+                            "snapshot-{:08d}.snap".format(generation))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def load(self):
+        """Read the directory's durable state (no writer is opened)."""
+        state = load_durable_state(self.directory)
+        self.generation = state.generation
+        return state
+
+    def start(self):
+        """Open the active segment for appending (idempotent)."""
+        with self._lock:
+            if self._writer is None:
+                self._writer = WalWriter(self._wal_path(self.generation),
+                                         fsync=self.policy.fsync)
+
+    def close(self):
+        with self._lock:
+            if self._writer is not None:
+                self._writer.close()
+                self._writer = None
+
+    # -- logging -------------------------------------------------------------
+
+    def _append(self, record, sync=True):
+        with self._lock:
+            if self._writer is None:
+                raise DurabilityError(
+                    "durability manager is not started (or already "
+                    "closed)")
+            self._writer.append(encode_payload(record), sync=sync)
+
+    def log_open(self, document_payload_dict):
+        self._append({"kind": "open", "doc": document_payload_dict})
+
+    def log_batch(self, doc_id, version, clients, pul_xml):
+        self._append({"kind": "batch", "doc_id": doc_id,
+                      "version": version, "clients": clients,
+                      "pul": pul_xml})
+        self.batches_since_snapshot += 1
+
+    def log_relabel(self, doc_id):
+        self._append({"kind": "relabel", "doc_id": doc_id})
+
+    def log_close(self, doc_id):
+        self._append({"kind": "close", "doc_id": doc_id})
+
+    def snapshot_due(self):
+        return (self.policy.mode == "snapshot"
+                and self.batches_since_snapshot >= self.policy.snapshot_every)
+
+    # -- compaction ----------------------------------------------------------
+
+    def write_snapshot(self, document_payloads):
+        """Snapshot ``document_payloads`` and truncate the log.
+
+        Sequence (each step safe against a crash before the next): seal
+        the active segment, write ``snapshot-<G>.snap`` atomically, open
+        segment ``G+1``, delete files the snapshot superseded.
+        """
+        with self._lock:
+            sealed = self.generation
+            if self._writer is not None:
+                self._writer.close()
+                self._writer = None
+            payload = encode_payload({
+                "kind": "snapshot", "generation": sealed,
+                "docs": list(document_payloads)})
+            write_file_atomically(self._snap_path(sealed), payload)
+            self.generation = sealed + 1
+            self._writer = WalWriter(self._wal_path(self.generation),
+                                     fsync=self.policy.fsync)
+            self.batches_since_snapshot = 0
+            wals, snaps = _scan_directory(self.directory)
+            superseded = (
+                [path for generation, path in wals.items()
+                 if generation <= sealed]
+                + [path for generation, path in snaps.items()
+                   if generation < sealed])
+            for path in superseded:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            return sealed
+
+
+# -- the stateless recovery oracle -------------------------------------------
+
+
+def replay_oracle(directory):
+    """Replay a durability directory the way :class:`StatelessBaseline`
+    would process the batches: sequential deterministic reduction, the
+    in-memory evaluator, producer identifiers preserved — none of the
+    incremental machinery under test.
+
+    Returns ``{doc_id: (serialized text, version)}`` for every document
+    resident at the end of the log. Byte-equality of the recovered
+    store against this oracle is the recovery correctness property: it
+    holds because logged batches carry their labels, per-shard reduction
+    merges to the sequential reduction, and the streaming and in-memory
+    evaluators assign identical fresh identifiers.
+    """
+    state = load_durable_state(directory, repair=False)
+    entries = {}
+    versions = {}
+    for payload in state.documents:
+        restored = restore_document(payload)
+        entries[restored.doc_id] = restored.document
+        versions[restored.doc_id] = restored.counters["version"]
+    for record in state.records:
+        kind = record["kind"]
+        if kind == "open":
+            restored = restore_document(record["doc"])
+            entries[restored.doc_id] = restored.document
+            versions[restored.doc_id] = restored.counters["version"]
+        elif kind == "close":
+            entries.pop(record["doc_id"], None)
+            versions.pop(record["doc_id"], None)
+        elif kind == "relabel":
+            continue  # labels never change document bytes
+        elif kind == "batch":
+            doc_id = record["doc_id"]
+            document = entries.get(doc_id)
+            if document is None:
+                raise RecoveryError(
+                    "batch record for unknown document {!r}".format(doc_id))
+            if record["version"] <= versions[doc_id]:
+                continue  # already covered (post-divergence duplicate)
+            try:
+                reduced = reduce_deterministic(
+                    pul_from_xml(record["pul"]))
+                reduced.check_compatible()
+                working = document.copy()
+                apply_pul(working, reduced, check=False, preserve_ids=True)
+            except Exception:
+                continue  # the store skipped this batch too
+            entries[doc_id] = working
+            versions[doc_id] = record["version"]
+        else:
+            raise RecoveryError(
+                "unknown record kind {!r}".format(kind))
+    return {doc_id: (serialize(document), versions[doc_id])
+            for doc_id, document in entries.items()}

@@ -1,0 +1,76 @@
+"""Snapshot serialization of resident document state.
+
+A snapshot must reconstruct a :class:`~repro.store.store.StoredDocument`
+*exactly* — not just the same bytes of XML, but the same node
+identifiers, the same allocator position (burnt ids stay burnt), the
+same containment labels digit for digit, and the same code-length
+watermark — because the replayed WAL tail runs through the incremental
+relabel machinery, whose output depends on all of them.
+
+The document tree travels in the PUL exchange representation
+(:func:`repro.pul.serialize.tree_to_xml`), which keeps identifiers on
+every node kind; labels travel in their compact
+:meth:`~repro.labeling.containment.ExtendedLabel.to_string` form. The
+container is a plain JSON object so snapshots stay inspectable with
+standard tooling.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RecoveryError
+from repro.labeling.containment import ExtendedLabel
+from repro.labeling.scheme import ContainmentLabeling
+from repro.pul.serialize import tree_from_xml, tree_to_xml
+from repro.xdm.document import Document, IdAllocator
+
+#: counters carried verbatim between a StoredDocument and its payload
+_COUNTERS = ("version", "batches", "incremental_relabels", "full_relabels")
+
+
+def document_payload(entry):
+    """Serialize one resident entry (a ``StoredDocument``) to a payload
+    dict (JSON-compatible)."""
+    payload = {
+        "doc_id": entry.doc_id,
+        "next_id": entry.document.allocator.next_value,
+        "tree": tree_to_xml(entry.document.root),
+        "labels": [label.to_string()
+                   for label in entry.labeling.as_mapping().values()],
+        "max_code_len": entry.labeling.max_code_length,
+    }
+    for counter in _COUNTERS:
+        payload[counter] = getattr(entry, counter)
+    return payload
+
+
+class RestoredDocument:
+    """The deserialized form of :func:`document_payload` — everything a
+    store needs to rebuild its resident entry."""
+
+    __slots__ = ("doc_id", "document", "labeling", "counters")
+
+    def __init__(self, doc_id, document, labeling, counters):
+        self.doc_id = doc_id
+        self.document = document
+        self.labeling = labeling
+        self.counters = counters
+
+
+def restore_document(payload):
+    """Rebuild a :class:`RestoredDocument` from a payload dict."""
+    try:
+        doc_id = payload["doc_id"]
+        root = tree_from_xml(payload["tree"])
+        document = Document(root=root, allocator=IdAllocator())
+        document.allocator.reserve_at_least(payload["next_id"])
+        labeling = ContainmentLabeling()
+        for text in payload["labels"]:
+            labeling.import_label(ExtendedLabel.from_string(text))
+        labeling.note_code_length(payload["max_code_len"])
+        counters = {name: payload[name] for name in _COUNTERS}
+    except (KeyError, TypeError, ValueError) as exc:
+        raise RecoveryError(
+            "malformed document payload for {!r}: {}".format(
+                payload.get("doc_id") if isinstance(payload, dict)
+                else None, exc)) from exc
+    return RestoredDocument(doc_id, document, labeling, counters)

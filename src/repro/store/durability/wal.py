@@ -1,0 +1,201 @@
+"""CRC-framed record log — the framing layer of the durability subsystem.
+
+A log file is a sequence of self-delimiting records::
+
+    +----------+----------------+---------------+-----------------+
+    | magic(4) | payload len(4) | crc32(4)      | payload (bytes) |
+    +----------+----------------+---------------+-----------------+
+
+All integers are big-endian; the CRC covers the payload only. The format
+is torn-write tolerant by construction: a crash mid-append leaves a
+truncated (or zero-filled) tail whose header or CRC cannot validate, and
+:func:`scan_wal` recovers exactly the longest valid record prefix. A
+corrupted record *before* the tail also stops the scan — every record
+after it is unreachable (frame boundaries are lost) — which the scan
+reports as a non-clean tail so callers can distinguish "torn final
+record" from "log ends cleanly".
+
+Writes are fsync-batched: :meth:`WalWriter.append` buffers records and
+:meth:`WalWriter.sync` pushes them to disk in one ``fsync`` — the store
+calls it once per flushed batch, not per client submission, which is
+where the group-commit throughput comes from.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+from repro.errors import DurabilityError
+
+#: frame magic — also the format version; bump on incompatible changes
+MAGIC = b"RWL1"
+
+_HEADER = struct.Struct(">4sII")
+
+#: sanity bound on a single payload (a coalesced batch or a snapshot)
+MAX_PAYLOAD = 1 << 30
+
+
+def encode_record(payload):
+    """Frame ``payload`` (bytes) as one log record."""
+    if len(payload) > MAX_PAYLOAD:
+        raise DurabilityError(
+            "record payload of {} bytes exceeds the {} byte frame bound"
+            .format(len(payload), MAX_PAYLOAD))
+    return _HEADER.pack(MAGIC, len(payload),
+                        zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+def scan_records(data):
+    """Decode the longest valid record prefix of ``data``.
+
+    Returns ``(payloads, valid_bytes, clean)``: the decoded payloads, how
+    many leading bytes of ``data`` they occupy, and whether the scan
+    consumed the input exactly (``clean=False`` means a torn or corrupt
+    tail follows ``valid_bytes``).
+    """
+    payloads = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if offset + _HEADER.size > total:
+            return payloads, offset, False
+        magic, length, crc = _HEADER.unpack_from(data, offset)
+        if magic != MAGIC or length > MAX_PAYLOAD:
+            return payloads, offset, False
+        start = offset + _HEADER.size
+        end = start + length
+        if end > total:
+            return payloads, offset, False
+        payload = data[start:end]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            return payloads, offset, False
+        payloads.append(payload)
+        offset = end
+    return payloads, offset, True
+
+
+def scan_wal(path):
+    """Decode a log file; missing files read as empty.
+
+    Returns the ``(payloads, valid_bytes, clean)`` triple of
+    :func:`scan_records`.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return [], 0, True
+    return scan_records(data)
+
+
+def truncate_torn_tail(path, valid_bytes):
+    """Drop everything after the valid record prefix of ``path``."""
+    with open(path, "r+b") as handle:
+        handle.truncate(valid_bytes)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+class WalWriter:
+    """Append-only record writer with batched fsync.
+
+    ``append(payload, sync=True)`` frames and writes one record;
+    ``sync=False`` defers durability to the next :meth:`sync` call
+    (group commit). The writer opens in append mode, so recovery can
+    resume a truncated segment in place.
+    """
+
+    def __init__(self, path, fsync=True):
+        self.path = path
+        self.fsync = fsync
+        existed = os.path.exists(path)
+        self._file = open(path, "ab")
+        if fsync and not existed:
+            # make the segment's directory entry durable now: fsyncing
+            # record bytes into a file whose name never reached disk
+            # leaves nothing to recover after power loss
+            _fsync_directory(os.path.dirname(path) or ".")
+        self._unsynced = 0
+        self.appended = 0
+
+    def append(self, payload, sync=True):
+        """Write one record; returns the framed size in bytes."""
+        if self._file is None:
+            raise DurabilityError(
+                "append on a closed log writer ({})".format(self.path))
+        record = encode_record(payload)
+        self._file.write(record)
+        self._unsynced += 1
+        self.appended += 1
+        if sync:
+            self.sync()
+        return len(record)
+
+    def sync(self):
+        """Flush buffered records and ``fsync`` the file (one syscall for
+        every append since the previous sync)."""
+        if self._file is None or not self._unsynced:
+            return
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        self._unsynced = 0
+
+    def close(self):
+        if self._file is None:
+            return
+        self.sync()
+        self._file.close()
+        self._file = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def __repr__(self):
+        return "WalWriter({!r}, appended={})".format(self.path,
+                                                     self.appended)
+
+
+def write_file_atomically(path, payload):
+    """Write ``payload`` as a single-record file, atomically.
+
+    The record is written to ``path + '.tmp'``, fsynced, and renamed over
+    ``path``; readers therefore observe either the previous file or the
+    complete new one, never a torn snapshot.
+    """
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "wb") as handle:
+        handle.write(encode_record(payload))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    _fsync_directory(os.path.dirname(path) or ".")
+
+
+def read_single_record(path):
+    """Read a :func:`write_file_atomically` file; ``None`` when the file
+    is missing, empty, or fails validation."""
+    payloads, __, clean = scan_wal(path)
+    if not clean or len(payloads) != 1:
+        return None
+    return payloads[0]
+
+
+def _fsync_directory(path):
+    """Make a rename durable (no-op on platforms without dir fds)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

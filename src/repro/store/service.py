@@ -16,17 +16,32 @@ transport is pluggable, the store is the contract):
     text <doc-id> [out-file]          serialized current document
     stats [doc-id]                    per-document counters
     docs                              list resident document ids
+    snapshot                          force a durability snapshot
     quit                              shut the store down and exit
 
 Every request yields exactly one response line starting with ``ok`` or
 ``error``, so callers can pipeline commands.
+
+Shutdown is *drain-first*: when the input stream ends (EOF) or the
+process receives ``SIGTERM``, every queued-but-unflushed submission is
+flushed before the store closes — with a durable store the drained
+batches reach the write-ahead log, so a supervisor stopping the service
+never loses acknowledged-but-queued work. An explicit ``quit`` is the
+deliberate discard path and keeps its drop-pending semantics.
 """
 
 from __future__ import annotations
 
+import signal
+import threading
+
 from repro.errors import ReproError
 from repro.pul.serialize import pul_from_xml
 from repro.store.store import DocumentStore
+
+
+class _Shutdown(Exception):
+    """Raised inside the serve loop by the SIGTERM handler."""
 
 
 class StoreService:
@@ -101,6 +116,12 @@ class StoreService:
         return "ok docs {}".format(
             " ".join(self.store.doc_ids()) or "-")
 
+    def _cmd_snapshot(self):
+        generation = self.store.snapshot()
+        if generation is None:
+            return "error store is not durable (no snapshot written)"
+        return "ok snapshot generation={}".format(generation)
+
     def _cmd_quit(self):
         self.store.close()
         self.closed = True
@@ -115,6 +136,7 @@ class StoreService:
         "text": (_cmd_text, 1, 2),
         "stats": (_cmd_stats, 0, 1),
         "docs": (_cmd_docs, 0, 0),
+        "snapshot": (_cmd_snapshot, 0, 0),
         "quit": (_cmd_quit, 0, 0),
     }
 
@@ -139,17 +161,84 @@ class StoreService:
         except (ReproError, OSError) as error:
             return "error {}".format(error)
 
+    def drain(self):
+        """Flush every queued submission before shutdown.
+
+        Returns the number of drained batches. A failing document keeps
+        its queue (per :meth:`DocumentStore.flush_all`) — the error is
+        re-raised after every other document has been flushed.
+        """
+        return len(self.store.flush_all())
+
     def serve(self, in_stream, out_stream):
-        """Drive the service from a line stream until ``quit`` or EOF."""
-        for line in in_stream:
-            response = self.handle_line(line)
-            if response is None:
-                continue
-            out_stream.write(response + "\n")
-            out_stream.flush()
-            if self.closed:
-                break
-        if not self.closed:
-            self.store.close()
-            self.closed = True
+        """Drive the service from a line stream until ``quit``, EOF or
+        SIGTERM; EOF and SIGTERM drain pending submissions first.
+
+        The SIGTERM handler only *raises* while the loop is idle
+        (blocked reading a line); a signal landing mid-command sets a
+        flag and the loop exits at the next command boundary — so a
+        flush (and its error-path cleanup and WAL records) is never
+        torn in half by the shutdown path that is about to drain.
+        """
+        previous_handler = None
+        stop = {"requested": False, "in_command": False}
+        handles_sigterm = threading.current_thread() is \
+            threading.main_thread()
+        if handles_sigterm:
+            def _on_sigterm(signum, frame):
+                stop["requested"] = True
+                if not stop["in_command"]:
+                    raise _Shutdown()
+            try:
+                previous_handler = signal.signal(signal.SIGTERM,
+                                                 _on_sigterm)
+            except (ValueError, OSError):
+                handles_sigterm = False
+        try:
+            for line in in_stream:
+                stop["in_command"] = True
+                try:
+                    response = self.handle_line(line)
+                finally:
+                    stop["in_command"] = False
+                if response is not None:
+                    out_stream.write(response + "\n")
+                    out_stream.flush()
+                if self.closed or stop["requested"]:
+                    break
+        except _Shutdown:
+            pass
+        finally:
+            if handles_sigterm:
+                # a None previous handler means it was installed
+                # outside Python and cannot be re-installed from here;
+                # fall back to the default disposition rather than
+                # leaking our _Shutdown-raiser into the host process
+                signal.signal(signal.SIGTERM,
+                              previous_handler if previous_handler
+                              is not None else signal.SIG_DFL)
+            if not self.closed:
+                try:
+                    try:
+                        drained = self.drain()
+                    except ReproError as error:
+                        self._report(out_stream,
+                                     "error drain-failed {}".format(error))
+                    else:
+                        if drained:
+                            self._report(
+                                out_stream,
+                                "ok drained batches={}".format(drained))
+                finally:
+                    self.store.close()
+                    self.closed = True
         return 0
+
+    @staticmethod
+    def _report(out_stream, line):
+        """Best-effort shutdown report (the peer may be gone already)."""
+        try:
+            out_stream.write(line + "\n")
+            out_stream.flush()
+        except (OSError, ValueError):
+            pass

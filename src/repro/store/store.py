@@ -40,7 +40,7 @@ from repro.aggregation import aggregate
 from repro.apply.events import document_events, events_to_document
 from repro.apply.streaming import apply_streaming
 from repro.distributed.messages import ShardEnvelope
-from repro.errors import ReproError
+from repro.errors import RecoveryError, ReproError
 from repro.integration import reconcile
 from repro.labeling.scheme import ContainmentLabeling
 from repro.pipeline.merge import merge_shards
@@ -48,6 +48,13 @@ from repro.pipeline.parallel import ParallelReducer
 from repro.pipeline.shard import shard_pul
 from repro.pul.pul import merge as merge_puls
 from repro.pul.serialize import pul_from_xml, pul_to_xml
+from repro.store.durability import (
+    DurabilityManager,
+    DurabilityPolicy,
+    RecoveryReport,
+    document_payload,
+    restore_document,
+)
 from repro.xdm.document import Document
 from repro.xdm.parser import parse_document
 from repro.xdm.serializer import serialize
@@ -169,11 +176,23 @@ class DocumentStore:
         ``policies`` through the integration layer).
     policies:
         ``client name -> ProducerPolicy`` used by ``"reconcile"``.
+    durability / wal_dir:
+        A :class:`DurabilityPolicy` (or its CLI spec string) and the
+        directory holding the write-ahead log and snapshots. With a
+        durable policy every flushed batch is logged (write-ahead,
+        fsynced) before the flush returns, and — mode ``snapshot`` —
+        the log is compacted into a full-state snapshot every
+        ``snapshot_every`` batches. If ``wal_dir`` already holds durable
+        state the store *recovers* it on construction: latest valid
+        snapshot, then the logged batch tail replayed through the
+        incremental-relabel machinery (a torn final record is dropped);
+        the :class:`RecoveryReport` is left on :attr:`recovery`.
     """
 
     def __init__(self, workers=2, backend="thread",
                  max_code_length=DEFAULT_MAX_CODE_LENGTH,
-                 on_conflict="error", policies=None):
+                 on_conflict="error", policies=None,
+                 durability=None, wal_dir=None):
         if on_conflict not in ("error", "reconcile"):
             raise ReproError(
                 "on_conflict must be 'error' or 'reconcile', got {!r}"
@@ -188,7 +207,32 @@ class DocumentStore:
         self._entries = {}
         self._lock = threading.Lock()
         self._arrivals = 0
+        self._replaying = False
+        self._compacting = threading.Lock()
+        self.recovery = None
+        if isinstance(durability, str):
+            durability = DurabilityPolicy.parse(durability)
+        if durability is None:
+            durability = (DurabilityPolicy("log") if wal_dir is not None
+                          else DurabilityPolicy("off"))
+        self.durability_policy = durability
+        self._durability = None
+        if durability.durable:
+            if wal_dir is None:
+                raise ReproError(
+                    "durability policy {!r} needs a wal_dir".format(
+                        durability))
+            self._durability = DurabilityManager(wal_dir, durability)
         self._reducer = ParallelReducer(workers=workers, backend=backend)
+        if self._durability is not None:
+            try:
+                state = self._durability.load()
+                if not state.empty:
+                    self._recover_state(state)
+                self._durability.start()
+            except Exception:
+                self._reducer.close()
+                raise
 
     # -- document lifecycle --------------------------------------------------
 
@@ -204,12 +248,32 @@ class DocumentStore:
                 raise ReproError(
                     "document {!r} is already resident".format(doc_id))
             self._entries[doc_id] = entry
+            if self._durability is not None:
+                # the open record carries the full snapshot-form state,
+                # so recovery restores the same identifiers and labels
+                # even when the caller's source text differs from our
+                # serialization. Logged under the store lock so a
+                # concurrent compaction cannot strand the record in a
+                # segment its snapshot supersedes.
+                self._durability.log_open(document_payload(entry))
         return entry
 
     def close_document(self, doc_id):
         """Evict a resident document (pending submissions are lost)."""
         with self._lock:
-            self._entries.pop(self._require(doc_id).doc_id)
+            entry = self._require(doc_id)
+        # wait out any in-flight flush first: its batch record must
+        # precede the close record in the log, or replay finds a batch
+        # for a document the log already closed
+        with entry.flush_lock:
+            with self._lock:
+                if self._entries.get(entry.doc_id) is not entry:
+                    raise ReproError(
+                        "document {!r} was closed concurrently".format(
+                            entry.doc_id))
+                self._entries.pop(entry.doc_id)
+                if self._durability is not None:
+                    self._durability.log_close(entry.doc_id)
 
     def doc_ids(self):
         with self._lock:
@@ -303,6 +367,11 @@ class DocumentStore:
         """
         entry = self._require(doc_id)
         with entry.flush_lock:
+            with self._lock:
+                if self._entries.get(doc_id) is not entry:
+                    raise ReproError(
+                        "document {!r} was closed while the flush "
+                        "waited".format(doc_id))
             with entry.lock:
                 pending = entry.pending
                 entry.pending = []
@@ -317,6 +386,10 @@ class DocumentStore:
                 # that were never published; relabeling the (unchanged)
                 # document restores consistency
                 entry.labeling.build(entry.document)
+                if self._durability is not None:
+                    # replay must rebuild at the same point, or the label
+                    # timeline of every later batch diverges
+                    self._durability.log_relabel(entry.doc_id)
                 raise
         return result
 
@@ -349,6 +422,23 @@ class DocumentStore:
         batch = coalesce_batch(pending, entry.labeling,
                                on_conflict=self.on_conflict,
                                policies=self.policies)
+        clients = len({client for __, client, __unused in pending})
+        return self._run_batch(entry, batch, num_shards, clients)
+
+    def _run_batch(self, entry, batch, num_shards, clients):
+        """Make one coalesced ``batch`` effective on ``entry``.
+
+        Shared by the live flush path and WAL replay: both shard the
+        batch, reduce, merge, apply through the streaming evaluator with
+        incremental label maintenance and run the headroom rule — so a
+        replayed batch reproduces the original flush exactly. On the
+        live path the batch is appended to the write-ahead log (and
+        fsynced) *before* application; a batch whose application then
+        fails is skipped identically at replay time.
+        """
+        if self._durability is not None and not self._replaying:
+            self._durability.log_batch(entry.doc_id, entry.version + 1,
+                                       clients, pul_to_xml(batch))
         submitted = len(batch)
         shards = shard_pul(batch, num_shards or self.workers)
         outcome = self._reducer.reduce_shards(shards)
@@ -371,13 +461,147 @@ class DocumentStore:
         else:
             entry.incremental_relabels += 1
             relabel = "incremental"
+        if self._durability is not None and not self._replaying \
+                and self._durability.snapshot_due():
+            self._write_snapshot(held_entry=entry)
         return BatchResult(
             doc_id=entry.doc_id, version=entry.version,
-            clients=len({client for __, client, __unused in pending}),
+            clients=clients,
             submitted_ops=submitted, reduced_ops=len(reduced),
             shard_sizes=[len(s) for s in shards], relabel=relabel,
             failures=list(outcome.failures),
             max_code_length=entry.labeling.max_code_length)
+
+    # -- durability ----------------------------------------------------------
+
+    def snapshot(self):
+        """Force a snapshot compaction now (durable stores only).
+
+        Serializes every resident document's full state, writes it
+        atomically, rotates the log and deletes superseded files.
+        Returns the sealed generation, or ``None`` when the store is not
+        durable or another compaction is in flight.
+        """
+        if self._durability is None:
+            return None
+        return self._write_snapshot(held_entry=None)
+
+    def _write_snapshot(self, held_entry):
+        """Compact under every document's flush lock.
+
+        ``held_entry`` is the entry whose flush triggered the compaction
+        (its flush lock is already held by this thread). The
+        non-blocking ``_compacting`` guard makes two concurrent
+        triggering flushes safe: the loser skips and retries after its
+        next batch, so neither waits on a lock the other holds.
+        """
+        if not self._compacting.acquire(blocking=False):
+            return None
+        acquired = []
+        try:
+            # the store lock is held across listing AND writing: no
+            # document can be opened or closed (and no open/close record
+            # logged) between what the snapshot captures and the segment
+            # rotation, so every record in the sealed segments is
+            # subsumed by the snapshot. Flush locks keep each captured
+            # entry's state still; a concurrently-flushing document
+            # either finished logging before we get its lock (captured
+            # at the new version) or flushes into the next segment.
+            with self._lock:
+                entries = sorted(self._entries.values(),
+                                 key=lambda entry: str(entry.doc_id))
+                for entry in entries:
+                    if entry is held_entry:
+                        continue
+                    entry.flush_lock.acquire()
+                    acquired.append(entry)
+                return self._durability.write_snapshot(
+                    document_payload(entry) for entry in entries)
+        finally:
+            for entry in acquired:
+                entry.flush_lock.release()
+            self._compacting.release()
+
+    def _recover_state(self, state):
+        """Replay a :class:`~repro.store.durability.LoadedState`."""
+        self._replaying = True
+        replayed = 0
+        skipped = 0
+        try:
+            for payload in state.documents:
+                self._install_restored(restore_document(payload))
+            for record in state.records:
+                kind = record.get("kind")
+                if kind == "open":
+                    self._install_restored(
+                        restore_document(record["doc"]))
+                elif kind == "close":
+                    with self._lock:
+                        self._entries.pop(record["doc_id"], None)
+                elif kind == "relabel":
+                    entry = self._replay_entry(record["doc_id"])
+                    entry.labeling.build(entry.document)
+                elif kind == "batch":
+                    entry = self._replay_entry(record["doc_id"])
+                    version = record["version"]
+                    if version <= entry.version:
+                        skipped += 1
+                        continue
+                    if version != entry.version + 1:
+                        raise RecoveryError(
+                            "log names version {} of {!r} but the replay "
+                            "reached version {}".format(
+                                version, entry.doc_id, entry.version))
+                    try:
+                        self._run_batch(entry,
+                                        pul_from_xml(record["pul"]),
+                                        num_shards=None,
+                                        clients=record.get("clients", 0))
+                    except Exception:
+                        # breadth matches the live flush path's handler:
+                        # the original flush failed on this logged batch
+                        # (whatever it raised) and rebuilt its labeling;
+                        # the matching relabel record replays that
+                        # rebuild
+                        skipped += 1
+                        continue
+                    replayed += 1
+                else:
+                    raise RecoveryError(
+                        "unknown record kind {!r}".format(kind))
+        finally:
+            self._replaying = False
+        with self._lock:
+            documents = sorted(
+                (entry.doc_id, entry.version)
+                for entry in self._entries.values())
+        self.recovery = RecoveryReport(
+            documents=documents, replayed_batches=replayed,
+            skipped_records=skipped,
+            snapshot_generation=state.snapshot_generation,
+            clean=state.clean, truncated_bytes=state.truncated_bytes)
+        return self.recovery
+
+    def _replay_entry(self, doc_id):
+        entry = self._entries.get(doc_id)
+        if entry is None:
+            raise RecoveryError(
+                "log record targets {!r} which the log never "
+                "opened".format(doc_id))
+        return entry
+
+    def _install_restored(self, restored):
+        entry = StoredDocument(restored.doc_id, restored.document,
+                               restored.labeling)
+        for counter, value in restored.counters.items():
+            setattr(entry, counter, value)
+        with self._lock:
+            if restored.doc_id in self._entries:
+                raise RecoveryError(
+                    "log opens {!r} twice without closing it".format(
+                        restored.doc_id))
+            self._entries[restored.doc_id] = entry
+        return entry
 
     # -- distributed hand-off ------------------------------------------------
 
@@ -405,8 +629,11 @@ class DocumentStore:
     # -- lifecycle -----------------------------------------------------------
 
     def close(self):
-        """Shut the shared reduction pool down (idempotent)."""
+        """Shut the shared reduction pool down and seal the write-ahead
+        log (idempotent)."""
         self._reducer.close()
+        if self._durability is not None:
+            self._durability.close()
 
     def __enter__(self):
         return self

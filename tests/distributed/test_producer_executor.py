@@ -5,7 +5,6 @@ import pytest
 from repro.distributed import Executor, Producer
 from repro.errors import ReproError
 from repro.integration import ProducerPolicy
-from repro.xdm import parse_document
 from repro.xdm.compare import documents_equal, nodes_equal
 
 ARTICLE = ("<article><title>T</title><authors><author>A</author></authors>"

@@ -26,7 +26,6 @@ from repro.pul.ops import (
     ReplaceValue,
 )
 from repro.reasoning import DocumentOracle
-from repro.xdm import parse_document
 from repro.xdm.node import Node
 from repro.xdm.parser import parse_forest
 

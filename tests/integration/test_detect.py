@@ -15,7 +15,7 @@ from repro.pul.ops import (
     ReplaceValue,
 )
 from repro.pul.pul import PUL, merge
-from repro.reasoning import DocumentOracle, LabelOracle
+from repro.reasoning import DocumentOracle
 from repro.xdm import parse_document
 from repro.xdm.node import Node
 from repro.xdm.parser import parse_forest

@@ -30,7 +30,6 @@ from repro.pul.ops import (
 )
 from repro.pul.pul import PUL
 from repro.reasoning import DocumentOracle
-from repro.xdm import parse_document
 from repro.xdm.node import Node
 from repro.xdm.parser import parse_forest
 

@@ -5,7 +5,6 @@ from hypothesis import given, settings
 
 from repro.labeling import CDQSEncoder, ContainmentLabeling
 from repro.labeling import predicates as P
-from repro.xdm import parse_document
 from repro.xdm.navigation import (
     depth,
     is_ancestor,
@@ -174,8 +173,8 @@ class TestMaxCodeLength:
     def test_build_tracks_longest_code(self, small_doc):
         labeling = ContainmentLabeling().build(small_doc)
         expected = max(
-            max(len(l.start), len(l.end))
-            for l in labeling.as_mapping().values())
+            max(len(label.start), len(label.end))
+            for label in labeling.as_mapping().values())
         assert labeling.max_code_length == expected
         assert ContainmentLabeling().max_code_length == 0
 

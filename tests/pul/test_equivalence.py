@@ -13,7 +13,6 @@ from repro.pul.ops import (
     ReplaceValue,
 )
 from repro.pul.pul import PUL
-from repro.xdm import parse_document
 from repro.xdm.parser import parse_forest
 
 
@@ -60,7 +59,7 @@ class TestRelationsAreOrdersModuloEquivalence:
     def test_identity_matters_with_ids(self, small_doc):
         # replacing a text node with an equal-valued new one is value-equal
         # but not identity-equal
-        from repro.pul.ops import Delete, ReplaceNode
+        from repro.pul.ops import ReplaceNode
         from repro.xdm.node import Node
         pul1 = PUL([ReplaceValue(3, "hi")])   # keeps node 3
         pul2 = PUL([ReplaceNode(3, [Node.text("hi")])])  # fresh node

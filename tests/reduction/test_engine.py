@@ -18,7 +18,6 @@ from repro.pul.pul import PUL
 from repro.reasoning import DocumentOracle, LabelOracle
 from repro.reduction import reduce_deterministic, reduce_pul
 from repro.xdm import parse_document
-from repro.xdm.node import Node
 from repro.xdm.parser import parse_forest
 
 

@@ -1,0 +1,269 @@
+"""The durable store: snapshot fidelity, recovery identity, compaction.
+
+The central property is *state identity*: a recovered store must equal
+the pre-crash store not just in document bytes but in node identifiers,
+allocator position, version counters, and — because the replayed tail
+runs through the incremental-relabel machinery — in every containment
+label digit. The helpers below capture and compare that full state.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import DurabilityError, ReproError
+from repro.store import (
+    DocumentStore,
+    DurabilityPolicy,
+    replay_oracle,
+)
+from repro.store.durability import (
+    document_payload,
+    load_durable_state,
+    restore_document,
+)
+from repro.workloads import generate_client_batches, generate_xmark
+from repro.xdm.serializer import serialize
+
+DOC = ("<bib><paper year=\"2011\"><title>T1</title></paper>"
+       "<paper year=\"2024\"><title>T2</title></paper></bib>")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    document = generate_xmark(scale=0.02, seed=7)
+    batches, expected = generate_client_batches(
+        document, clients=3, rounds=5, ops_per_round=10, seed=3)
+    return serialize(document), batches, serialize(expected)
+
+
+def _full_state(store, doc_id):
+    """Everything recovery must reproduce, as a comparable value."""
+    entry = store._require(doc_id)
+    return {
+        "text": store.text(doc_id),
+        "ids": sorted(entry.document.node_ids()),
+        "next_id": entry.document.allocator.next_value,
+        "version": entry.version,
+        "batches": entry.batches,
+        "incremental_relabels": entry.incremental_relabels,
+        "full_relabels": entry.full_relabels,
+        "labels": {node_id: label.to_string()
+                   for node_id, label
+                   in entry.labeling.as_mapping().items()},
+        "max_code_length": entry.labeling.max_code_length,
+    }
+
+
+def _run_session(store, batches, doc_id="d"):
+    for submissions in batches:
+        for client, pul in submissions:
+            store.submit(doc_id, pul.copy(), client=client)
+        store.flush(doc_id)
+
+
+def _durable_store(tmp_path, spec, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("backend", "serial")
+    return DocumentStore(durability=spec, wal_dir=str(tmp_path / "wal"),
+                         **kwargs)
+
+
+class TestPolicy:
+    def test_parse_specs(self):
+        assert DurabilityPolicy.parse("off").mode == "off"
+        assert DurabilityPolicy.parse("log").mode == "log"
+        policy = DurabilityPolicy.parse("log+snapshot:3")
+        assert policy.mode == "snapshot" and policy.snapshot_every == 3
+        assert DurabilityPolicy.parse("snapshot").mode == "snapshot"
+        with pytest.raises(DurabilityError):
+            DurabilityPolicy.parse("sometimes")
+        with pytest.raises(DurabilityError):
+            DurabilityPolicy("snapshot", snapshot_every=0)
+
+    def test_durable_policy_requires_wal_dir(self):
+        with pytest.raises(ReproError):
+            DocumentStore(durability="log")
+
+    def test_wal_dir_implies_log_policy(self, tmp_path):
+        with DocumentStore(backend="serial",
+                           wal_dir=str(tmp_path / "w")) as store:
+            assert store.durability_policy.mode == "log"
+
+
+class TestSnapshotFidelity:
+    def test_document_payload_round_trip(self, tmp_path):
+        with _durable_store(tmp_path, "log") as store:
+            entry = store.open("d", DOC)
+            before = _full_state(store, "d")
+            restored = restore_document(document_payload(entry))
+        assert serialize(restored.document) == before["text"]
+        assert sorted(restored.document.node_ids()) == before["ids"]
+        assert restored.document.allocator.next_value == before["next_id"]
+        assert {node_id: label.to_string()
+                for node_id, label
+                in restored.labeling.as_mapping().items()} \
+            == before["labels"]
+        assert restored.labeling.max_code_length \
+            == before["max_code_length"]
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("spec", ["log", "log+snapshot:2"])
+    def test_recovered_state_is_identical(self, tmp_path, workload, spec):
+        text, batches, expected = workload
+        with _durable_store(tmp_path, spec) as store:
+            store.open("d", text)
+            _run_session(store, batches)
+            before = _full_state(store, "d")
+        assert before["text"] == expected
+        with _durable_store(tmp_path, spec) as recovered:
+            assert recovered.recovery is not None
+            assert _full_state(recovered, "d") == before
+            oracle = replay_oracle(str(tmp_path / "wal"))
+            assert oracle["d"] == (before["text"], before["version"])
+
+    def test_recovered_store_keeps_serving(self, tmp_path, workload):
+        """Recovery is a working store, not a read-only reconstruction:
+        post-recovery flushes log and recover again."""
+        text, batches, __ = workload
+        with _durable_store(tmp_path, "log") as store:
+            store.open("d", text)
+            _run_session(store, batches[:3])
+        with _durable_store(tmp_path, "log") as resumed:
+            _run_session(resumed, batches[3:])
+            after = _full_state(resumed, "d")
+        with _durable_store(tmp_path, "log") as again:
+            assert _full_state(again, "d") == after
+
+    def test_torn_final_record_recovers_prefix(self, tmp_path, workload):
+        text, batches, __ = workload
+        states = {}
+        with _durable_store(tmp_path, "log") as store:
+            store.open("d", text)
+            for submissions in batches:
+                for client, pul in submissions:
+                    store.submit("d", pul.copy(), client=client)
+                store.flush("d")
+                states[store.version("d")] = _full_state(store, "d")
+        wal_path = str(tmp_path / "wal" / "wal-00000000.log")
+        with open(wal_path, "r+b") as handle:
+            handle.truncate(os.path.getsize(wal_path) - 11)
+        with _durable_store(tmp_path, "log") as recovered:
+            assert not recovered.recovery.clean
+            version = recovered.version("d")
+            assert version == len(batches) - 1
+            assert _full_state(recovered, "d") == states[version]
+
+    def test_close_document_is_durable(self, tmp_path):
+        with _durable_store(tmp_path, "log") as store:
+            store.open("a", DOC)
+            store.open("b", DOC)
+            store.close_document("a")
+        with _durable_store(tmp_path, "log") as recovered:
+            assert recovered.doc_ids() == ["b"]
+
+    def test_failed_coalesce_keeps_label_timeline(self, tmp_path):
+        """A rejected batch rebuilds the labeling; the relabel record
+        replays that rebuild so later incremental codes match."""
+        from repro.pul.ops import Rename
+        from repro.pul.pul import PUL
+        from repro.xdm.parser import parse_document
+
+        document = parse_document(DOC)
+        title = next(document.elements_by_name("title"))
+        with _durable_store(tmp_path, "log") as store:
+            store.open("d", DOC)
+            # two clients renaming the same node differently: the union
+            # is incompatible, the flush is rejected
+            store.submit("d", PUL([Rename(title.node_id, "x")]),
+                         client="alice")
+            store.submit("d", PUL([Rename(title.node_id, "y")]),
+                         client="bob")
+            with pytest.raises(ReproError):
+                store.flush("d")
+            store.discard_pending("d")
+            store.submit("d", PUL([Rename(title.node_id, "headline")]),
+                         client="alice")
+            store.flush("d")
+            before = _full_state(store, "d")
+        with _durable_store(tmp_path, "log") as recovered:
+            assert _full_state(recovered, "d") == before
+
+    def test_environmental_apply_failure_skips_on_replay(
+            self, tmp_path, workload, monkeypatch):
+        """A batch logged write-ahead whose application then failed is
+        skipped identically at replay; recovered bytes match the oracle
+        even though the original failure was environmental."""
+        import repro.store.store as store_module
+
+        text, batches, __ = workload
+        real_apply = store_module.apply_streaming
+        with _durable_store(tmp_path, "log") as store:
+            store.open("d", text)
+            _run_session(store, batches[:2])
+            for client, pul in batches[2]:
+                store.submit("d", pul.copy(), client=client)
+
+            def exploding_apply(*args, **kwargs):
+                raise ReproError("simulated mid-apply crash")
+
+            monkeypatch.setattr(store_module, "apply_streaming",
+                                exploding_apply)
+            with pytest.raises(ReproError):
+                store.flush("d")
+            monkeypatch.setattr(store_module, "apply_streaming",
+                                real_apply)
+            store.flush("d")  # same pending, now succeeds
+            before_text = store.text("d")
+            before_version = store.version("d")
+        with _durable_store(tmp_path, "log") as recovered:
+            assert recovered.text("d") == before_text
+            assert recovered.version("d") == before_version
+            oracle = replay_oracle(str(tmp_path / "wal"))
+            assert oracle["d"][0] == before_text
+
+
+class TestCompaction:
+    def test_snapshot_rotates_and_deletes(self, tmp_path, workload):
+        text, batches, __ = workload
+        wal_dir = tmp_path / "wal"
+        with _durable_store(tmp_path, "log+snapshot:2") as store:
+            store.open("d", text)
+            _run_session(store, batches)
+        names = sorted(os.listdir(str(wal_dir)))
+        snaps = [n for n in names if n.startswith("snapshot-")]
+        wals = [n for n in names if n.startswith("wal-")]
+        assert len(snaps) == 1, names
+        assert len(wals) == 1, names
+        # the surviving segment belongs to the generation after the
+        # surviving snapshot
+        snap_gen = int(snaps[0].split("-")[1].split(".")[0])
+        wal_gen = int(wals[0].split("-")[1].split(".")[0])
+        assert wal_gen == snap_gen + 1
+
+    def test_explicit_snapshot_bounds_replay(self, tmp_path, workload):
+        text, batches, __ = workload
+        with _durable_store(tmp_path, "log") as store:
+            store.open("d", text)
+            _run_session(store, batches)
+            generation = store.snapshot()
+            assert generation is not None
+            before = _full_state(store, "d")
+        with _durable_store(tmp_path, "log") as recovered:
+            assert recovered.recovery.replayed_batches == 0
+            assert recovered.recovery.snapshot_generation == generation
+            assert _full_state(recovered, "d") == before
+
+    def test_snapshot_on_non_durable_store_is_refused(self):
+        with DocumentStore(backend="serial") as store:
+            assert store.snapshot() is None
+
+    def test_load_state_reports_generations(self, tmp_path, workload):
+        text, batches, __ = workload
+        with _durable_store(tmp_path, "log+snapshot:3") as store:
+            store.open("d", text)
+            _run_session(store, batches)
+        state = load_durable_state(str(tmp_path / "wal"))
+        assert state.snapshot_generation is not None
+        assert state.clean

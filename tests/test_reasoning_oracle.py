@@ -7,7 +7,6 @@ from repro.errors import ReproError
 from repro.labeling import ContainmentLabeling
 from repro.pul.pul import PUL
 from repro.reasoning import DocumentOracle, LabelOracle, oracle_for
-from repro.xdm import parse_document
 from repro.xdm.node import NodeType
 
 from tests.strategies import documents

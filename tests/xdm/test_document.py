@@ -5,7 +5,6 @@ import pytest
 from repro.errors import DocumentError, UnknownNodeError
 from repro.xdm.document import Document, IdAllocator
 from repro.xdm.node import Node
-from repro.xdm import parse_document
 
 
 class TestIdAllocator:
@@ -18,7 +17,7 @@ class TestIdAllocator:
         b = IdAllocator(start=1, stride=3)
         c = IdAllocator(start=2, stride=3)
         drawn = {alloc.allocate() for alloc in (a, b, c) for __ in range(5)}
-        # interleaved allocation never collides
+        assert len(drawn) == 15  # interleaved allocation never collides
         ids_a = {a.allocate() for __ in range(50)}
         ids_b = {b.allocate() for __ in range(50)}
         assert not ids_a & ids_b

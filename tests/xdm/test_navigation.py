@@ -1,6 +1,5 @@
 """Unit tests for tree navigation (the test oracle for label predicates)."""
 
-from repro.xdm import parse_document
 from repro.xdm.navigation import (
     compare_document_order,
     depth,

@@ -42,7 +42,6 @@ class TestTokens:
         assert xml[0].value.children[1].value == "hi"
 
     def test_attribute_keyword_braces(self):
-        tokens = tokenize('attribute k {"v"}')
         assert kinds('attribute k {"v"}') == \
             [NAME, NAME, SYMBOL, STRING, SYMBOL, EOF]
 
