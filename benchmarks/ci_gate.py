@@ -2,12 +2,25 @@
 
 Runs the three throughput benchmarks in smoke mode, merges their
 ``--json`` summaries into one trajectory file ``BENCH_<pr>.json``
-(schema: ``benches.<name> -> {ops_per_sec, median_wall_s, ...}``), and
-compares every shared bench against the newest *committed*
-``BENCH_*.json``: a bench whose ops/sec fell by more than the tolerance
-(default ±30%) fails the gate. Improvements always pass — the committed
-file is a floor, not a pin — and a missing baseline passes trivially
-(first gated PR).
+(schema: ``benches.<name> -> {ops_per_sec, median_wall_s, ...}`` plus a
+``calibration_rps`` machine-speed score), and compares every shared
+bench against the newest committed *earlier* ``BENCH_*.json``: a bench
+whose ops/sec fell by more than the tolerance (default ±30%) fails the
+gate. Improvements always pass — the committed file is a floor, not a
+pin — and a missing baseline passes trivially (first gated PR).
+
+Committed ops/sec are absolute numbers from whatever machine produced
+the baseline file, so comparing them raw against a CI runner would gate
+on hardware, not code. Each run therefore also times a fixed
+pure-Python calibration workload and stores the result; the gate
+rescales the baseline's ops/sec by the ratio of the two calibration
+scores (``this machine / baseline machine``) before applying the
+tolerance, which cancels the hardware difference to first order. A
+baseline without a calibration score is compared raw (legacy files).
+The baseline is always from a *strictly lower* PR number than the
+trajectory being written, and the write number defaults to one past the
+newest committed file — so the no-flag CI run is gated against the full
+committed history, and the file being (re)written never gates itself.
 
 The trajectory convention: each PR commits its own ``BENCH_<pr>.json``
 at the repo root, so the series of files records how throughput moved
@@ -27,6 +40,7 @@ import re
 import subprocess
 import sys
 import tempfile
+import time
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCH_DIR = os.path.join(REPO_ROOT, "benchmarks")
@@ -48,15 +62,90 @@ SMOKE_RUNS = (
 )
 
 
+#: calibration loop sizing: ~100ms per timed pass on a 2020s laptop —
+#: long enough that scheduler noise stays well inside the gate tolerance
+CALIBRATION_ROUNDS = 30
+CALIBRATION_PASSES = 3
+
+#: benches dominated by fsync/disk latency rather than CPU: the CPU
+#: calibration cannot predict their cross-machine ratio, so their floor
+#: is never *raised* by a fast-CPU runner (clamping the scale to 1.0) —
+#: a fast-CPU/slow-disk runner must not fail the gate on hardware. The
+#: inverse direction (a regression hidden by a slower runner) is an
+#: accepted smoke-gate tradeoff.
+IO_BOUND_BENCHES = frozenset({"bench_durability"})
+
+
+def _calibration_workload():
+    """One fixed, deterministic unit of pure-Python work.
+
+    Dict/list/str churn roughly matching the benches' instruction mix;
+    deliberately free of repo code so the score tracks the *machine*,
+    never the code under test (a faster tree or labeling must not move
+    the calibration and mask itself)."""
+    values = list(range(4000))
+    mapping = {}
+    for value in values:
+        mapping["k{}".format(value)] = (value * 2654435761) % 4093
+    total = 0
+    for key in sorted(mapping):
+        total += mapping[key]
+    return total
+
+
+def machine_calibration(rounds=CALIBRATION_ROUNDS,
+                        passes=CALIBRATION_PASSES):
+    """Workload rounds/sec on this machine (best-of-``passes``)."""
+    best = None
+    for __ in range(passes):
+        start = time.perf_counter()
+        for __ in range(rounds):
+            _calibration_workload()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return rounds / best
+
+
 def committed_trajectories():
-    """``pr number -> path`` for every ``BENCH_<pr>.json`` in the repo
-    root."""
+    """``pr number -> path`` for every *committed* ``BENCH_<pr>.json``
+    in the repo root.
+
+    Git-tracked files only: an untracked file left behind by a previous
+    local gate run is that run's output, not a baseline — globbing it
+    would make repeated local runs gate against themselves and drift
+    the default trajectory number upward. Outside a git checkout the
+    directory glob is the best available approximation."""
+    try:
+        names = subprocess.run(
+            ["git", "-C", REPO_ROOT, "ls-files", "BENCH_*.json"],
+            check=True, capture_output=True, text=True).stdout.split()
+    except (OSError, subprocess.CalledProcessError):
+        names = [os.path.basename(path) for path in
+                 glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json"))]
     found = {}
-    for path in glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")):
-        match = re.match(r"^BENCH_(\d+)\.json$", os.path.basename(path))
+    for name in names:
+        match = re.match(r"^BENCH_(\d+)\.json$", os.path.basename(name))
         if match:
-            found[int(match.group(1))] = path
+            found[int(match.group(1))] = os.path.join(REPO_ROOT, name)
     return found
+
+
+def select_baseline(committed, pr):
+    """The newest committed trajectory from a strictly earlier PR (or
+    ``None``): the file being written never gates itself."""
+    return max((n for n in committed if n < pr), default=None)
+
+
+def default_pr(committed):
+    """One past the newest committed trajectory.
+
+    The default run (CI passes no ``--pr``) must gate against the full
+    committed history: defaulting to ``max(committed)`` would make the
+    strictly-earlier baseline rule skip the newest file — and, on a
+    branch where the newest file is the only one, skip the gate
+    entirely."""
+    return max(committed, default=0) + 1
 
 
 def run_benches(runs=SMOKE_RUNS):
@@ -82,8 +171,15 @@ def run_benches(runs=SMOKE_RUNS):
     return benches
 
 
-def compare(current, previous, tolerance):
-    """Return the list of regression messages (empty = gate passes)."""
+def compare(current, previous, tolerance, scale=1.0):
+    """Return the list of regression messages (empty = gate passes).
+
+    ``scale`` rescales the baseline's committed ops/sec to this
+    machine: this run's calibration score over the baseline file's (a
+    runner half as fast as the committing machine halves every expected
+    ops/sec, so the floor halves with it). :data:`IO_BOUND_BENCHES`
+    never have their floor raised above the committed number — CPU
+    speed says nothing about fsync latency."""
     failures = []
     for name in sorted(set(current) & set(previous)):
         now = current[name].get("ops_per_sec")
@@ -91,6 +187,7 @@ def compare(current, previous, tolerance):
         if not isinstance(now, (int, float)) \
                 or not isinstance(then, (int, float)) or not then:
             continue
+        then *= min(scale, 1.0) if name in IO_BOUND_BENCHES else scale
         floor = then * (1.0 - tolerance)
         verdict = "ok" if now >= floor else "REGRESSION"
         print("{:>11} {:<24} {:>12.0f} ops/s vs {:>12.0f} "
@@ -98,8 +195,8 @@ def compare(current, previous, tolerance):
         if now < floor:
             failures.append(
                 "{}: {:.0f} ops/s is below the {:.0f} ops/s floor "
-                "({:.0f} ops/s committed, -{:.0%} tolerance)".format(
-                    name, now, floor, then, tolerance))
+                "({:.0f} ops/s machine-adjusted baseline, -{:.0%} "
+                "tolerance)".format(name, now, floor, then, tolerance))
     return failures
 
 
@@ -107,8 +204,12 @@ def main(argv=None):
     parser = argparse.ArgumentParser(
         description="benchmark smoke runs + regression gate")
     parser.add_argument("--pr", type=int, default=None,
-                        help="trajectory number to write (default: the "
-                             "highest committed BENCH_<n>.json number)")
+                        help="trajectory number to write; the baseline "
+                             "is the newest committed BENCH_<n>.json "
+                             "with n strictly below it (default: one "
+                             "past the highest committed number, so "
+                             "the gate engages the full committed "
+                             "history)")
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed relative ops/sec drop (0.30 = "
                              "-30%%)")
@@ -118,31 +219,46 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     committed = committed_trajectories()
-    pr = args.pr if args.pr is not None else max(committed, default=0)
+    pr = args.pr if args.pr is not None else default_pr(committed)
     out_path = args.out or os.path.join(REPO_ROOT,
                                         "BENCH_{}.json".format(pr))
 
-    # resolve the baseline before the fresh file can overwrite it
-    baseline_pr = max((n for n in committed if n <= pr), default=None)
+    # the baseline is the newest trajectory from an *earlier* PR: a PR
+    # gated against its own committed file would compare absolute
+    # ops/sec across the committing machine and the CI runner with no
+    # code change in between — pure hardware noise
+    baseline_pr = select_baseline(committed, pr)
     previous = {}
+    baseline_calibration = None
     if baseline_pr is not None:
         with open(committed[baseline_pr], "r", encoding="utf-8") as handle:
-            previous = json.load(handle).get("benches", {})
+            baseline_payload = json.load(handle)
+        previous = baseline_payload.get("benches", {})
+        baseline_calibration = baseline_payload.get("calibration_rps")
 
+    calibration = machine_calibration()
+    print("machine calibration: {:.0f} rounds/s".format(calibration))
     benches = run_benches()
-    payload = {"pr": pr, "schema": "bench name -> ops_per_sec, "
-                                   "median_wall_s", "benches": benches}
+    payload = {"pr": pr,
+               "schema": "bench name -> ops_per_sec, median_wall_s; "
+                         "calibration_rps = machine speed score",
+               "calibration_rps": calibration,
+               "benches": benches}
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print("\nwrote {}".format(out_path))
 
     if not previous:
-        print("no committed baseline: gate passes trivially")
+        print("no committed earlier baseline: gate passes trivially")
         return 0
-    print("comparing against BENCH_{}.json (tolerance -{:.0%}):".format(
-        baseline_pr, args.tolerance))
-    failures = compare(benches, previous, args.tolerance)
+    scale = 1.0
+    if isinstance(baseline_calibration, (int, float)) \
+            and baseline_calibration > 0:
+        scale = calibration / baseline_calibration
+    print("comparing against BENCH_{}.json (tolerance -{:.0%}, machine "
+          "scale {:.2f}x):".format(baseline_pr, args.tolerance, scale))
+    failures = compare(benches, previous, args.tolerance, scale=scale)
     if failures:
         for failure in failures:
             print("FAIL: {}".format(failure))

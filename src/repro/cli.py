@@ -181,9 +181,19 @@ def _durability_policy(args):
         if args.durability not in (None, "off"):
             raise ReproError(
                 "--durability {} needs --wal-dir".format(args.durability))
+        if args.snapshot_every is not None:
+            raise ReproError("--snapshot-every needs --wal-dir")
         return None, None
     policy = DurabilityPolicy.parse(args.durability or "log")
-    if policy.mode == "snapshot" and args.snapshot_every is not None:
+    if args.snapshot_every is not None:
+        if args.durability is not None and policy.mode != "snapshot":
+            # an explicit non-snapshot mode contradicts the interval;
+            # dropping the flag silently would leave the user running
+            # an unbounded log they asked to have compacted
+            raise ReproError(
+                "--snapshot-every needs a snapshot durability mode, "
+                "but --durability is {!r} (use log+snapshot)".format(
+                    args.durability))
         policy = DurabilityPolicy(mode="snapshot",
                                   snapshot_every=args.snapshot_every)
     return policy, args.wal_dir
@@ -208,6 +218,11 @@ def cmd_store_serve(args, out):
 
 
 def cmd_store_recover(args, out):
+    if not os.path.isdir(args.wal_dir):
+        # recover inspects existing state; creating the directory here
+        # would turn a path typo into fresh, durable-looking emptiness
+        raise ReproError(
+            "--wal-dir {} does not exist".format(args.wal_dir))
     policy = DurabilityPolicy.parse(args.durability or "log")
     store = DocumentStore(workers=args.workers, backend=args.backend,
                           max_code_length=args.max_code_length,

@@ -112,7 +112,10 @@ class WalWriter:
         self.path = path
         self.fsync = fsync
         existed = os.path.exists(path)
-        self._file = open(path, "ab")
+        # unbuffered on purpose: a userspace buffer could flush a
+        # half-written record *after* a failed append rolled the file
+        # back, re-tearing the segment behind the repair
+        self._file = open(path, "ab", buffering=0)
         if fsync and not existed:
             # make the segment's directory entry durable now: fsyncing
             # record bytes into a file whose name never reached disk
@@ -120,14 +123,27 @@ class WalWriter:
             _fsync_directory(os.path.dirname(path) or ".")
         self._unsynced = 0
         self.appended = 0
+        self._synced_size = os.path.getsize(path)
+        self._broken = False
 
     def append(self, payload, sync=True):
         """Write one record; returns the framed size in bytes."""
         if self._file is None:
             raise DurabilityError(
                 "append on a closed log writer ({})".format(self.path))
+        if self._broken:
+            raise DurabilityError(
+                "log writer for {} is poisoned: an earlier I/O failure "
+                "left a torn record that could not be rolled back, and "
+                "a record framed after it would be unreachable to "
+                "recovery".format(self.path))
         record = encode_record(payload)
-        self._file.write(record)
+        try:
+            view = memoryview(record)
+            while view:
+                view = view[self._file.write(view):]
+        except OSError as exc:
+            self._rollback(exc)
         self._unsynced += 1
         self.appended += 1
         if sync:
@@ -135,14 +151,43 @@ class WalWriter:
         return len(record)
 
     def sync(self):
-        """Flush buffered records and ``fsync`` the file (one syscall for
-        every append since the previous sync)."""
-        if self._file is None or not self._unsynced:
+        """``fsync`` the file (one syscall for every append since the
+        previous sync)."""
+        if self._file is None or self._broken or not self._unsynced:
             return
-        self._file.flush()
-        if self.fsync:
-            os.fsync(self._file.fileno())
+        try:
+            if self.fsync:
+                os.fsync(self._file.fileno())
+        except OSError as exc:
+            self._rollback(exc)
         self._unsynced = 0
+        self._synced_size = self._file.tell()
+
+    def _rollback(self, exc):
+        """Drop whatever torn bytes a failed write or fsync left.
+
+        The segment is cut back to the last synced offset so the
+        writer keeps producing valid frames after a transient failure
+        (disk-full, interrupted fsync) — without the repair, the next
+        successful append would frame a record *behind* the torn bytes
+        and recovery's prefix scan would silently truncate it away.
+        When the repair itself fails the writer poisons itself instead
+        of ever appending again.
+        """
+        try:
+            self._file.truncate(self._synced_size)
+            if self.fsync:
+                os.fsync(self._file.fileno())
+        except OSError as repair_error:
+            self._broken = True
+            raise DurabilityError(
+                "log append failed for {} and the segment could not be "
+                "rolled back to its last synced record: {} (writer "
+                "poisoned)".format(self.path, repair_error)) from exc
+        self._unsynced = 0
+        raise DurabilityError(
+            "log append failed for {}: {} (segment rolled back to its "
+            "last synced record)".format(self.path, exc)) from exc
 
     def close(self):
         if self._file is None:

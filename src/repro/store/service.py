@@ -117,9 +117,15 @@ class StoreService:
             " ".join(self.store.doc_ids()) or "-")
 
     def _cmd_snapshot(self):
+        if not self.store.durability_policy.durable:
+            return "error store is not durable (no snapshot written)"
         generation = self.store.snapshot()
         if generation is None:
-            return "error store is not durable (no snapshot written)"
+            # snapshot() also returns None when it lost the
+            # non-blocking race against an in-flight compaction — a
+            # transient condition, not a configuration problem
+            return ("error snapshot skipped: another compaction is in "
+                    "flight (retry)")
         return "ok snapshot generation={}".format(generation)
 
     def _cmd_quit(self):

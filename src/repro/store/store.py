@@ -494,32 +494,53 @@ class DocumentStore:
         non-blocking ``_compacting`` guard makes two concurrent
         triggering flushes safe: the loser skips and retries after its
         next batch, so neither waits on a lock the other holds.
+
+        Lock order matters: :meth:`flush` and :meth:`close_document`
+        take ``flush_lock`` first and the store lock second, so the
+        compaction must never block on a flush lock while holding the
+        store lock (the ABBA deadlock). It therefore captures the entry
+        list under the store lock, *releases* it, collects the flush
+        locks, and only then re-takes the store lock for the capture +
+        rotation — retrying from scratch when a document was opened or
+        closed in the unlocked window.
         """
         if not self._compacting.acquire(blocking=False):
             return None
-        acquired = []
         try:
-            # the store lock is held across listing AND writing: no
-            # document can be opened or closed (and no open/close record
-            # logged) between what the snapshot captures and the segment
-            # rotation, so every record in the sealed segments is
-            # subsumed by the snapshot. Flush locks keep each captured
-            # entry's state still; a concurrently-flushing document
-            # either finished logging before we get its lock (captured
-            # at the new version) or flushes into the next segment.
-            with self._lock:
-                entries = sorted(self._entries.values(),
-                                 key=lambda entry: str(entry.doc_id))
-                for entry in entries:
-                    if entry is held_entry:
-                        continue
-                    entry.flush_lock.acquire()
-                    acquired.append(entry)
-                return self._durability.write_snapshot(
-                    document_payload(entry) for entry in entries)
+            while True:
+                with self._lock:
+                    entries = sorted(self._entries.values(),
+                                     key=lambda entry: str(entry.doc_id))
+                acquired = []
+                try:
+                    for entry in entries:
+                        if entry is held_entry:
+                            continue
+                        entry.flush_lock.acquire()
+                        acquired.append(entry)
+                    # the store lock is held across validation AND
+                    # writing: no document can be opened or closed (and
+                    # no open/close record logged) between what the
+                    # snapshot captures and the segment rotation, so
+                    # every record in the sealed segments is subsumed by
+                    # the snapshot. Flush locks keep each captured
+                    # entry's state still; a concurrently-flushing
+                    # document either finished logging before we got its
+                    # lock (captured at the new version) or flushes into
+                    # the next segment.
+                    with self._lock:
+                        if sorted(self._entries.values(),
+                                  key=lambda entry: str(entry.doc_id)) \
+                                == entries:
+                            return self._durability.write_snapshot(
+                                document_payload(entry)
+                                for entry in entries)
+                finally:
+                    for entry in acquired:
+                        entry.flush_lock.release()
+                # a document was opened or closed while the flush locks
+                # were being collected: retry against the new entry set
         finally:
-            for entry in acquired:
-                entry.flush_lock.release()
             self._compacting.release()
 
     def _recover_state(self, state):
@@ -560,9 +581,16 @@ class DocumentStore:
                     except Exception:
                         # breadth matches the live flush path's handler:
                         # the original flush failed on this logged batch
-                        # (whatever it raised) and rebuilt its labeling;
-                        # the matching relabel record replays that
-                        # rebuild
+                        # (whatever it raised) and rebuilt its labeling.
+                        # Rebuild here too — the crash may have landed
+                        # after the fsynced batch record but before the
+                        # matching relabel record, and without the
+                        # rebuild the labeling would stay in the
+                        # mid-apply mutated state and every later
+                        # batch's codes would diverge. When the relabel
+                        # record *did* make it to disk, replaying it is
+                        # an idempotent second build.
+                        entry.labeling.build(entry.document)
                         skipped += 1
                         continue
                     replayed += 1

@@ -8,6 +8,7 @@ label digit. The helpers below capture and compare that full state.
 """
 
 import os
+import threading
 
 import pytest
 
@@ -190,6 +191,51 @@ class TestRecovery:
         with _durable_store(tmp_path, "log") as recovered:
             assert _full_state(recovered, "d") == before
 
+    def test_crash_before_relabel_record_still_converges(
+            self, tmp_path, monkeypatch):
+        """A batch that fails mid-apply is logged write-ahead; the live
+        flush rebuilds the labeling and then logs a relabel record. A
+        crash can land *between* those two appends, leaving the failing
+        batch on disk with no relabel after it — replay must rebuild on
+        its own or the labeling stays in the mid-apply mutated state
+        and every later batch's incremental codes diverge."""
+        from repro.pul.ops import InsertAttributes, Rename
+        from repro.pul.pul import PUL
+        from repro.store.durability.recovery import DurabilityManager
+        from repro.xdm.node import Node
+        from repro.xdm.parser import parse_document
+
+        document = parse_document(DOC)
+        paper = next(document.elements_by_name("paper"))
+        title = next(document.elements_by_name("title"))
+        real_relabel = DurabilityManager.log_relabel
+        with _durable_store(tmp_path, "log") as store:
+            store.open("d", DOC)
+            # a duplicate attribute passes coalescing and reduction, is
+            # logged write-ahead, labels the fresh attribute node, and
+            # only then fails — deterministically, live and at replay
+            store.submit(
+                "d", PUL([InsertAttributes(
+                    paper.node_id, [Node.attribute("year", "1999")])]),
+                client="alice")
+            # simulate the crash window: the batch record reached disk,
+            # the relabel record never did
+            monkeypatch.setattr(DurabilityManager, "log_relabel",
+                                lambda self, doc_id: None)
+            with pytest.raises(ReproError):
+                store.flush("d")
+            monkeypatch.setattr(DurabilityManager, "log_relabel",
+                                real_relabel)
+            store.discard_pending("d")
+            # a later good batch: its incremental codes depend on the
+            # post-failure rebuild
+            store.submit("d", PUL([Rename(title.node_id, "headline")]),
+                         client="alice")
+            store.flush("d")
+            before = _full_state(store, "d")
+        with _durable_store(tmp_path, "log") as recovered:
+            assert _full_state(recovered, "d") == before
+
     def test_environmental_apply_failure_skips_on_replay(
             self, tmp_path, workload, monkeypatch):
         """A batch logged write-ahead whose application then failed is
@@ -224,6 +270,87 @@ class TestRecovery:
             assert oracle["d"][0] == before_text
 
 
+class TestWriterFailure:
+    """A failed append must never bury later records behind torn bytes:
+    recovery's prefix scan stops at the first invalid frame, so a torn
+    record mid-segment silently truncates every acknowledged batch
+    after it."""
+
+    def test_transient_fsync_failure_rolls_back_torn_bytes(
+            self, tmp_path, monkeypatch):
+        import repro.store.durability.wal as wal_module
+
+        path = str(tmp_path / "seg.log")
+        writer = wal_module.WalWriter(path)
+        writer.append(b"one")
+        good_size = os.path.getsize(path)
+        real_fsync = os.fsync
+        state = {"fail": True}
+
+        def flaky_fsync(fd):
+            if state["fail"]:
+                state["fail"] = False
+                raise OSError(28, "No space left on device")
+            return real_fsync(fd)
+
+        monkeypatch.setattr(wal_module.os, "fsync", flaky_fsync)
+        with pytest.raises(DurabilityError):
+            writer.append(b"two")
+        # the failed record's bytes are gone, not buried mid-segment
+        assert os.path.getsize(path) == good_size
+        writer.append(b"three")
+        writer.close()
+        payloads, __, clean = wal_module.scan_wal(path)
+        assert clean
+        assert payloads == [b"one", b"three"]
+
+    def test_unrepairable_failure_poisons_writer(self, tmp_path,
+                                                 monkeypatch):
+        import repro.store.durability.wal as wal_module
+
+        path = str(tmp_path / "seg.log")
+        writer = wal_module.WalWriter(path)
+        writer.append(b"one")
+
+        def broken_fsync(fd):
+            raise OSError(5, "Input/output error")
+
+        monkeypatch.setattr(wal_module.os, "fsync", broken_fsync)
+        with pytest.raises(DurabilityError):
+            writer.append(b"two")
+        # the rollback's own fsync failed too: nothing may be framed
+        # after the possibly-torn tail
+        with pytest.raises(DurabilityError):
+            writer.append(b"three")
+        writer.close()
+
+
+class TestServiceSnapshot:
+    def test_busy_compaction_is_not_reported_as_non_durable(
+            self, tmp_path):
+        from repro.store import StoreService
+
+        with _durable_store(tmp_path, "log") as store:
+            service = StoreService(store)
+            store._compacting.acquire()
+            try:
+                response = service.handle_line("snapshot")
+            finally:
+                store._compacting.release()
+            assert response.startswith("error snapshot skipped")
+            assert "retry" in response
+            assert service.handle_line("snapshot") \
+                == "ok snapshot generation=0"
+
+    def test_non_durable_store_is_reported_as_such(self):
+        from repro.store import StoreService
+
+        with DocumentStore(backend="serial") as store:
+            response = StoreService(store).handle_line("snapshot")
+            assert response == ("error store is not durable (no "
+                                "snapshot written)")
+
+
 class TestCompaction:
     def test_snapshot_rotates_and_deletes(self, tmp_path, workload):
         text, batches, __ = workload
@@ -254,6 +381,51 @@ class TestCompaction:
             assert recovered.recovery.replayed_batches == 0
             assert recovered.recovery.snapshot_generation == generation
             assert _full_state(recovered, "d") == before
+
+    def test_snapshot_survives_inflight_flush_of_another_document(
+            self, tmp_path):
+        """Compaction must never block on a flush lock while holding
+        the store lock: flush and close take ``flush_lock`` first and
+        the store lock second, so that order deadlocks against any
+        in-flight flush of another document. Hold one document's flush
+        lock the way a flush does and require the snapshot to finish."""
+        with _durable_store(tmp_path, "log") as store:
+            store.open("a", DOC)
+            store.open("b", DOC)
+            entry_b = store._entries["b"]
+            holding = threading.Event()
+            release = threading.Event()
+
+            def inflight_flush():
+                # the flush path's lock order: flush_lock, store lock
+                with entry_b.flush_lock:
+                    holding.set()
+                    release.wait(10)
+                    with store._lock:
+                        pass
+
+            sealed = []
+            flusher = threading.Thread(target=inflight_flush, daemon=True)
+            snapshotter = threading.Thread(
+                target=lambda: sealed.append(store.snapshot()),
+                daemon=True)
+            flusher.start()
+            assert holding.wait(10)
+            snapshotter.start()
+            # let the snapshot reach the flush-lock wait; opening a
+            # document meanwhile must also not block (it takes only the
+            # store lock) and forces the compaction's revalidate+retry
+            snapshotter.join(0.2)
+            store.open("c", DOC)
+            release.set()
+            snapshotter.join(10)
+            flusher.join(10)
+            assert not snapshotter.is_alive(), "compaction deadlocked"
+            assert not flusher.is_alive(), "flush deadlocked"
+            assert sealed == [0]
+        with _durable_store(tmp_path, "log") as recovered:
+            assert recovered.recovery.snapshot_generation == 0
+            assert sorted(recovered.doc_ids()) == ["a", "b", "c"]
 
     def test_snapshot_on_non_durable_store_is_refused(self):
         with DocumentStore(backend="serial") as store:

@@ -187,6 +187,51 @@ class TestStore:
         assert code == 0
         assert output.splitlines()[0].startswith("error")
 
+    def test_snapshot_every_implies_snapshot_mode(self, doc_path,
+                                                  tmp_path):
+        import os
+
+        pul_path = produce(doc_path, tmp_path,
+                           "rename node //title as headline",
+                           origin="alice")
+        script = tmp_path / "session.txt"
+        script.write_text(
+            "open d1 {doc}\n"
+            "submit d1 {pul} alice\n"
+            "flush d1\n"
+            "quit\n".format(doc=doc_path, pul=pul_path))
+        wal_dir = tmp_path / "wal"
+        code, __ = run(["store", "serve", "--backend", "serial",
+                        "--wal-dir", str(wal_dir),
+                        "--snapshot-every", "1",
+                        "--script", str(script)])
+        assert code == 0
+        # the interval alone must buy compaction, not be dropped
+        assert any(name.startswith("snapshot-")
+                   for name in os.listdir(str(wal_dir)))
+
+    def test_snapshot_every_requires_wal_dir(self):
+        code, __ = run(["store", "serve", "--backend", "serial",
+                        "--snapshot-every", "4",
+                        "--script", "/dev/null"])
+        assert code == 2
+
+    def test_snapshot_every_rejects_non_snapshot_mode(self, tmp_path):
+        code, __ = run(["store", "serve", "--backend", "serial",
+                        "--wal-dir", str(tmp_path / "wal"),
+                        "--durability", "log",
+                        "--snapshot-every", "4",
+                        "--script", "/dev/null"])
+        assert code == 2
+
+    def test_recover_refuses_missing_wal_dir(self, tmp_path):
+        missing = tmp_path / "nonexistent"
+        code, __ = run(["store", "recover", "--backend", "serial",
+                        "--wal-dir", str(missing)])
+        assert code == 2
+        # and the typo'd path was not conjured into existence
+        assert not missing.exists()
+
     def test_bench_reports_comparison(self):
         code, output = run(["store", "bench", "--backend", "serial",
                             "--scale", "0.01", "--rounds", "2",
