@@ -1,6 +1,6 @@
 """The CI benchmark-regression gate.
 
-Runs the three throughput benchmarks in smoke mode, merges their
+Runs the throughput benchmarks in smoke mode, merges their
 ``--json`` summaries into one trajectory file ``BENCH_<pr>.json``
 (schema: ``benches.<name> -> {ops_per_sec, median_wall_s, ...}`` plus a
 ``calibration_rps`` machine-speed score), and compares every shared
@@ -59,6 +59,9 @@ SMOKE_RUNS = (
      ["--scale", "0.05", "--rounds", "5", "--ops", "50", "--repeats", "3",
       "--policy", "log", "--policy", "log+snapshot:2",
       "--max-overhead", "2.5"]),
+    ("bench_server_concurrency.py",
+     ["--connections", "4", "--ops", "100", "--depths", "1", "8",
+      "--repeats", "3"]),
 )
 
 

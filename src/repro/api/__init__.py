@@ -1,0 +1,36 @@
+"""The store's network API: wire protocol, server, clients.
+
+One dispatch core (:class:`StoreDispatcher`) serves every transport:
+the asyncio :class:`StoreServer` (TCP + Unix sockets, versioned
+length-prefixed JSON frames) and the legacy stdin/stdout line protocol
+(:class:`repro.store.service.StoreService`, now a thin adapter). The
+clients — blocking :class:`StoreClient` and pipelining
+:class:`AsyncStoreClient` — share one method surface and raise
+reconstructed :class:`~repro.errors.ReproError` subclasses. See this
+package's README for the frame layout, version negotiation and the
+error-code table.
+"""
+
+from repro.api.client import AsyncStoreClient, StoreClient
+from repro.api.dispatch import StoreDispatcher, stats_payload
+from repro.api.protocol import (
+    MAX_FRAME,
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    FrameDecoder,
+    encode_frame,
+)
+from repro.api.server import StoreServer
+
+__all__ = [
+    "AsyncStoreClient",
+    "FrameDecoder",
+    "MAX_FRAME",
+    "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
+    "StoreClient",
+    "StoreDispatcher",
+    "StoreServer",
+    "encode_frame",
+    "stats_payload",
+]

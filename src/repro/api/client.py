@@ -1,0 +1,323 @@
+"""Typed clients for the store's network protocol.
+
+Two clients with the same method surface — ``open`` / ``submit`` /
+``submit_xquery`` / ``flush`` / ``flush_all`` / ``discard`` / ``text``
+/ ``stats`` / ``docs`` / ``snapshot`` — over the versioned frame
+protocol of :mod:`repro.api.protocol`:
+
+:class:`StoreClient`
+    blocking, one socket, strict request/response — the right tool for
+    scripts and tests;
+:class:`AsyncStoreClient`
+    asyncio, pipelined — any number of calls may be in flight at once
+    (``await asyncio.gather(*[client.submit(...) ...])``), responses
+    are correlated by request id.
+
+Both perform the hello negotiation on connect (the negotiated protocol
+version is on :attr:`protocol_version`) and both surface server-side
+failures as reconstructed :class:`~repro.errors.ReproError` subclasses:
+``except QueryEvaluationError:`` around a remote ``submit_xquery``
+works exactly as it does around the local compiler, and the stable
+``error.code`` travels with it.
+
+Submissions accept either the PUL exchange document as text or a
+:class:`~repro.pul.pul.PUL` object (serialized on the way out) — but
+the expression form (:meth:`submit_xquery`) is the preferred surface:
+the server compiles it against the resident document, so the client
+needs no copy of the tree at all.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+from repro.api import protocol
+from repro.errors import ProtocolError
+from repro.pul.pul import PUL
+from repro.pul.serialize import pul_to_xml
+
+
+def _pul_text(pul):
+    return pul_to_xml(pul) if isinstance(pul, PUL) else pul
+
+
+class _MethodSurface:
+    """The shared command surface; subclasses provide ``_call``."""
+
+    def open(self, doc_id, xml):
+        """Make document text resident under ``doc_id``."""
+        return self._call("open", doc_id=doc_id, xml=xml)
+
+    def submit(self, doc_id, pul, client=None):
+        """Queue a PUL (exchange text or a :class:`PUL`)."""
+        args = {"doc_id": doc_id, "pul": _pul_text(pul)}
+        if client is not None:
+            args["client"] = client
+        return self._call("submit", **args)
+
+    def submit_xquery(self, doc_id, query, client=None):
+        """Ship an XQuery Update expression; the server compiles it
+        against the resident document and queues the resulting PUL."""
+        args = {"doc_id": doc_id, "query": query}
+        if client is not None:
+            args["client"] = client
+        return self._call("submit_xquery", **args)
+
+    def flush(self, doc_id):
+        return self._call("flush", doc_id=doc_id)
+
+    def flush_all(self):
+        return self._call("flush_all")
+
+    def discard(self, doc_id):
+        return self._call("discard", doc_id=doc_id)
+
+    def text(self, doc_id):
+        return self._call("text", doc_id=doc_id)
+
+    def stats(self, doc_id=None):
+        if doc_id is None:
+            return self._call("stats")
+        return self._call("stats", doc_id=doc_id)
+
+    def docs(self):
+        return self._call("docs")
+
+    def snapshot(self):
+        return self._call("snapshot")
+
+
+class StoreClient(_MethodSurface):
+    """Blocking client: one request in flight at a time.
+
+    Use as a context manager or call :meth:`close`. Construct via
+    :meth:`connect`.
+    """
+
+    def __init__(self, sock, client=None):
+        self._sock = sock
+        self._decoder = protocol.FrameDecoder()
+        self._frames = []
+        self._next_id = 0
+        self.client = client
+        self.protocol_version = None
+        self.server_info = None
+
+    @classmethod
+    def connect(cls, host=None, port=None, unix_path=None, client=None,
+                timeout=None):
+        """Connect over TCP (``host``/``port``) or a Unix socket
+        (``unix_path``) and negotiate the protocol version."""
+        if unix_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(unix_path)
+        elif host is not None and port is not None:
+            sock = socket.create_connection((host, port), timeout=timeout)
+        else:
+            raise ProtocolError(
+                "connect needs host+port or unix_path")
+        instance = cls(sock, client=client)
+        try:
+            instance._hello()
+        except BaseException:
+            sock.close()
+            raise
+        return instance
+
+    def _hello(self):
+        result = self._roundtrip(protocol.hello_request(
+            self._take_id(), client=self.client))
+        self.protocol_version = result["version"]
+        self.server_info = result
+        self.client = result.get("client", self.client)
+
+    def _take_id(self):
+        self._next_id += 1
+        return self._next_id
+
+    def _call(self, op, **args):
+        return self._roundtrip(protocol.request(
+            self._take_id(), op, args))
+
+    def _roundtrip(self, message):
+        self._sock.sendall(protocol.encode_frame(message))
+        while not self._frames:
+            data = self._sock.recv(64 * 1024)
+            if not data:
+                raise ProtocolError(
+                    "server closed the connection mid-response")
+            self._frames.extend(self._decoder.feed(data))
+        response_id, result = protocol.parse_response(
+            self._frames.pop(0))
+        if response_id != message["id"]:
+            raise ProtocolError(
+                "response id {!r} does not match request id "
+                "{!r}".format(response_id, message["id"]))
+        return result
+
+    def close(self):
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+class AsyncStoreClient(_MethodSurface):
+    """Asyncio client with request pipelining.
+
+    Every command coroutine writes its frame immediately and awaits its
+    own response future, so N concurrent calls put N requests on the
+    wire without waiting for each other — the server executes them in
+    order per connection, and the background reader resolves each
+    future as its response arrives.
+    """
+
+    def __init__(self, reader, writer, client=None):
+        self._reader = reader
+        self._writer = writer
+        self._decoder = protocol.FrameDecoder()
+        self._pending = {}
+        self._next_id = 0
+        self._reader_task = None
+        self._closed = False
+        self.client = client
+        self.protocol_version = None
+        self.server_info = None
+
+    @classmethod
+    async def connect(cls, host=None, port=None, unix_path=None,
+                      client=None):
+        """Connect over TCP or a Unix socket and negotiate."""
+        if unix_path is not None:
+            reader, writer = await asyncio.open_unix_connection(unix_path)
+        elif host is not None and port is not None:
+            reader, writer = await asyncio.open_connection(host, port)
+        else:
+            raise ProtocolError("connect needs host+port or unix_path")
+        instance = cls(reader, writer, client=client)
+        try:
+            await instance._hello()
+        except BaseException:
+            writer.close()
+            raise
+        instance._reader_task = asyncio.ensure_future(
+            instance._read_responses())
+        return instance
+
+    async def _hello(self):
+        """Negotiate before the reader task exists (strict
+        request/response, nothing else is in flight yet)."""
+        message = protocol.hello_request(self._take_id(),
+                                         client=self.client)
+        self._writer.write(protocol.encode_frame(message))
+        await self._writer.drain()
+        frames = []
+        while not frames:
+            data = await self._reader.read(64 * 1024)
+            if not data:
+                raise ProtocolError(
+                    "server closed the connection during negotiation")
+            frames.extend(self._decoder.feed(data))
+        __, result = protocol.parse_response(frames.pop(0))
+        if frames:
+            raise ProtocolError(
+                "server sent frames before any request was made")
+        self.protocol_version = result["version"]
+        self.server_info = result
+        self.client = result.get("client", self.client)
+
+    def _take_id(self):
+        self._next_id += 1
+        return self._next_id
+
+    async def _call(self, op, **args):
+        if self._closed:
+            raise ProtocolError("client is closed")
+        request_id = self._take_id()
+        # frame before registering the future: an unframeable request
+        # (oversized payload) must not leave an orphan in _pending
+        frame = protocol.encode_frame(
+            protocol.request(request_id, op, args))
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            self._writer.write(frame)
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(request_id, None)
+            raise ProtocolError(
+                "connection lost while sending {!r}: {}".format(
+                    op, exc)) from exc
+        return await future
+
+    async def _read_responses(self):
+        """Resolve pending futures as responses arrive, in any order
+        of completion (the server answers in request order; ids keep
+        the correlation explicit anyway)."""
+        failure = ProtocolError("server closed the connection")
+        try:
+            while True:
+                data = await self._reader.read(64 * 1024)
+                if not data:
+                    break
+                for message in self._decoder.feed(data):
+                    self._dispatch_response(message)
+        except (ConnectionError, OSError) as exc:
+            failure = ProtocolError(
+                "connection lost: {}".format(exc))
+        except ProtocolError as exc:
+            failure = exc
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(failure)
+            self._pending.clear()
+
+    def _dispatch_response(self, message):
+        response_id = message.get("id")
+        future = self._pending.pop(response_id, None)
+        if future is None or future.done():
+            return
+        try:
+            __, result = protocol.parse_response(message)
+        except Exception as error:
+            future.set_exception(error)
+        else:
+            future.set_result(result)
+
+    async def aclose(self):
+        """Close the connection; in-flight requests fail."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(
+                    ProtocolError("client closed"))
+        self._pending.clear()
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self):
+        return self
+
+    async def __aexit__(self, *exc_info):
+        await self.aclose()

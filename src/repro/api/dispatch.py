@@ -1,0 +1,121 @@
+"""The transport-neutral command core over one :class:`DocumentStore`.
+
+Every transport the store speaks — the asyncio network server
+(:mod:`repro.api.server`), the line-oriented compatibility protocol
+(:mod:`repro.store.service`) — routes its commands through one
+:class:`StoreDispatcher`: structured arguments in, JSON-representable
+dicts out, :class:`~repro.errors.ReproError` subclasses raised on
+failure (each carrying its stable ``code``). The transports only
+(de)serialize; the command semantics, argument validation and result
+shapes live here once, so the wire protocol and the line protocol can
+never drift apart.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DurabilityError, ProtocolError
+from repro.pul.serialize import pul_from_xml
+
+
+def stats_payload(stats):
+    """The shared machine-readable form of per-document counters: one
+    serializer for the line protocol's ``--json`` form and the network
+    protocol's ``stats`` result."""
+    return {"stats": [dict(entry) for entry in stats]}
+
+
+class StoreDispatcher:
+    """Structured command surface shared by every transport."""
+
+    def __init__(self, store=None):
+        if store is None:
+            # imported lazily: repro.store.service (loaded by the
+            # repro.store package) imports this module, so a top-level
+            # import of repro.store.store here would be circular
+            from repro.store.store import DocumentStore
+            store = DocumentStore()
+        self.store = store
+
+    # -- documents -----------------------------------------------------------
+
+    def open(self, doc_id, xml):
+        """Make ``xml`` (document text) resident under ``doc_id``."""
+        entry = self.store.open(doc_id, xml)
+        return {"doc_id": doc_id, "nodes": len(entry.document),
+                "version": entry.version}
+
+    def docs(self):
+        return {"docs": self.store.doc_ids()}
+
+    def stats(self, doc_id=None):
+        if doc_id is not None:
+            return stats_payload([self.store.stats(doc_id)])
+        return stats_payload(self.store.stats())
+
+    def text(self, doc_id):
+        return {"doc_id": doc_id, "text": self.store.text(doc_id)}
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, doc_id, pul, client=None):
+        """Queue a PUL (exchange-format XML text) against ``doc_id``."""
+        if not isinstance(pul, str):
+            raise ProtocolError(
+                "submit needs the PUL exchange document as text, got "
+                "{}".format(type(pul).__name__))
+        parsed = pul_from_xml(pul)
+        depth = self.store.submit(doc_id, parsed, client=client)
+        return {"doc_id": doc_id, "ops": len(parsed), "depth": depth}
+
+    def submit_xquery(self, doc_id, query, client=None):
+        """Compile an XQuery Update expression server-side and queue
+        the resulting PUL (the client never builds a PUL itself)."""
+        if not isinstance(query, str):
+            raise ProtocolError(
+                "submit_xquery needs the expression as text, got "
+                "{}".format(type(query).__name__))
+        depth, ops = self.store.submit_xquery(doc_id, query,
+                                              client=client)
+        return {"doc_id": doc_id, "ops": ops, "depth": depth}
+
+    def discard(self, doc_id):
+        return {"doc_id": doc_id,
+                "discarded": self.store.discard_pending(doc_id)}
+
+    # -- batch execution -----------------------------------------------------
+
+    def flush(self, doc_id):
+        result = self.store.flush(doc_id)
+        if result is None:
+            return {"doc_id": doc_id, "flushed": False}
+        return {"doc_id": doc_id, "flushed": True,
+                **self._batch_result(result)}
+
+    def flush_all(self):
+        results = self.store.flush_all()
+        return {"batches": len(results),
+                "ops": sum(r.reduced_ops for r in results),
+                "results": [self._batch_result(r) for r in results]}
+
+    @staticmethod
+    def _batch_result(result):
+        return {"version": result.version, "clients": result.clients,
+                "submitted_ops": result.submitted_ops,
+                "reduced_ops": result.reduced_ops,
+                "relabel": result.relabel,
+                "max_code_length": result.max_code_length}
+
+    # -- durability ----------------------------------------------------------
+
+    def snapshot(self):
+        if not self.store.durability_policy.durable:
+            raise DurabilityError(
+                "store is not durable (no snapshot written)")
+        generation = self.store.snapshot()
+        if generation is None:
+            # the non-blocking race against an in-flight compaction —
+            # a transient condition, not a configuration problem
+            raise DurabilityError(
+                "snapshot skipped: another compaction is in flight "
+                "(retry)")
+        return {"generation": generation}

@@ -1,0 +1,216 @@
+"""The versioned, length-prefixed JSON wire protocol.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON::
+
+    +--------------+------------------------+
+    | length (u32) | JSON payload (UTF-8)   |
+    +--------------+------------------------+
+
+The length covers the payload only, must be at least 2 (the smallest
+JSON object, ``{}``) and at most :data:`MAX_FRAME` — a peer announcing
+more is malformed and the decoder fails *before* buffering, so a
+garbage header can never balloon memory. Framing carries no checksum on
+purpose: the protocol runs over stream transports (TCP, Unix sockets)
+that already guarantee integrity; torn frames only appear at connection
+teardown and are surfaced as a clean "incomplete trailing frame".
+
+Requests and responses are JSON objects:
+
+``{"id": n, "op": name, "args": {...}}``
+    a request; ``id`` is an arbitrary JSON value echoed verbatim in the
+    response (clients use a monotonically increasing integer so
+    pipelined responses can be correlated), ``op`` names a command of
+    the dispatch table, ``args`` is optional;
+``{"id": n, "ok": true, "result": {...}}``
+    success — ``result`` is the command's structured result;
+``{"id": n, "ok": false, "error": {"code", "message", "details"}}``
+    failure — the error object is :meth:`ReproError.to_dict` output and
+    reconstructs client-side via :meth:`ReproError.from_dict`.
+
+Version negotiation is the first exchange on every connection: the
+client's first frame must be a ``hello`` request announcing the
+protocol versions it speaks; the server picks the highest version both
+sides share and echoes it (plus its software version) in the response.
+A connection with no shared version is answered with a ``protocol``
+error and closed. Everything after the hello is ordinary requests under
+the negotiated version.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.errors import ProtocolError, ReproError
+
+#: protocol versions this implementation can speak, ascending. A wire
+#: change that an old peer could misread gets a new number appended
+#: here; dropping support for an old number removes it.
+SUPPORTED_VERSIONS = (1,)
+
+#: the version this implementation prefers (the newest supported)
+PROTOCOL_VERSION = SUPPORTED_VERSIONS[-1]
+
+#: upper bound on one frame's payload — a request carries at most one
+#: document or one coalesced batch, far below this
+MAX_FRAME = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+#: byte length of the frame header
+HEADER_SIZE = _LENGTH.size
+
+
+def encode_frame(obj):
+    """Serialize ``obj`` (a JSON-representable dict) into one frame."""
+    payload = json.dumps(obj, separators=(",", ":"),
+                         sort_keys=True).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            "frame payload of {} bytes exceeds the {} byte bound".format(
+                len(payload), MAX_FRAME))
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload):
+    """Decode one frame payload into its JSON object."""
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(
+            "frame payload is not valid JSON: {}".format(exc)) from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            "frame payload must be a JSON object, got {}".format(
+                type(obj).__name__))
+    return obj
+
+
+class FrameDecoder:
+    """Incremental frame decoder for a byte stream.
+
+    Feed arbitrary chunks with :meth:`feed`; complete frames come back
+    decoded, partial ones wait for more bytes. A malformed header
+    (length 0..1 or beyond :data:`MAX_FRAME`) raises
+    :class:`ProtocolError` immediately — the stream has lost framing
+    and cannot be resynchronized, so the connection must be dropped.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    def feed(self, data):
+        """Consume ``data``; returns the list of decoded objects."""
+        self._buffer.extend(data)
+        frames = []
+        while True:
+            if len(self._buffer) < HEADER_SIZE:
+                break
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length < 2 or length > MAX_FRAME:
+                raise ProtocolError(
+                    "invalid frame length {} (bounds 2..{})".format(
+                        length, MAX_FRAME))
+            end = HEADER_SIZE + length
+            if len(self._buffer) < end:
+                break
+            payload = bytes(self._buffer[HEADER_SIZE:end])
+            del self._buffer[:end]
+            frames.append(decode_payload(payload))
+        return frames
+
+    @property
+    def pending_bytes(self):
+        """Bytes buffered toward the next (incomplete) frame."""
+        return len(self._buffer)
+
+    def at_boundary(self):
+        """True when the stream ended exactly between frames (EOF here
+        is a clean close; mid-frame EOF is a torn trailing frame)."""
+        return not self._buffer
+
+
+# -- request / response shapes -----------------------------------------------
+
+
+def request(request_id, op, args=None):
+    """Build a request object."""
+    message = {"id": request_id, "op": op}
+    if args:
+        message["args"] = args
+    return message
+
+
+def hello_request(request_id, client=None, versions=SUPPORTED_VERSIONS):
+    """The negotiation request that must open every connection."""
+    args = {"versions": list(versions)}
+    if client is not None:
+        args["client"] = client
+    return request(request_id, "hello", args)
+
+
+def ok_response(request_id, result):
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id, error):
+    """Wrap ``error`` (a :class:`ReproError` or a plain message) into a
+    failure response."""
+    if isinstance(error, ReproError):
+        payload = error.to_dict()
+    elif isinstance(error, OSError):
+        payload = {"code": "os", "message": str(error)}
+    else:
+        payload = {"code": "repro", "message": str(error)}
+    return {"id": request_id, "ok": False, "error": payload}
+
+
+def parse_request(message):
+    """Validate a decoded request; returns ``(id, op, args)``."""
+    if "op" not in message:
+        raise ProtocolError("request carries no \"op\" field")
+    op = message["op"]
+    if not isinstance(op, str):
+        raise ProtocolError(
+            "request \"op\" must be a string, got {!r}".format(op))
+    args = message.get("args", {})
+    if not isinstance(args, dict):
+        raise ProtocolError(
+            "request \"args\" must be an object, got {}".format(
+                type(args).__name__))
+    return message.get("id"), op, args
+
+
+def parse_response(message):
+    """Validate a decoded response; returns ``(id, result)`` or raises
+    the reconstructed :class:`ReproError` subclass on ``ok: false``."""
+    if "ok" not in message:
+        raise ProtocolError("response carries no \"ok\" field")
+    if message["ok"]:
+        return message.get("id"), message.get("result")
+    error = message.get("error") or {}
+    if not isinstance(error, dict):
+        error = {"message": str(error)}
+    raise ReproError.from_dict(error)
+
+
+def negotiate_version(offered):
+    """Pick the newest mutually supported version from the client's
+    ``offered`` list; raises :class:`ProtocolError` when there is none
+    (or the offer is malformed)."""
+    if not isinstance(offered, (list, tuple)) or not all(
+            isinstance(v, int) and not isinstance(v, bool)
+            for v in offered):
+        raise ProtocolError(
+            "hello must offer a list of integer protocol versions, "
+            "got {!r}".format(offered))
+    shared = set(offered) & set(SUPPORTED_VERSIONS)
+    if not shared:
+        raise ProtocolError(
+            "no shared protocol version: peer offers {}, server "
+            "supports {}".format(sorted(offered),
+                                 list(SUPPORTED_VERSIONS)))
+    return max(shared)

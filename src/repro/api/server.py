@@ -1,0 +1,431 @@
+"""The asyncio network front end: many connections, one store.
+
+:class:`StoreServer` listens on TCP and/or a Unix socket and multiplexes
+every connection onto one :class:`~repro.store.store.DocumentStore`
+through the shared :class:`~repro.api.dispatch.StoreDispatcher`. The
+store's locking already serializes what must be serial (per-document
+flushes) and keeps the rest concurrent (submissions), so connection
+handlers simply run each command on a small thread pool — the event
+loop never blocks on a flush, and two clients flushing different
+documents genuinely overlap.
+
+Per-connection behaviour:
+
+* the first frame must be the ``hello`` negotiation (see
+  :mod:`repro.api.protocol`); it also carries the connection's *client
+  identity*, which stamps every submission that does not name an
+  explicit client — so the store's per-client coalescing (sequential
+  chains per client, parallel merge across clients) sees network
+  sessions exactly like it sees local producers;
+* requests are **pipelined**: the reader keeps accepting frames while
+  earlier commands execute, queueing them on a bounded per-connection
+  queue (:attr:`StoreServer.max_pipeline`). A full queue stops the
+  reader — TCP flow control then pushes back on the client — so a
+  fire-hose client cannot balloon server memory;
+* responses go out in request order (one worker per connection), so a
+  client may correlate by order as well as by ``id``;
+* a malformed frame (bad length, non-JSON payload, EOF mid-frame)
+  kills only that connection — framing is lost and cannot be
+  resynchronized — after a best-effort error frame; other connections
+  and the store are untouched.
+
+Shutdown is *drain-first*, matching the line protocol's PR 3 semantics:
+``SIGTERM`` (or :meth:`StoreServer.aclose`) stops accepting, lets every
+already-queued pipelined request finish, flushes all pending
+submissions (with a durable store they reach the write-ahead log), and
+only then closes the store.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import functools
+import signal
+import socket
+import sys
+
+from repro.api import protocol
+from repro.api.dispatch import StoreDispatcher
+from repro.errors import ProtocolError, ReproError
+
+#: default bound on queued-but-unexecuted requests per connection
+DEFAULT_MAX_PIPELINE = 32
+
+_READ_CHUNK = 64 * 1024
+
+#: queue sentinel: no more requests will arrive
+_EOF = object()
+
+
+class _Session:
+    """Per-connection state: identity and negotiated version."""
+
+    __slots__ = ("client", "version")
+
+    def __init__(self, client, version):
+        self.client = client
+        self.version = version
+
+
+class _ReaderFailure:
+    """Queue item: the reader lost framing; send this and stop."""
+
+    __slots__ = ("response",)
+
+    def __init__(self, response):
+        self.response = response
+
+
+class StoreServer:
+    """Serve one :class:`DocumentStore` to many network clients.
+
+    Parameters
+    ----------
+    store:
+        The (possibly durable) store to serve. The server owns it from
+        :meth:`start` on: :meth:`aclose` drains and closes it.
+    host / port:
+        TCP listen address; ``port=0`` picks an ephemeral port
+        (re-read it from :attr:`tcp_address`). ``host=None`` disables
+        TCP.
+    unix_path:
+        Unix-domain socket path (``None`` disables the Unix listener).
+    max_pipeline:
+        Bound on queued requests per connection (backpressure).
+    executor_workers:
+        Threads executing store commands (store calls block on locks
+        and real work; the event loop must not).
+    """
+
+    #: ``op -> (dispatcher method, required args, optional args)`` —
+    #: the dispatch table both transports are built from (the line
+    #: protocol reaches the same methods through its own arg parsing)
+    DISPATCH = {
+        "open": ("open", ("doc_id", "xml"), ()),
+        "submit": ("submit", ("doc_id", "pul"), ("client",)),
+        "submit_xquery": ("submit_xquery", ("doc_id", "query"),
+                          ("client",)),
+        "flush": ("flush", ("doc_id",), ()),
+        "flush_all": ("flush_all", (), ()),
+        "discard": ("discard", ("doc_id",), ()),
+        "text": ("text", ("doc_id",), ()),
+        "stats": ("stats", (), ("doc_id",)),
+        "docs": ("docs", (), ()),
+        "snapshot": ("snapshot", (), ()),
+    }
+
+    def __init__(self, store=None, host=None, port=0, unix_path=None,
+                 max_pipeline=DEFAULT_MAX_PIPELINE, executor_workers=8):
+        if host is None and unix_path is None:
+            raise ReproError(
+                "StoreServer needs a TCP host/port or a unix_path to "
+                "listen on")
+        if max_pipeline < 1:
+            # Queue(maxsize=0) means *unbounded* — silently dropping
+            # the documented backpressure is worse than refusing
+            raise ReproError(
+                "max_pipeline must be >= 1, got {}".format(max_pipeline))
+        self.dispatcher = StoreDispatcher(store)
+        self.store = self.dispatcher.store
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.max_pipeline = max_pipeline
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=executor_workers,
+            thread_name_prefix="store-server")
+        self._servers = []
+        self._connections = {}   # _Connection -> its handler task
+        self._sessions = 0
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self):
+        """Bind the listeners; returns ``self``."""
+        if self.host is not None:
+            self._servers.append(await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port))
+        if self.unix_path is not None:
+            self._servers.append(await asyncio.start_unix_server(
+                self._handle_connection, path=self.unix_path))
+        return self
+
+    @property
+    def tcp_address(self):
+        """``(host, port)`` actually bound, or ``None`` without TCP."""
+        unix_family = getattr(socket, "AF_UNIX", None)
+        for server in self._servers:
+            for sock in server.sockets or ():
+                if sock.family != unix_family:
+                    return sock.getsockname()[:2]
+        return None
+
+    async def serve_forever(self, handle_signals=True):
+        """Run until ``SIGTERM``/``SIGINT`` (drain-first), then close."""
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed = []
+        if handle_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, stop.set)
+                    installed.append(signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass
+        try:
+            await stop.wait()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+            await self.aclose()
+
+    async def aclose(self, drain=True):
+        """Stop accepting, finish queued requests, drain the store's
+        pending submissions (``drain=True``) and close it."""
+        if self._closed:
+            return
+        self._closed = True
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        connections = list(self._connections.items())
+        for connection, __ in connections:
+            await connection.shutdown()
+        # wait for the handlers to flush their final responses and
+        # close their writers — leaving them running would race the
+        # store close below (and leak noisy cancelled tasks)
+        tasks = [task for __, task in connections if task is not None]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        try:
+            if drain:
+                loop = asyncio.get_running_loop()
+                try:
+                    await loop.run_in_executor(self._executor,
+                                               self.store.flush_all)
+                except ReproError as error:
+                    # same contract as the line protocol's drain: every
+                    # healthy document flushed, the failure reported
+                    sys.stderr.write(
+                        "store-server: drain failed: {}\n".format(error))
+        finally:
+            self.store.close()
+            self._executor.shutdown(wait=True)
+
+    async def __aenter__(self):
+        return await self.start()
+
+    async def __aexit__(self, *exc_info):
+        await self.aclose()
+
+    # -- request execution ---------------------------------------------------
+
+    async def _execute(self, session, request_id, op, args):
+        """Run one parsed request; always returns a response object."""
+        try:
+            spec = self.DISPATCH.get(op)
+            if spec is None:
+                raise ProtocolError("unknown op {!r}".format(op))
+            method_name, required, optional = spec
+            unknown = set(args) - set(required) - set(optional)
+            if unknown:
+                raise ProtocolError("op {!r} does not take {}".format(
+                    op, ", ".join(sorted(unknown))))
+            missing = [name for name in required if name not in args]
+            if missing:
+                raise ProtocolError("op {!r} needs {}".format(
+                    op, ", ".join(missing)))
+            call_args = {name: value for name, value in args.items()
+                         if isinstance(name, str)}
+            if op in ("submit", "submit_xquery"):
+                call_args.setdefault("client", session.client)
+            method = getattr(self.dispatcher, method_name)
+            loop = asyncio.get_running_loop()
+            result = await loop.run_in_executor(
+                self._executor, functools.partial(method, **call_args))
+        except Exception as error:
+            # ReproError subclasses ship their stable code; anything
+            # else (a TypeError from garbage argument types, ...) is
+            # still a response, never a dead connection
+            return protocol.error_response(request_id, error)
+        return protocol.ok_response(request_id, result)
+
+    async def _handle_connection(self, reader, writer):
+        connection = _Connection(self, reader, writer)
+        self._connections[connection] = asyncio.current_task()
+        try:
+            await connection.run()
+        finally:
+            self._connections.pop(connection, None)
+
+    def _next_session_name(self):
+        self._sessions += 1
+        return "conn-{}".format(self._sessions)
+
+
+class _Connection:
+    """One client connection: negotiation, reader, ordered worker."""
+
+    def __init__(self, server, reader, writer):
+        self.server = server
+        self.reader = reader
+        self.writer = writer
+        self.decoder = protocol.FrameDecoder()
+        self.queue = asyncio.Queue(maxsize=server.max_pipeline)
+        self.session = None
+        self._frames = []
+        self._reader_task = None
+        self._worker_task = None
+
+    async def run(self):
+        try:
+            if not await self._negotiate():
+                return
+            self._worker_task = asyncio.ensure_future(self._work())
+            self._reader_task = asyncio.ensure_future(self._read())
+            await asyncio.wait({self._reader_task})
+            await self.queue.put(_EOF)
+            await self._worker_task
+        finally:
+            for task in (self._reader_task, self._worker_task):
+                if task is not None and not task.done():
+                    task.cancel()
+            await self._close_writer()
+
+    async def shutdown(self):
+        """Server-initiated close: stop reading; ``run`` then finishes
+        the already-queued requests and flushes their responses out."""
+        if self._reader_task is not None and not self._reader_task.done():
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            except Exception:
+                pass
+        elif self._reader_task is None:
+            # still negotiating: the handler is blocked reading the
+            # hello frame, and only closing the transport unblocks it
+            # (otherwise a silent pre-hello connection parks aclose
+            # forever)
+            try:
+                self.writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- negotiation ---------------------------------------------------------
+
+    async def _negotiate(self):
+        """Handle the mandatory hello frame; ``False`` closes the
+        connection (an error response was already sent best-effort)."""
+        try:
+            message = await self._next_frame()
+        except ProtocolError as error:
+            await self._send(protocol.error_response(None, error))
+            return False
+        if message is None:
+            return False
+        request_id = message.get("id")
+        try:
+            request_id, op, args = protocol.parse_request(message)
+            if op != "hello":
+                raise ProtocolError(
+                    "the first request must be \"hello\", got "
+                    "{!r}".format(op))
+            version = protocol.negotiate_version(
+                args.get("versions", ()))
+            client = args.get("client")
+            if client is not None and not isinstance(client, str):
+                raise ProtocolError("hello \"client\" must be a string")
+        except ProtocolError as error:
+            await self._send(protocol.error_response(request_id, error))
+            return False
+        self.session = _Session(
+            client or self.server._next_session_name(), version)
+        await self._send(protocol.ok_response(request_id, {
+            "version": version, "server": "repro-store",
+            "client": self.session.client}))
+        return True
+
+    # -- reader / worker -----------------------------------------------------
+
+    async def _read(self):
+        """Feed well-formed requests into the bounded queue."""
+        while True:
+            try:
+                message = await self._next_frame()
+            except ProtocolError as error:
+                # framing is gone: the worker sends this after every
+                # already-queued request and the connection closes
+                await self.queue.put(_ReaderFailure(
+                    protocol.error_response(None, error)))
+                return
+            if message is None:
+                return
+            await self.queue.put(message)
+
+    async def _work(self):
+        """Execute queued requests in order; the only writer."""
+        while True:
+            item = await self.queue.get()
+            if item is _EOF:
+                return
+            if isinstance(item, _ReaderFailure):
+                await self._send(item.response)
+                return
+            try:
+                request_id, op, args = protocol.parse_request(item)
+            except ProtocolError as error:
+                await self._send(protocol.error_response(
+                    item.get("id"), error))
+                continue
+            response = await self.server._execute(
+                self.session, request_id, op, args)
+            if not await self._send(response):
+                return
+
+    async def _next_frame(self):
+        """One decoded frame, or ``None`` on EOF at a frame boundary.
+
+        EOF mid-frame is a torn trailing frame: reported as a
+        :class:`ProtocolError` (the peer died mid-send), never a crash.
+        """
+        while True:
+            if self._frames:
+                return self._frames.pop(0)
+            data = await self.reader.read(_READ_CHUNK)
+            if not data:
+                if not self.decoder.at_boundary():
+                    raise ProtocolError(
+                        "connection closed mid-frame ({} trailing "
+                        "bytes)".format(self.decoder.pending_bytes))
+                return None
+            self._frames.extend(self.decoder.feed(data))
+
+    async def _send(self, message):
+        """Write one frame; ``False`` when the peer is gone."""
+        try:
+            frame = protocol.encode_frame(message)
+        except ProtocolError as error:
+            # a result too large to frame (e.g. `text` of a >MAX_FRAME
+            # document) must degrade to an error response, not kill the
+            # connection with an unhandled exception
+            if message.get("ok"):
+                return await self._send(protocol.error_response(
+                    message.get("id"), error))
+            return False
+        try:
+            self.writer.write(frame)
+            await self.writer.drain()
+        except (ConnectionError, OSError):
+            return False
+        return True
+
+    async def _close_writer(self):
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

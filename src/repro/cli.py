@@ -14,8 +14,11 @@ Subcommands mirror the library's pipeline (``-`` reads stdin):
   (``--workers N``), merge and apply through the batched streaming path;
 * ``invert``    — compute the inverse of a PUL against its document;
 * ``store``     — the resident multi-document update store:
-  ``store serve`` speaks the line protocol of
-  :mod:`repro.store.service` on stdin/stdout (or ``--script FILE``),
+  ``store serve --listen host:port|unix:PATH`` serves the versioned
+  network protocol of :mod:`repro.api` (asyncio, many concurrent
+  clients, pipelined requests); without ``--listen`` it speaks the
+  line protocol of :mod:`repro.store.service` on stdin/stdout (or
+  ``--script FILE``) as the compatibility transport — either way
   optionally durable (``--wal-dir``, ``--durability log+snapshot:N``);
   ``store recover`` rebuilds state from a durability directory
   (``--verify`` byte-compares against the stateless replay oracle);
@@ -199,8 +202,31 @@ def _durability_policy(args):
     return policy, args.wal_dir
 
 
+def _parse_listen(spec):
+    """``host:port`` or ``unix:PATH`` -> (host, port, unix_path)."""
+    if spec.startswith("unix:"):
+        path = spec[len("unix:"):]
+        if not path:
+            raise ReproError("--listen unix: needs a socket path")
+        return None, 0, path
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        raise ReproError(
+            "--listen takes host:port or unix:PATH, got {!r}".format(
+                spec))
+    try:
+        port = int(port)
+    except ValueError:
+        raise ReproError(
+            "--listen port must be an integer, got {!r}".format(port))
+    return host or "127.0.0.1", port, None
+
+
 def cmd_store_serve(args, out):
     policy, wal_dir = _durability_policy(args)
+    if args.listen and args.script:
+        raise ReproError("--script drives the line protocol; it cannot "
+                         "be combined with --listen")
     store = DocumentStore(workers=args.workers, backend=args.backend,
                           max_code_length=args.max_code_length,
                           on_conflict=args.on_conflict,
@@ -210,6 +236,30 @@ def cmd_store_serve(args, out):
         # one-response-per-command channel
         for line in store.recovery.lines():
             sys.stderr.write("recover: {}\n".format(line))
+    if args.listen:
+        import asyncio
+
+        from repro.api.server import StoreServer
+
+        host, port, unix_path = _parse_listen(args.listen)
+        server = StoreServer(store, host=host, port=port,
+                             unix_path=unix_path,
+                             max_pipeline=args.max_pipeline)
+
+        async def _serve():
+            await server.start()
+            address = server.tcp_address
+            # the bound address goes to stdout (and flushes) so a
+            # supervisor using port 0 can discover the ephemeral port
+            if address is not None:
+                out.write("listening tcp {}:{}\n".format(*address))
+            if unix_path is not None:
+                out.write("listening unix {}\n".format(unix_path))
+            out.flush()
+            await server.serve_forever()
+
+        asyncio.run(_serve())
+        return 0
     service = StoreService(store)
     if args.script:
         with open(args.script, "r", encoding="utf-8") as handle:
@@ -384,6 +434,15 @@ def build_parser():
     serve_cmd.add_argument("--script", default=None,
                            help="read commands from a file instead of "
                                 "stdin")
+    serve_cmd.add_argument("--listen", default=None,
+                           metavar="HOST:PORT|unix:PATH",
+                           help="serve the network protocol instead of "
+                                "the stdin/stdout line protocol "
+                                "(port 0 picks an ephemeral port, "
+                                "reported on stdout)")
+    serve_cmd.add_argument("--max-pipeline", type=int, default=32,
+                           help="per-connection bound on queued "
+                                "pipelined requests (network mode)")
     serve_cmd.add_argument("--on-conflict", default="error",
                            choices=("error", "reconcile"))
     serve_cmd.set_defaults(func=cmd_store_serve)
@@ -436,10 +495,11 @@ def main(argv=None, out=None):
     try:
         return args.func(args, out)
     except ReproError as error:
-        sys.stderr.write("error: {}\n".format(error))
+        # the stable code keeps scripted callers' stderr greppable
+        sys.stderr.write("error [{}]: {}\n".format(error.code, error))
         return 2
     except OSError as error:
-        sys.stderr.write("error: {}\n".format(error))
+        sys.stderr.write("error [os]: {}\n".format(error))
         return 2
 
 

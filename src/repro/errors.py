@@ -5,13 +5,82 @@ library failures with a single ``except`` clause while still being able to
 distinguish the individual failure modes the paper talks about (dynamic
 errors on PUL application, incompatible operations, unsolvable conflicts,
 ...).
+
+Every subclass carries a stable machine-readable :attr:`~ReproError.code`
+(kebab-case, never reused for a different meaning once released): the wire
+protocol of :mod:`repro.api` ships errors as ``{"code", "message",
+"details"}`` objects, the CLI prefixes its diagnostics with the code so
+output stays greppable, and :meth:`ReproError.from_dict` reconstructs the
+matching subclass on the client side so ``except UnknownNodeError:`` works
+identically against a local store and a remote one.
 """
 
 from __future__ import annotations
 
+#: ``code -> subclass`` registry behind :meth:`ReproError.from_dict`;
+#: populated by ``__init_subclass__`` as the hierarchy is defined
+_CODE_REGISTRY = {}
+
 
 class ReproError(Exception):
     """Base class for every error raised by the library."""
+
+    #: stable machine-readable error code (see the module docstring)
+    code = "repro"
+
+    #: attribute names copied into ``to_dict()``'s ``details`` object
+    #: (values must be JSON-serializable; informational on the far side)
+    detail_attrs = ()
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        # first definition wins so a released code can never silently
+        # change meaning; subclasses inheriting their parent's code
+        # (no own `code` in the class body) do not re-register it
+        if "code" in cls.__dict__:
+            _CODE_REGISTRY.setdefault(cls.code, cls)
+
+    def to_dict(self):
+        """The wire form: ``{"code", "message", "details"}``.
+
+        ``details`` carries the subclass's declared extras
+        (:attr:`detail_attrs`) when they serialize as JSON scalars;
+        anything richer (operation objects, conflicts) is already part
+        of the message text.
+        """
+        details = {}
+        for name in self.detail_attrs:
+            value = getattr(self, name, None)
+            if value is None or isinstance(value, (str, int, float, bool)):
+                details[name] = value
+        payload = {"code": self.code, "message": str(self)}
+        if details:
+            payload["details"] = details
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Reconstruct the error named by ``payload["code"]``.
+
+        Subclass constructors take structured arguments (operations,
+        conflicts) that do not travel on the wire, so reconstruction
+        bypasses ``__init__``: the instance is allocated directly, the
+        message is installed, and the JSON-scalar details are restored
+        as attributes. An unknown code degrades to a plain
+        :class:`ReproError` (a newer server must not crash an older
+        client).
+        """
+        code = payload.get("code", "repro")
+        klass = _CODE_REGISTRY.get(code, ReproError)
+        error = klass.__new__(klass)
+        Exception.__init__(error, payload.get("message", code))
+        for name in klass.detail_attrs:
+            setattr(error, name, (payload.get("details") or {}).get(name))
+        return error
+
+
+# ReproError itself never goes through __init_subclass__
+_CODE_REGISTRY[ReproError.code] = ReproError
 
 
 class XMLSyntaxError(ReproError):
@@ -20,6 +89,9 @@ class XMLSyntaxError(ReproError):
     Carries the position of the offending character so error messages can
     point at the input.
     """
+
+    code = "xml-syntax"
+    detail_attrs = ("position",)
 
     def __init__(self, message, position=None):
         if position is not None:
@@ -31,9 +103,14 @@ class XMLSyntaxError(ReproError):
 class DocumentError(ReproError):
     """Raised on invalid document manipulation (unknown node, bad shape)."""
 
+    code = "document"
+
 
 class UnknownNodeError(DocumentError):
     """Raised when a node id does not belong to the document."""
+
+    code = "unknown-node"
+    detail_attrs = ("node_id",)
 
     def __init__(self, node_id):
         super().__init__("unknown node id: {!r}".format(node_id))
@@ -44,6 +121,8 @@ class InvalidOperationError(ReproError):
     """Raised when an update operation is constructed with invalid
     parameters (violating the static conditions of Table 2)."""
 
+    code = "invalid-operation"
+
 
 class NotApplicableError(ReproError):
     """Raised when an operation or a PUL is not applicable on a document
@@ -51,10 +130,14 @@ class NotApplicableError(ReproError):
     incompatible operations.
     """
 
+    code = "not-applicable"
+
 
 class IncompatibleOperationsError(NotApplicableError):
     """Raised when a PUL contains incompatible operations (Definition 3),
     e.g. two renames of the same node."""
+
+    code = "incompatible-operations"
 
     def __init__(self, op1, op2):
         super().__init__(
@@ -67,19 +150,28 @@ class IncompatibleOperationsError(NotApplicableError):
 class MergeError(ReproError):
     """Raised when two PULs cannot be merged (Definition 5)."""
 
+    code = "merge"
+
 
 class SerializationError(ReproError):
     """Raised on malformed PUL exchange documents."""
+
+    code = "serialization"
 
 
 class LabelingError(ReproError):
     """Raised on invalid labeling-scheme use (e.g. no room semantics bugs,
     labels from different schemes compared)."""
 
+    code = "labeling"
+
 
 class ReconciliationError(ReproError):
     """Raised when conflict resolution cannot find a valid reconciliation
     satisfying the producers' policies (Algorithm 3 abort)."""
+
+    code = "reconciliation"
+    detail_attrs = ("reason",)
 
     def __init__(self, conflict, reason):
         super().__init__(
@@ -93,18 +185,45 @@ class DurabilityError(ReproError):
     """Raised on write-ahead-log or snapshot failures (bad frames outside
     the tolerated torn tail, unwritable durability directories, ...)."""
 
+    code = "durability"
+
+
+class WalPoisonedError(DurabilityError):
+    """Raised when the write-ahead log can no longer accept records: an
+    earlier I/O failure left a torn record that could not be rolled back
+    (the writer poisoned itself), or the log was already closed. The
+    store must stop acknowledging batches — a record framed behind torn
+    bytes would be unreachable to recovery."""
+
+    code = "wal-poisoned"
+
 
 class RecoveryError(DurabilityError):
     """Raised when a durable state cannot be reconstructed (no valid
     snapshot generation, replay diverging from the logged versions)."""
 
+    code = "recovery"
+
+
+class ProtocolError(ReproError):
+    """Raised on wire-protocol violations (:mod:`repro.api.protocol`):
+    malformed or oversized frames, non-JSON payloads, requests missing
+    required fields, or a failed protocol-version negotiation."""
+
+    code = "protocol"
+
 
 class QueryError(ReproError):
     """Base error for the XQuery Update front end."""
 
+    code = "query"
+
 
 class QuerySyntaxError(QueryError):
     """Raised on unparsable XQuery Update expressions."""
+
+    code = "query-syntax"
+    detail_attrs = ("position",)
 
     def __init__(self, message, position=None):
         if position is not None:
@@ -116,3 +235,5 @@ class QuerySyntaxError(QueryError):
 class QueryEvaluationError(QueryError):
     """Raised when a well-formed expression cannot be evaluated
     (e.g. a path selecting no node where exactly one is required)."""
+
+    code = "query-evaluation"

@@ -27,7 +27,7 @@ import os
 import struct
 import zlib
 
-from repro.errors import DurabilityError
+from repro.errors import DurabilityError, WalPoisonedError
 
 #: frame magic — also the format version; bump on incompatible changes
 MAGIC = b"RWL1"
@@ -129,10 +129,10 @@ class WalWriter:
     def append(self, payload, sync=True):
         """Write one record; returns the framed size in bytes."""
         if self._file is None:
-            raise DurabilityError(
+            raise WalPoisonedError(
                 "append on a closed log writer ({})".format(self.path))
         if self._broken:
-            raise DurabilityError(
+            raise WalPoisonedError(
                 "log writer for {} is poisoned: an earlier I/O failure "
                 "left a torn record that could not be rolled back, and "
                 "a record framed after it would be unreachable to "
@@ -180,7 +180,7 @@ class WalWriter:
                 os.fsync(self._file.fileno())
         except OSError as repair_error:
             self._broken = True
-            raise DurabilityError(
+            raise WalPoisonedError(
                 "log append failed for {} and the segment could not be "
                 "rolled back to its last synced record: {} (writer "
                 "poisoned)".format(self.path, repair_error)) from exc

@@ -1,26 +1,45 @@
 """A line-oriented front end for the document store.
 
-``repro store serve`` speaks a tiny text protocol on stdin/stdout so the
-store can be driven by scripts, tests and interactive sessions without a
-network stack (the prototype boundary the paper draws in Section 6 —
+``repro store serve`` (without ``--listen``) speaks a tiny text
+protocol on stdin/stdout so the store can be driven by scripts, tests
+and interactive sessions without a network stack. This is the
+**compatibility transport**: since PR 4 the real serving surface is the
+versioned network protocol of :mod:`repro.api` (``--listen``), and this
+service is a thin adapter that parses lines, routes every command
+through the same :class:`~repro.api.dispatch.StoreDispatcher` the
+network server uses, and formats the structured results as text — the
+two transports cannot drift apart because neither owns any command
+semantics (the prototype boundary the paper draws in Section 6 —
 transport is pluggable, the store is the contract):
 
 ::
 
     open <doc-id> <xml-file>          make a document resident
     submit <doc-id> <pul-file> [client]   queue a PUL (exchange format)
+    submit-xquery <doc-id> <query-file> [client]
+                                      compile an XQuery Update
+                                      expression server-side and queue
+                                      the resulting PUL
     flush <doc-id>                    coalesce + execute pending PULs
     flush-all                         flush every resident document
     discard <doc-id>                  withdraw pending submissions
                                       (e.g. after a rejected flush)
     text <doc-id> [out-file]          serialized current document
-    stats [doc-id]                    per-document counters
-    docs                              list resident document ids
+    stats [--json] [doc-id]           per-document counters
+    docs [--json]                     list resident document ids
     snapshot                          force a durability snapshot
     quit                              shut the store down and exit
 
 Every request yields exactly one response line starting with ``ok`` or
-``error``, so callers can pipeline commands.
+``error``, so callers can pipeline commands. ``stats --json`` and
+``docs --json`` answer with the same JSON object the network protocol
+returns (one serializer, two transports), rendered on one line after
+the ``ok stats-json`` / ``ok docs-json`` prefix. An error raised by the
+library is reported as ``error <code> <message>`` where ``<code>`` is
+the :class:`~repro.errors.ReproError` subclass's stable code (e.g. a
+flush against a poisoned write-ahead log answers ``error wal-poisoned
+...`` instead of surfacing a traceback), so scripted callers can grep
+for specific failure modes.
 
 Shutdown is *drain-first*: when the input stream ends (EOF) or the
 process receives ``SIGTERM``, every queued-but-unflushed submission is
@@ -32,12 +51,12 @@ deliberate discard path and keeps its drop-pending semantics.
 
 from __future__ import annotations
 
+import json
 import signal
 import threading
 
-from repro.errors import ReproError
-from repro.pul.serialize import pul_from_xml
-from repro.store.store import DocumentStore
+from repro.api.dispatch import StoreDispatcher
+from repro.errors import DurabilityError, ReproError
 
 
 class _Shutdown(Exception):
@@ -45,44 +64,52 @@ class _Shutdown(Exception):
 
 
 class StoreService:
-    """Stateful command interpreter over one :class:`DocumentStore`."""
+    """Stateful line-protocol adapter over one
+    :class:`~repro.api.dispatch.StoreDispatcher` (and through it, one
+    :class:`~repro.store.store.DocumentStore`)."""
 
     def __init__(self, store=None):
-        self.store = store or DocumentStore()
+        self.dispatch = StoreDispatcher(store)
+        self.store = self.dispatch.store
         self.closed = False
 
     # -- command handlers ----------------------------------------------------
 
     def _cmd_open(self, doc_id, path):
         with open(path, "r", encoding="utf-8") as handle:
-            entry = self.store.open(doc_id, handle.read())
-        return "ok opened {} nodes={} version={}".format(
-            doc_id, len(entry.document), entry.version)
+            result = self.dispatch.open(doc_id, handle.read())
+        return "ok opened {doc_id} nodes={nodes} version={version}" \
+            .format(**result)
 
     def _cmd_submit(self, doc_id, path, client=None):
         with open(path, "r", encoding="utf-8") as handle:
-            pul = pul_from_xml(handle.read())
-        depth = self.store.submit(doc_id, pul, client=client)
-        return "ok queued {} ops={} depth={}".format(
-            doc_id, len(pul), depth)
+            result = self.dispatch.submit(doc_id, handle.read(),
+                                          client=client)
+        return "ok queued {doc_id} ops={ops} depth={depth}".format(
+            **result)
+
+    def _cmd_submit_xquery(self, doc_id, path, client=None):
+        with open(path, "r", encoding="utf-8") as handle:
+            result = self.dispatch.submit_xquery(doc_id, handle.read(),
+                                                 client=client)
+        return "ok queued {doc_id} ops={ops} depth={depth}".format(
+            **result)
 
     def _cmd_flush(self, doc_id):
-        result = self.store.flush(doc_id)
-        if result is None:
+        result = self.dispatch.flush(doc_id)
+        if not result["flushed"]:
             return "ok flushed {} nothing-pending".format(doc_id)
-        return ("ok flushed {} version={} clients={} ops={}->{} "
-                "relabel={}".format(
-                    result.doc_id, result.version, result.clients,
-                    result.submitted_ops, result.reduced_ops,
-                    result.relabel))
+        return ("ok flushed {doc_id} version={version} "
+                "clients={clients} ops={submitted_ops}->{reduced_ops} "
+                "relabel={relabel}".format(**result))
 
     def _cmd_flush_all(self):
-        results = self.store.flush_all()
-        return "ok flushed-all batches={} ops={}".format(
-            len(results), sum(r.reduced_ops for r in results))
+        result = self.dispatch.flush_all()
+        return "ok flushed-all batches={batches} ops={ops}".format(
+            **result)
 
     def _cmd_text(self, doc_id, path=None):
-        text = self.store.text(doc_id)
+        text = self.dispatch.text(doc_id)["text"]
         if path is None:
             # the protocol promises one response line per request, but
             # text nodes may contain newlines; emit them as character
@@ -96,54 +123,57 @@ class StoreService:
         return "ok wrote {} bytes={}".format(
             path, len(text.encode("utf-8")))
 
-    def _cmd_stats(self, doc_id=None):
-        if doc_id is not None:
-            stats = [self.store.stats(doc_id)]
-        else:
-            stats = self.store.stats()
+    def _cmd_stats(self, doc_id=None, json_form=False):
+        result = self.dispatch.stats(doc_id)
+        if json_form:
+            return "ok stats-json {}".format(_render_json(result))
         rendered = " ".join(
             "{doc_id}:v{version}/nodes={nodes}/pending={pending}"
             "/batches={batches}/inc={incremental_relabels}"
             "/full={full_relabels}/maxcode={max_code_length}".format(**s)
-            for s in stats)
+            for s in result["stats"])
         return "ok stats {}".format(rendered or "-")
 
     def _cmd_discard(self, doc_id):
-        dropped = self.store.discard_pending(doc_id)
-        return "ok discarded {} submissions={}".format(doc_id, dropped)
+        result = self.dispatch.discard(doc_id)
+        return "ok discarded {doc_id} submissions={discarded}".format(
+            **result)
 
-    def _cmd_docs(self):
-        return "ok docs {}".format(
-            " ".join(self.store.doc_ids()) or "-")
+    def _cmd_docs(self, json_form=False):
+        result = self.dispatch.docs()
+        if json_form:
+            return "ok docs-json {}".format(_render_json(result))
+        return "ok docs {}".format(" ".join(result["docs"]) or "-")
 
     def _cmd_snapshot(self):
-        if not self.store.durability_policy.durable:
-            return "error store is not durable (no snapshot written)"
-        generation = self.store.snapshot()
-        if generation is None:
-            # snapshot() also returns None when it lost the
-            # non-blocking race against an in-flight compaction — a
-            # transient condition, not a configuration problem
-            return ("error snapshot skipped: another compaction is in "
-                    "flight (retry)")
-        return "ok snapshot generation={}".format(generation)
+        try:
+            result = self.dispatch.snapshot()
+        except DurabilityError as error:
+            # legacy phrasing predating the error codes; kept verbatim
+            # for scripted callers of the compatibility transport
+            if not self.store.durability_policy.durable:
+                return "error store is not durable (no snapshot written)"
+            return "error {}".format(error)
+        return "ok snapshot generation={generation}".format(**result)
 
     def _cmd_quit(self):
         self.store.close()
         self.closed = True
         return "ok bye"
 
+    #: ``command -> (handler, min args, max args, takes --json)``
     _COMMANDS = {
-        "open": (_cmd_open, 2, 2),
-        "submit": (_cmd_submit, 2, 3),
-        "flush": (_cmd_flush, 1, 1),
-        "flush-all": (_cmd_flush_all, 0, 0),
-        "discard": (_cmd_discard, 1, 1),
-        "text": (_cmd_text, 1, 2),
-        "stats": (_cmd_stats, 0, 1),
-        "docs": (_cmd_docs, 0, 0),
-        "snapshot": (_cmd_snapshot, 0, 0),
-        "quit": (_cmd_quit, 0, 0),
+        "open": (_cmd_open, 2, 2, False),
+        "submit": (_cmd_submit, 2, 3, False),
+        "submit-xquery": (_cmd_submit_xquery, 2, 3, False),
+        "flush": (_cmd_flush, 1, 1, False),
+        "flush-all": (_cmd_flush_all, 0, 0, False),
+        "discard": (_cmd_discard, 1, 1, False),
+        "text": (_cmd_text, 1, 2, False),
+        "stats": (_cmd_stats, 0, 1, True),
+        "docs": (_cmd_docs, 0, 0, True),
+        "snapshot": (_cmd_snapshot, 0, 0, False),
+        "quit": (_cmd_quit, 0, 0, False),
     }
 
     # -- dispatch ------------------------------------------------------------
@@ -158,14 +188,22 @@ class StoreService:
         spec = self._COMMANDS.get(name)
         if spec is None:
             return "error unknown command {!r}".format(name)
-        handler, least, most = spec
+        handler, least, most, takes_json = spec
+        json_form = "--json" in args
+        if json_form:
+            if not takes_json:
+                return "error {} does not take --json".format(name)
+            args = [a for a in args if a != "--json"]
         if not least <= len(args) <= most:
             return "error {} takes {}..{} arguments, got {}".format(
                 name, least, most, len(args))
+        kwargs = {"json_form": True} if json_form else {}
         try:
-            return handler(self, *args)
-        except (ReproError, OSError) as error:
-            return "error {}".format(error)
+            return handler(self, *args, **kwargs)
+        except ReproError as error:
+            return "error {} {}".format(error.code, error)
+        except OSError as error:
+            return "error os {}".format(error)
 
     def drain(self):
         """Flush every queued submission before shutdown.
@@ -248,3 +286,9 @@ class StoreService:
             out_stream.flush()
         except (OSError, ValueError):
             pass
+
+
+def _render_json(payload):
+    """The one-line JSON rendering shared with the network protocol's
+    frame encoding (same separators, same key order)."""
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True)

@@ -40,7 +40,7 @@ from repro.aggregation import aggregate
 from repro.apply.events import document_events, events_to_document
 from repro.apply.streaming import apply_streaming
 from repro.distributed.messages import ShardEnvelope
-from repro.errors import RecoveryError, ReproError
+from repro.errors import QueryEvaluationError, RecoveryError, ReproError
 from repro.integration import reconcile
 from repro.labeling.scheme import ContainmentLabeling
 from repro.pipeline.merge import merge_shards
@@ -338,6 +338,43 @@ class DocumentStore:
             dropped = len(entry.pending)
             entry.pending = []
         return dropped
+
+    def submit_xquery(self, doc_id, expression, client=None):
+        """Compile ``expression`` (XQuery Update text) against the
+        resident document and queue the resulting PUL.
+
+        This is the server-side producer of the paper's architecture:
+        the client ships the update *expression*, target paths are
+        evaluated against the current resident tree (the labeling's
+        labels travel with the PUL) and the compiled PUL joins the
+        document's pending queue like any raw submission. Compilation
+        holds the flush lock so the paths are never evaluated against a
+        tree that a concurrent flush is mutating in place — the PUL is
+        compiled against the latest *published* version.
+
+        Returns ``(depth, ops)``: the pending-queue depth after the
+        submission and the compiled PUL's operation count.
+        """
+        # local import: repro.xquery pulls the parser/compiler stack in,
+        # which the store core does not otherwise need
+        from repro.xquery.compiler import compile_pul
+
+        entry = self._require(doc_id)
+        with entry.flush_lock:
+            with self._lock:
+                if self._entries.get(doc_id) is not entry:
+                    raise ReproError(
+                        "document {!r} was closed while the compilation "
+                        "waited".format(doc_id))
+            pul = compile_pul(expression, entry.document,
+                              labeling=entry.labeling, origin=client)
+            ops = len(pul)
+            if not ops:
+                raise QueryEvaluationError(
+                    "expression compiles to an empty PUL (no update "
+                    "expressions, or paths selecting nothing)")
+            depth = self.submit(doc_id, pul, client=client)
+        return depth, ops
 
     def submit_message(self, message):
         """Route a :class:`~repro.distributed.messages.PULMessage` to the

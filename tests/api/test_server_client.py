@@ -1,0 +1,437 @@
+"""The asyncio :class:`StoreServer` with both client flavours.
+
+Each test runs its own event loop (``asyncio.run``) with the server
+and the async client on the same loop; the blocking client is driven
+from an executor thread so its socket calls cannot starve the loop.
+"""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.api import AsyncStoreClient, StoreClient, StoreServer, protocol
+from repro.errors import (
+    DurabilityError,
+    ProtocolError,
+    QuerySyntaxError,
+    ReproError,
+    WalPoisonedError,
+)
+from repro.pul.ops import Rename
+from repro.pul.pul import PUL
+from repro.pul.serialize import pul_to_xml
+from repro.store import DocumentStore
+from repro.xdm.parser import parse_document
+
+DOC = "<bib><paper><title>T1</title></paper></bib>"
+
+
+def run(coro, timeout=60):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+def make_server(**store_kwargs):
+    store_kwargs.setdefault("workers", 2)
+    store_kwargs.setdefault("backend", "serial")
+    return StoreServer(DocumentStore(**store_kwargs),
+                       host="127.0.0.1", port=0)
+
+
+def title_rename_pul(origin=None):
+    document = parse_document(DOC)
+    title = next(n for n in document.nodes()
+                 if n.is_element and n.name == "title")
+    return PUL([Rename(title.node_id, "headline")], origin=origin)
+
+
+async def connect(server, **kwargs):
+    host, port = server.tcp_address
+    return await AsyncStoreClient.connect(host=host, port=port, **kwargs)
+
+
+class TestSession:
+    def test_full_session(self):
+        async def scenario():
+            async with make_server() as server:
+                client = await connect(server, client="alice")
+                assert client.protocol_version == \
+                    protocol.PROTOCOL_VERSION
+                opened = await client.open("d1", DOC)
+                assert opened == {"doc_id": "d1", "nodes": 4,
+                                  "version": 0}
+                queued = await client.submit("d1", title_rename_pul())
+                assert queued["depth"] == 1
+                flushed = await client.flush("d1")
+                assert flushed["flushed"] and flushed["version"] == 1
+                assert flushed["relabel"] == "incremental"
+                text = (await client.text("d1"))["text"]
+                assert "<headline>T1</headline>" in text
+                stats = await client.stats("d1")
+                assert stats["stats"][0]["version"] == 1
+                assert (await client.docs()) == {"docs": ["d1"]}
+                assert (await client.discard("d1"))["discarded"] == 0
+                idle = await client.flush("d1")
+                assert idle == {"doc_id": "d1", "flushed": False}
+                await client.aclose()
+        run(scenario())
+
+    def test_submit_accepts_pul_objects_and_text(self):
+        async def scenario():
+            async with make_server() as server:
+                client = await connect(server)
+                await client.open("d1", DOC)
+                await client.submit("d1", title_rename_pul())
+                await client.submit("d1",
+                                    pul_to_xml(title_rename_pul()))
+                assert (await client.stats("d1")
+                        )["stats"][0]["pending"] == 2
+                await client.aclose()
+        run(scenario())
+
+    def test_xquery_submission_compiles_server_side(self):
+        async def scenario():
+            async with make_server() as server:
+                client = await connect(server, client="alice")
+                await client.open("d1", DOC)
+                queued = await client.submit_xquery(
+                    "d1", 'rename node /bib/paper/title as "headline"')
+                assert queued == {"doc_id": "d1", "ops": 1, "depth": 1}
+                await client.flush("d1")
+                text = (await client.text("d1"))["text"]
+                assert "<headline>" in text
+                await client.aclose()
+        run(scenario())
+
+    def test_pipelined_requests_execute_in_order(self):
+        async def scenario():
+            async with make_server() as server:
+                client = await connect(server, client="alice")
+                await client.open("d1", DOC)
+                results = await asyncio.gather(*[
+                    client.submit_xquery(
+                        "d1",
+                        'insert node <x/> as last into /bib/paper')
+                    for __ in range(8)])
+                assert sorted(r["depth"] for r in results) == \
+                    list(range(1, 9))
+                flushed = await client.flush("d1")
+                assert flushed["version"] == 1
+                await client.aclose()
+        run(scenario())
+
+    def test_unix_socket_transport(self, tmp_path):
+        path = str(tmp_path / "store.sock")
+
+        async def scenario():
+            server = StoreServer(
+                DocumentStore(workers=2, backend="serial"),
+                unix_path=path)
+            async with server:
+                client = await AsyncStoreClient.connect(unix_path=path)
+                await client.open("d1", DOC)
+                assert (await client.docs()) == {"docs": ["d1"]}
+                await client.aclose()
+        run(scenario())
+
+    def test_sync_client_same_surface_from_a_thread(self):
+        async def scenario():
+            async with make_server() as server:
+                host, port = server.tcp_address
+
+                def blocking_session():
+                    with StoreClient.connect(host=host, port=port,
+                                             client="bob") as client:
+                        assert client.protocol_version == \
+                            protocol.PROTOCOL_VERSION
+                        client.open("d1", DOC)
+                        client.submit_xquery(
+                            "d1",
+                            'rename node /bib/paper/title as "h"')
+                        flushed = client.flush("d1")
+                        assert flushed["version"] == 1
+                        with pytest.raises(ReproError):
+                            client.flush("ghost")
+                        return client.text("d1")["text"]
+
+                loop = asyncio.get_running_loop()
+                text = await loop.run_in_executor(None,
+                                                  blocking_session)
+                assert "<h>T1</h>" in text
+        run(scenario())
+
+
+class TestClientIdentity:
+    def test_session_identity_feeds_per_client_coalescing(self):
+        """Two renames of one node are a sequential chain from one
+        client (aggregated fine) but an incompatible parallel union
+        from two clients — the connection's hello identity must be
+        what the store coalesces on."""
+        async def same_client():
+            async with make_server() as server:
+                first = await connect(server, client="alice")
+                second = await connect(server, client="alice")
+                await first.open("d1", DOC)
+                await first.submit_xquery(
+                    "d1", 'rename node /bib/paper/title as "a"')
+                await second.submit_xquery(
+                    "d1", 'rename node /bib/paper/title as "b"')
+                flushed = await first.flush("d1")
+                await first.aclose()
+                await second.aclose()
+                return flushed
+
+        flushed = run(same_client())
+        assert flushed["clients"] == 1 and flushed["flushed"]
+
+        async def two_clients():
+            async with make_server() as server:
+                first = await connect(server, client="alice")
+                second = await connect(server, client="bob")
+                await first.open("d1", DOC)
+                await first.submit_xquery(
+                    "d1", 'rename node /bib/paper/title as "a"')
+                await second.submit_xquery(
+                    "d1", 'rename node /bib/paper/title as "b"')
+                with pytest.raises(ReproError):
+                    await first.flush("d1")
+                await first.aclose()
+                await second.aclose()
+        run(two_clients())
+
+    def test_anonymous_connections_get_distinct_identities(self):
+        async def scenario():
+            async with make_server() as server:
+                first = await connect(server)
+                second = await connect(server)
+                assert first.client != second.client
+                await first.aclose()
+                await second.aclose()
+        run(scenario())
+
+
+class TestErrors:
+    def test_remote_errors_reconstruct_their_subclass(self):
+        async def scenario():
+            async with make_server() as server:
+                client = await connect(server)
+                with pytest.raises(ReproError) as excinfo:
+                    await client.flush("ghost")
+                assert excinfo.value.code == "repro"
+                await client.open("d1", DOC)
+                with pytest.raises(QuerySyntaxError):
+                    await client.submit_xquery("d1", "delete delete")
+                with pytest.raises(DurabilityError) as excinfo:
+                    await client.snapshot()
+                assert excinfo.value.code == "durability"
+                # the connection survived all of it
+                assert (await client.docs()) == {"docs": ["d1"]}
+                await client.aclose()
+        run(scenario())
+
+    def test_unknown_op_and_bad_args_are_protocol_errors(self):
+        async def scenario():
+            async with make_server() as server:
+                client = await connect(server)
+                with pytest.raises(ProtocolError):
+                    await client._call("frobnicate")
+                with pytest.raises(ProtocolError):
+                    await client._call("flush")        # missing doc_id
+                with pytest.raises(ProtocolError):
+                    await client._call("docs", extra=1)
+                # garbage argument *types* answer an error, never kill
+                # the connection
+                with pytest.raises(ReproError):
+                    await client._call("open", doc_id=["x"], xml=DOC)
+                assert (await client.docs()) == {"docs": []}
+                await client.aclose()
+        run(scenario())
+
+    def test_wal_poisoned_store_answers_the_stable_code(self, tmp_path):
+        """Regression (PR 4): flushing against a poisoned write-ahead
+        log must answer the ``wal-poisoned`` error code over the wire,
+        not tear the connection down with a traceback."""
+        async def scenario():
+            store = DocumentStore(workers=2, backend="serial",
+                                  durability="log",
+                                  wal_dir=str(tmp_path / "wal"))
+            async with StoreServer(store, host="127.0.0.1",
+                                   port=0) as server:
+                client = await connect(server, client="alice")
+                await client.open("d1", DOC)
+                await client.submit("d1", title_rename_pul())
+                store._durability._writer._broken = True
+                with pytest.raises(WalPoisonedError) as excinfo:
+                    await client.flush("d1")
+                assert excinfo.value.code == "wal-poisoned"
+                # the store rejected the batch but kept the queue and
+                # the session: the connection still answers
+                stats = await client.stats("d1")
+                assert stats["stats"][0]["pending"] == 1
+                await client.discard("d1")
+                await client.aclose()
+        run(scenario())
+
+
+class TestMalformedStreams:
+    async def _raw_connection(self, server):
+        host, port = server.tcp_address
+        return await asyncio.open_connection(host, port)
+
+    def test_garbage_bytes_kill_only_that_connection(self):
+        async def scenario():
+            async with make_server() as server:
+                healthy = await connect(server)
+                reader, writer = await self._raw_connection(server)
+                writer.write(b"\xff" * 64)
+                await writer.drain()
+                response = await reader.read(4096)
+                # best-effort error frame, then EOF
+                if response:
+                    decoder = protocol.FrameDecoder()
+                    (message,) = decoder.feed(response)
+                    assert message["ok"] is False
+                    assert message["error"]["code"] == "protocol"
+                assert await reader.read(4096) == b""
+                writer.close()
+                # the store and the healthy session are unharmed
+                await healthy.open("d1", DOC)
+                assert (await healthy.docs()) == {"docs": ["d1"]}
+                await healthy.aclose()
+        run(scenario())
+
+    def test_oversized_header_is_refused_without_buffering(self):
+        async def scenario():
+            async with make_server() as server:
+                reader, writer = await self._raw_connection(server)
+                writer.write(struct.pack(">I", protocol.MAX_FRAME + 1))
+                await writer.drain()
+                data = await reader.read(4096)
+                if data:
+                    assert await reader.read(4096) == b""
+                writer.close()
+        run(scenario())
+
+    def test_torn_frame_at_eof_is_survived(self):
+        async def scenario():
+            async with make_server() as server:
+                reader, writer = await self._raw_connection(server)
+                frame = protocol.encode_frame(
+                    protocol.hello_request(1))
+                writer.write(frame[:len(frame) - 3])
+                writer.close()
+                await reader.read(4096)
+                # a fresh connection still negotiates
+                client = await connect(server)
+                assert (await client.docs()) == {"docs": []}
+                await client.aclose()
+        run(scenario())
+
+    def test_first_request_must_be_hello(self):
+        async def scenario():
+            async with make_server() as server:
+                reader, writer = await self._raw_connection(server)
+                writer.write(protocol.encode_frame(
+                    protocol.request(1, "docs")))
+                await writer.drain()
+                decoder = protocol.FrameDecoder()
+                data = await reader.read(4096)
+                (message,) = decoder.feed(data)
+                assert message["ok"] is False
+                assert message["error"]["code"] == "protocol"
+                assert await reader.read(4096) == b""
+                writer.close()
+        run(scenario())
+
+    def test_version_mismatch_is_refused(self):
+        async def scenario():
+            async with make_server() as server:
+                reader, writer = await self._raw_connection(server)
+                writer.write(protocol.encode_frame(
+                    protocol.hello_request(1, versions=(99,))))
+                await writer.drain()
+                decoder = protocol.FrameDecoder()
+                (message,) = decoder.feed(await reader.read(4096))
+                assert message["ok"] is False
+                assert "version" in message["error"]["message"]
+                writer.close()
+        run(scenario())
+
+
+class TestShutdown:
+    def test_aclose_drains_pending_submissions(self, tmp_path):
+        """Server-side drain-first shutdown: queued-but-unflushed
+        submissions reach the write-ahead log before the store
+        closes (the PR 3 semantics on the network transport)."""
+        wal_dir = str(tmp_path / "wal")
+
+        async def scenario():
+            store = DocumentStore(workers=2, backend="serial",
+                                  durability="log", wal_dir=wal_dir)
+            server = StoreServer(store, host="127.0.0.1", port=0)
+            await server.start()
+            client = await connect(server, client="alice")
+            await client.open("d1", DOC)
+            await client.submit_xquery(
+                "d1", 'rename node /bib/paper/title as "headline"')
+            await client.aclose()
+            await server.aclose()   # no explicit flush anywhere
+
+        run(scenario())
+        with DocumentStore(backend="serial", durability="log",
+                           wal_dir=wal_dir) as recovered:
+            assert recovered.version("d1") == 1
+            assert "<headline>T1</headline>" in recovered.text("d1")
+
+    def test_aclose_survives_a_silent_pre_hello_connection(self):
+        """Regression: a connection that never sends its hello used to
+        park ``aclose`` forever (the handler blocked in the negotiation
+        read, and shutdown only cancelled the post-hello reader)."""
+        async def scenario():
+            server = make_server()
+            await server.start()
+            host, port = server.tcp_address
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                await asyncio.wait_for(server.aclose(), 15)
+            finally:
+                writer.close()
+        run(scenario())
+
+    def test_oversized_result_degrades_to_an_error_response(
+            self, monkeypatch):
+        """Regression: a result too large to frame must answer a
+        ``protocol`` error, not kill the connection with an unhandled
+        exception."""
+        from repro.api import protocol as protocol_module
+
+        async def scenario():
+            async with make_server() as server:
+                client = await connect(server)
+                await client.open("d1", "<a>{}</a>".format("x" * 400))
+                monkeypatch.setattr(protocol_module, "MAX_FRAME", 256)
+                with pytest.raises(ProtocolError):
+                    await client.text("d1")
+                # the connection survived and still answers
+                assert (await client.docs()) == {"docs": ["d1"]}
+                await client.aclose()
+        run(scenario())
+
+    def test_max_pipeline_must_be_positive(self):
+        with DocumentStore(backend="serial") as store:
+            with pytest.raises(ReproError):
+                StoreServer(store, host="127.0.0.1", port=0,
+                            max_pipeline=0)
+
+    def test_queued_pipeline_finishes_before_close(self):
+        async def scenario():
+            async with make_server() as server:
+                client = await connect(server, client="alice")
+                await client.open("d1", DOC)
+                futures = [asyncio.ensure_future(client.submit_xquery(
+                    "d1", 'insert node <x/> as last into /bib/paper'))
+                    for __ in range(6)]
+                results = await asyncio.gather(*futures)
+                assert len(results) == 6
+                await client.aclose()
+        run(scenario())

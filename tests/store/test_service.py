@@ -129,6 +129,91 @@ class TestCommands:
         assert service.handle_line("docs") == "ok docs -"
 
 
+class TestDispatcherBackedCommands:
+    """PR 4: the line protocol is an adapter over the same
+    StoreDispatcher the network server uses."""
+
+    @pytest.fixture
+    def query_file(self, tmp_path):
+        path = tmp_path / "rename.xq"
+        path.write_text('rename node /bib/paper/title as "headline"',
+                        encoding="utf-8")
+        return str(path)
+
+    def test_submit_xquery_compiles_server_side(self, service, doc_file,
+                                                query_file):
+        service.handle_line("open d1 {}".format(doc_file))
+        response = service.handle_line(
+            "submit-xquery d1 {} alice".format(query_file))
+        assert response == "ok queued d1 ops=1 depth=1"
+        service.handle_line("flush d1")
+        assert "<headline>T1</headline>" in service.handle_line("text d1")
+
+    def test_stats_json_matches_the_protocol_serializer(self, service,
+                                                        doc_file):
+        import json as json_module
+
+        service.handle_line("open d1 {}".format(doc_file))
+        response = service.handle_line("stats --json d1")
+        assert response.startswith("ok stats-json ")
+        payload = json_module.loads(response.split(" ", 2)[2])
+        assert payload == service.dispatch.stats("d1")
+        assert payload["stats"][0]["doc_id"] == "d1"
+        # flag position is free, and the flag composes with no doc_id
+        assert service.handle_line("stats d1 --json") == response
+        all_docs = service.handle_line("stats --json")
+        assert json_module.loads(all_docs.split(" ", 2)[2]) == \
+            service.dispatch.stats()
+
+    def test_docs_json(self, service, doc_file):
+        import json as json_module
+
+        assert service.handle_line("docs --json") == \
+            'ok docs-json {"docs":[]}'
+        service.handle_line("open d1 {}".format(doc_file))
+        response = service.handle_line("docs --json")
+        assert json_module.loads(response.split(" ", 2)[2]) == \
+            {"docs": ["d1"]}
+
+    def test_json_flag_is_rejected_elsewhere(self, service, doc_file):
+        assert service.handle_line("text d1 --json") == \
+            "error text does not take --json"
+
+    def test_error_lines_carry_the_stable_code(self, service, doc_file):
+        assert service.handle_line("flush ghost").startswith(
+            "error repro ")
+        service.handle_line("open d1 {}".format(doc_file))
+        response = service.handle_line("submit-xquery d1 {}".format(
+            doc_file))   # a document is not a query
+        assert response.startswith("error query-syntax ")
+
+    def test_wal_poisoned_flush_is_one_greppable_line(self, tmp_path,
+                                                      doc_file,
+                                                      pul_file):
+        """Regression (PR 4): a flush against a poisoned write-ahead
+        log must answer ``error wal-poisoned ...`` — one protocol
+        line, the stable code first — not surface a traceback."""
+        from repro.store import DocumentStore, StoreService
+
+        store = DocumentStore(workers=2, backend="serial",
+                              durability="log",
+                              wal_dir=str(tmp_path / "wal"))
+        service = StoreService(store)
+        try:
+            service.handle_line("open d1 {}".format(doc_file))
+            service.handle_line("submit d1 {} alice".format(pul_file))
+            store._durability._writer._broken = True
+            response = service.handle_line("flush d1")
+            assert response.startswith("error wal-poisoned ")
+            assert "\n" not in response
+            # the batch was rejected, not half-applied: the queue is
+            # intact and the session keeps answering
+            assert "pending=1" in service.handle_line("stats d1")
+        finally:
+            store._durability._writer._broken = False
+            service.handle_line("quit")
+
+
 class TestServeLoop:
     def test_serve_runs_a_script(self, doc_file, pul_file):
         script = io.StringIO(
