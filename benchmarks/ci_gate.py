@@ -62,6 +62,9 @@ SMOKE_RUNS = (
     ("bench_server_concurrency.py",
      ["--connections", "4", "--ops", "100", "--depths", "1", "8",
       "--repeats", "3"]),
+    ("bench_replication.py",
+     ["--replicas", "0", "2", "--reads", "300", "--readers", "4",
+      "--write-rounds", "15", "--repeats", "2"]),
 )
 
 
@@ -77,6 +80,12 @@ CALIBRATION_PASSES = 3
 #: inverse direction (a regression hidden by a slower runner) is an
 #: accepted smoke-gate tradeoff.
 IO_BOUND_BENCHES = frozenset({"bench_durability"})
+
+#: benches whose throughput depends on the runner's *core count*
+#: (process-per-node clusters) as well as per-core speed: the CPU
+#: calibration cannot see topology, so like the I/O-bound set their
+#: floor is never raised above the committed number
+TOPOLOGY_BOUND_BENCHES = frozenset({"bench_replication"})
 
 
 def _calibration_workload():
@@ -190,7 +199,9 @@ def compare(current, previous, tolerance, scale=1.0):
         if not isinstance(now, (int, float)) \
                 or not isinstance(then, (int, float)) or not then:
             continue
-        then *= min(scale, 1.0) if name in IO_BOUND_BENCHES else scale
+        clamped = name in IO_BOUND_BENCHES \
+            or name in TOPOLOGY_BOUND_BENCHES
+        then *= min(scale, 1.0) if clamped else scale
         floor = then * (1.0 - tolerance)
         verdict = "ok" if now >= floor else "REGRESSION"
         print("{:>11} {:<24} {:>12.0f} ops/s vs {:>12.0f} "

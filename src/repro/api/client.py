@@ -2,8 +2,10 @@
 
 Two clients with the same method surface — ``open`` / ``submit`` /
 ``submit_xquery`` / ``flush`` / ``flush_all`` / ``discard`` / ``text``
-/ ``stats`` / ``docs`` / ``snapshot`` — over the versioned frame
-protocol of :mod:`repro.api.protocol`:
+/ ``stats`` / ``docs`` / ``snapshot`` / ``query`` plus the replication
+ops (``replicate_subscribe`` / ``wal_segment`` / ``snapshot_transfer``
+/ ``promote``) — over the versioned frame protocol of
+:mod:`repro.api.protocol`:
 
 :class:`StoreClient`
     blocking, one socket, strict request/response — the right tool for
@@ -31,15 +33,24 @@ from __future__ import annotations
 
 import asyncio
 import socket
+import time
 
 from repro.api import protocol
-from repro.errors import ProtocolError
+from repro.errors import ConnectionLostError, ProtocolError
 from repro.pul.pul import PUL
 from repro.pul.serialize import pul_to_xml
 
 
 def _pul_text(pul):
     return pul_to_xml(pul) if isinstance(pul, PUL) else pul
+
+
+def _backoff_delays(retries, backoff, max_backoff):
+    """The sleep schedule between connect attempts: exponential from
+    ``backoff``, capped at ``max_backoff`` — ``retries`` extra attempts
+    after the first."""
+    for attempt in range(max(0, retries)):
+        yield min(backoff * (2 ** attempt), max_backoff)
 
 
 class _MethodSurface:
@@ -87,6 +98,46 @@ class _MethodSurface:
     def snapshot(self):
         return self._call("snapshot")
 
+    def query(self, doc_id, path):
+        """Evaluate a read-only path expression server-side; returns
+        the selected nodes serialized (replica-safe — see the cluster
+        docs)."""
+        return self._call("query", doc_id=doc_id, path=path)
+
+    # -- replication (see repro.cluster) --------------------------------------
+
+    def replicate_subscribe(self, replica=None):
+        """Announce this connection as a follower; returns the stream
+        shape (``seq`` / ``first_seq`` / ``backlog`` / ``stream``)."""
+        args = {} if replica is None else {"replica": replica}
+        return self._call("replicate-subscribe", **args)
+
+    def wal_segment(self, from_seq, replica=None, max_records=None,
+                    wait_s=None):
+        """Pull leader log records from ``from_seq`` on (long-polling
+        up to ``wait_s`` seconds when caught up)."""
+        args = {"from_seq": from_seq}
+        if replica is not None:
+            args["replica"] = replica
+        if max_records is not None:
+            args["max_records"] = max_records
+        if wait_s is not None:
+            args["wait_s"] = wait_s
+        return self._call("wal-segment", **args)
+
+    def snapshot_transfer(self):
+        """Fetch the leader's full resident state plus the stream
+        position it describes (the replica bootstrap payload)."""
+        return self._call("snapshot-transfer")
+
+    def promote(self, allow_non_durable=False):
+        """Convert the connected replica into a leader (manual
+        failover). Non-durable replicas are refused unless
+        ``allow_non_durable`` (last-resort salvage)."""
+        if allow_non_durable:
+            return self._call("promote", allow_non_durable=True)
+        return self._call("promote")
+
 
 class StoreClient(_MethodSurface):
     """Blocking client: one request in flight at a time.
@@ -106,25 +157,48 @@ class StoreClient(_MethodSurface):
 
     @classmethod
     def connect(cls, host=None, port=None, unix_path=None, client=None,
-                timeout=None):
+                timeout=None, retries=0, backoff=0.1, max_backoff=2.0):
         """Connect over TCP (``host``/``port``) or a Unix socket
-        (``unix_path``) and negotiate the protocol version."""
-        if unix_path is not None:
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.settimeout(timeout)
-            sock.connect(unix_path)
-        elif host is not None and port is not None:
-            sock = socket.create_connection((host, port), timeout=timeout)
-        else:
-            raise ProtocolError(
-                "connect needs host+port or unix_path")
-        instance = cls(sock, client=client)
-        try:
-            instance._hello()
-        except BaseException:
-            sock.close()
-            raise
-        return instance
+        (``unix_path``) and negotiate the protocol version.
+
+        ``retries`` extra attempts (exponential ``backoff`` seconds
+        between them, capped at ``max_backoff``) absorb bootstrap
+        races — a cluster node dialing a peer that is still binding
+        should wait it out, not surface a raw
+        ``ConnectionRefusedError``. The *last* failure is re-raised
+        when every attempt fails.
+        """
+        if unix_path is None and (host is None or port is None):
+            raise ProtocolError("connect needs host+port or unix_path")
+        delays = _backoff_delays(retries, backoff, max_backoff)
+        while True:
+            try:
+                if unix_path is not None:
+                    sock = socket.socket(socket.AF_UNIX,
+                                         socket.SOCK_STREAM)
+                    sock.settimeout(timeout)
+                    try:
+                        sock.connect(unix_path)
+                    except BaseException:
+                        sock.close()
+                        raise
+                else:
+                    sock = socket.create_connection((host, port),
+                                                    timeout=timeout)
+            except (ConnectionError, FileNotFoundError, TimeoutError,
+                    socket.timeout):
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                time.sleep(delay)
+                continue
+            instance = cls(sock, client=client)
+            try:
+                instance._hello()
+            except BaseException:
+                sock.close()
+                raise
+            return instance
 
     def _hello(self):
         result = self._roundtrip(protocol.hello_request(
@@ -146,7 +220,7 @@ class StoreClient(_MethodSurface):
         while not self._frames:
             data = self._sock.recv(64 * 1024)
             if not data:
-                raise ProtocolError(
+                raise ConnectionLostError(
                     "server closed the connection mid-response")
             self._frames.extend(self._decoder.feed(data))
         response_id, result = protocol.parse_response(
@@ -195,14 +269,31 @@ class AsyncStoreClient(_MethodSurface):
 
     @classmethod
     async def connect(cls, host=None, port=None, unix_path=None,
-                      client=None):
-        """Connect over TCP or a Unix socket and negotiate."""
-        if unix_path is not None:
-            reader, writer = await asyncio.open_unix_connection(unix_path)
-        elif host is not None and port is not None:
-            reader, writer = await asyncio.open_connection(host, port)
-        else:
+                      client=None, retries=0, backoff=0.1,
+                      max_backoff=2.0):
+        """Connect over TCP or a Unix socket and negotiate.
+
+        ``retries``/``backoff``/``max_backoff`` behave as on
+        :meth:`StoreClient.connect` (the sleeps are ``await``\\ ed, so
+        the loop stays responsive)."""
+        if unix_path is None and (host is None or port is None):
             raise ProtocolError("connect needs host+port or unix_path")
+        delays = _backoff_delays(retries, backoff, max_backoff)
+        while True:
+            try:
+                if unix_path is not None:
+                    reader, writer = await asyncio.open_unix_connection(
+                        unix_path)
+                else:
+                    reader, writer = await asyncio.open_connection(
+                        host, port)
+                break
+            except (ConnectionError, FileNotFoundError,
+                    TimeoutError):
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                await asyncio.sleep(delay)
         instance = cls(reader, writer, client=client)
         try:
             await instance._hello()
@@ -254,7 +345,7 @@ class AsyncStoreClient(_MethodSurface):
             await self._writer.drain()
         except (ConnectionError, OSError) as exc:
             self._pending.pop(request_id, None)
-            raise ProtocolError(
+            raise ConnectionLostError(
                 "connection lost while sending {!r}: {}".format(
                     op, exc)) from exc
         return await future
@@ -263,7 +354,7 @@ class AsyncStoreClient(_MethodSurface):
         """Resolve pending futures as responses arrive, in any order
         of completion (the server answers in request order; ids keep
         the correlation explicit anyway)."""
-        failure = ProtocolError("server closed the connection")
+        failure = ConnectionLostError("server closed the connection")
         try:
             while True:
                 data = await self._reader.read(64 * 1024)
@@ -272,7 +363,7 @@ class AsyncStoreClient(_MethodSurface):
                 for message in self._decoder.feed(data):
                     self._dispatch_response(message)
         except (ConnectionError, OSError) as exc:
-            failure = ProtocolError(
+            failure = ConnectionLostError(
                 "connection lost: {}".format(exc))
         except ProtocolError as exc:
             failure = exc

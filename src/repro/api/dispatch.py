@@ -13,7 +13,12 @@ never drift apart.
 
 from __future__ import annotations
 
-from repro.errors import DurabilityError, ProtocolError
+from repro.errors import (
+    ClusterError,
+    DurabilityError,
+    NotLeaderError,
+    ProtocolError,
+)
 from repro.pul.serialize import pul_from_xml
 
 
@@ -49,11 +54,25 @@ class StoreDispatcher:
 
     def stats(self, doc_id=None):
         if doc_id is not None:
-            return stats_payload([self.store.stats(doc_id)])
-        return stats_payload(self.store.stats())
+            payload = stats_payload([self.store.stats(doc_id)])
+        else:
+            payload = stats_payload(self.store.stats())
+        replication = self._replication_block()
+        if replication is not None:
+            payload["replication"] = replication
+        return payload
 
     def text(self, doc_id):
         return {"doc_id": doc_id, "text": self.store.text(doc_id)}
+
+    def query(self, doc_id, path):
+        """Evaluate a read-only path expression against the resident
+        document (replica-safe: queues nothing, mutates nothing)."""
+        if not isinstance(path, str):
+            raise ProtocolError(
+                "query needs the path expression as text, got "
+                "{}".format(type(path).__name__))
+        return self.store.query(doc_id, path)
 
     # -- submission ----------------------------------------------------------
 
@@ -104,6 +123,79 @@ class StoreDispatcher:
                 "reduced_ops": result.reduced_ops,
                 "relabel": result.relabel,
                 "max_code_length": result.max_code_length}
+
+    # -- replication (see repro.cluster) --------------------------------------
+
+    def _replication_block(self):
+        """The ``replication`` section of extended ``stats``: role,
+        stream position, per-subscriber lag on a leader; cursor, leader
+        address and sync health on a replica. ``None`` on a plain
+        single-node store, so the pre-cluster result shape is
+        unchanged."""
+        store = self.store
+        if getattr(store, "role", "leader") == "replica":
+            block = {"role": "replica",
+                     "leader": store.leader_address,
+                     "applied_seq": store.applied_seq,
+                     "stream": store.stream_id}
+            sync = getattr(store, "_sync", None)
+            if sync is not None:
+                block.update(sync.status())
+            return block
+        if store.replication is not None:
+            block = {"role": "leader"}
+            block.update(store.replication.stats())
+            return block
+        return None
+
+    def _source(self):
+        source = self.store.replication
+        if source is None:
+            if getattr(self.store, "role", "leader") == "replica":
+                raise NotLeaderError(self.store.leader_address,
+                                     operation="the replication stream")
+            raise ClusterError(
+                "replication is not enabled on this node (serve it "
+                "with `repro cluster serve --role leader`)")
+        return source
+
+    def replicate_subscribe(self, replica=None):
+        """Register a follower; returns the stream shape it must join
+        (or bootstrap against)."""
+        if replica is not None and not isinstance(replica, str):
+            raise ProtocolError(
+                "replicate-subscribe \"replica\" must be a string")
+        return self._source().subscribe(replica=replica)
+
+    def wal_segment(self, from_seq, replica=None, max_records=None,
+                    wait_s=None):
+        """Stream log records from ``from_seq`` on (long-poll up to
+        ``wait_s`` when caught up)."""
+        from repro.cluster.feed import DEFAULT_SEGMENT_RECORDS
+
+        records, next_seq, end_seq = self._source().read_from(
+            from_seq,
+            limit=(DEFAULT_SEGMENT_RECORDS if max_records is None
+                   else max_records),
+            wait_s=0.0 if wait_s is None else wait_s,
+            replica=replica)
+        return {"from_seq": from_seq, "records": records,
+                "next_seq": next_seq, "end_seq": end_seq}
+
+    def snapshot_transfer(self):
+        """Full resident state plus the exact stream position it
+        describes — the replica bootstrap payload."""
+        source = self._source()
+        payloads, seq = self.store.capture_state()
+        return {"docs": payloads, "seq": seq, "stream": source.stream_id}
+
+    def promote(self, allow_non_durable=None):
+        """Convert a replica into a leader (manual failover)."""
+        promote = getattr(self.store, "promote", None)
+        if promote is None:
+            raise ClusterError(
+                "this node is not a replica (nothing to promote)")
+        return promote(allow_non_durable=bool(allow_non_durable))
 
     # -- durability ----------------------------------------------------------
 

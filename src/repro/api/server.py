@@ -41,8 +41,10 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import functools
+import os
 import signal
 import socket
+import stat
 import sys
 
 from repro.api import protocol
@@ -56,6 +58,59 @@ _READ_CHUNK = 64 * 1024
 
 #: queue sentinel: no more requests will arrive
 _EOF = object()
+
+
+def _bind_unix_socket(path):
+    """Bind a fresh Unix listener at ``path``, reclaiming a provably
+    dead predecessor's socket first."""
+    _unlink_stale_unix_socket(path)
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        sock.bind(path)
+        # listen *here*, not later in the event loop: a bound-but-not-
+        # listening socket answers ECONNREFUSED, which a concurrently
+        # starting server's staleness probe would read as "dead inode,
+        # reclaim it" — the window must be instructions, not awaits
+        sock.listen(100)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+def _unlink_stale_unix_socket(path):
+    """Remove a dead Unix socket left by a killed predecessor.
+
+    A SIGKILLed server never unlinks its socket path, and binding over
+    the corpse fails with ``Address already in use`` — so probe it: a
+    connect that is *refused* proves nothing is listening, and the stale
+    inode can go. A live listener (connect succeeds) and a path that is
+    not a socket at all (somebody else's file) are both left untouched,
+    so the ordinary bind error still surfaces.
+    """
+    try:
+        if not stat.S_ISSOCK(os.stat(path).st_mode):
+            return
+    except OSError:
+        return  # no such path: nothing to clean
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(0.25)
+    try:
+        probe.connect(path)
+    except ConnectionRefusedError:
+        # only a *refusal* proves nothing is listening; a timeout may
+        # just be a live server with a full accept backlog, and
+        # unlinking it would silently split the deployment in two
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    except OSError:
+        pass  # inconclusive (timeout, perms, ...): let bind report it
+    else:
+        pass  # a live server owns the path: let bind fail loudly
+    finally:
+        probe.close()
 
 
 class _Session:
@@ -113,6 +168,14 @@ class StoreServer:
         "stats": ("stats", (), ("doc_id",)),
         "docs": ("docs", (), ()),
         "snapshot": ("snapshot", (), ()),
+        "query": ("query", ("doc_id", "path"), ()),
+        # replication (see repro.cluster): followers stream the
+        # leader's write-ahead log and bootstrap from state transfers
+        "replicate-subscribe": ("replicate_subscribe", (), ("replica",)),
+        "wal-segment": ("wal_segment", ("from_seq",),
+                        ("replica", "max_records", "wait_s")),
+        "snapshot-transfer": ("snapshot_transfer", (), ()),
+        "promote": ("promote", (), ("allow_non_durable",)),
     }
 
     def __init__(self, store=None, host=None, port=0, unix_path=None,
@@ -135,6 +198,14 @@ class StoreServer:
         self._executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=executor_workers,
             thread_name_prefix="store-server")
+        # replication long-polls (`wal-segment` with wait_s) park a
+        # thread for seconds at a time; on the shared pool, enough
+        # followers would occupy every worker and stall each write
+        # until a poll deadline expired — so polls get their own pool
+        # and the write path never queues behind a parked follower
+        self._poll_executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max(executor_workers, 16),
+            thread_name_prefix="store-server-poll")
         self._servers = []
         self._connections = {}   # _Connection -> its handler task
         self._sessions = 0
@@ -148,8 +219,12 @@ class StoreServer:
             self._servers.append(await asyncio.start_server(
                 self._handle_connection, host=self.host, port=self.port))
         if self.unix_path is not None:
+            # bound by hand: asyncio's path= would silently unlink
+            # whatever sits at the path — even a *live* server's
+            # socket. Probing first steals only provably dead inodes.
             self._servers.append(await asyncio.start_unix_server(
-                self._handle_connection, path=self.unix_path))
+                self._handle_connection,
+                sock=_bind_unix_socket(self.unix_path)))
         return self
 
     @property
@@ -200,7 +275,10 @@ class StoreServer:
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
         try:
-            if drain:
+            # a replica holds no pending submissions (writes bounce
+            # with not-leader), so its drain would only raise; role is
+            # read at shutdown time because promote may have flipped it
+            if drain and getattr(self.store, "role", "leader") != "replica":
                 loop = asyncio.get_running_loop()
                 try:
                     await loop.run_in_executor(self._executor,
@@ -213,6 +291,9 @@ class StoreServer:
         finally:
             self.store.close()
             self._executor.shutdown(wait=True)
+            # parked long-polls time out on their own; don't block
+            # shutdown on a follower's wait_s window
+            self._poll_executor.shutdown(wait=False)
 
     async def __aenter__(self):
         return await self.start()
@@ -243,8 +324,10 @@ class StoreServer:
                 call_args.setdefault("client", session.client)
             method = getattr(self.dispatcher, method_name)
             loop = asyncio.get_running_loop()
+            executor = (self._poll_executor if op == "wal-segment"
+                        else self._executor)
             result = await loop.run_in_executor(
-                self._executor, functools.partial(method, **call_args))
+                executor, functools.partial(method, **call_args))
         except Exception as error:
             # ReproError subclasses ship their stable code; anything
             # else (a TypeError from garbage argument types, ...) is
@@ -395,7 +478,12 @@ class _Connection:
         while True:
             if self._frames:
                 return self._frames.pop(0)
-            data = await self.reader.read(_READ_CHUNK)
+            try:
+                data = await self.reader.read(_READ_CHUNK)
+            except (ConnectionError, OSError):
+                # an abrupt peer death (RST, not FIN) reads the same as
+                # EOF: the connection is simply over
+                return None
             if not data:
                 if not self.decoder.at_boundary():
                     raise ProtocolError(

@@ -23,7 +23,13 @@ Subcommands mirror the library's pipeline (``-`` reads stdin):
   ``store recover`` rebuilds state from a durability directory
   (``--verify`` byte-compares against the stateless replay oracle);
   ``store bench`` reports resident-incremental vs parse+full-relabel
-  throughput.
+  throughput;
+* ``cluster``   — the replicated multi-node deployment:
+  ``cluster serve --role leader|replica`` runs one node (leaders ship
+  their write-ahead log, replicas stream it and serve reads),
+  ``cluster promote --node HOST:PORT`` manually fails over to a
+  caught-up replica, ``cluster status`` reports role, stream position
+  and replication lag per node.
 
 Examples::
 
@@ -334,6 +340,125 @@ def cmd_invert(args, out):
     return 0
 
 
+def cmd_cluster_serve(args, out):
+    import asyncio
+
+    from repro.api.server import StoreServer
+    from repro.cluster import ReplicaStore, ReplicaSync
+
+    policy, wal_dir = _durability_policy(args)
+    host, port, unix_path = _parse_listen(args.listen)
+    common = dict(workers=args.workers, backend=args.backend,
+                  max_code_length=args.max_code_length,
+                  durability=policy, wal_dir=wal_dir)
+    sync = None
+    if args.role == "leader":
+        if wal_dir is None:
+            raise ReproError(
+                "a leader ships its write-ahead log: --wal-dir is "
+                "required with --role leader")
+        store = DocumentStore(on_conflict=args.on_conflict, **common)
+        store.enable_replication(backlog=args.backlog)
+    else:
+        if not args.leader:
+            raise ReproError("--role replica needs --leader HOST:PORT")
+        store = ReplicaStore(leader_address=args.leader, **common)
+        replica_id = args.replica_id or "replica-{}".format(os.getpid())
+        sync = ReplicaSync(store, args.leader, replica_id,
+                           wait_s=args.poll_wait)
+    if store.recovery is not None:
+        for line in store.recovery.lines():
+            sys.stderr.write("recover: {}\n".format(line))
+    server = StoreServer(store, host=host, port=port,
+                         unix_path=unix_path,
+                         max_pipeline=args.max_pipeline)
+
+    async def _serve():
+        await server.start()
+        address = server.tcp_address
+        if address is not None:
+            out.write("listening tcp {}:{}\n".format(*address))
+        if unix_path is not None:
+            out.write("listening unix {}\n".format(unix_path))
+        out.write("role {}\n".format(store.role))
+        out.flush()
+        # the sync loop starts after the listeners are up, so a peer
+        # probing this node's status can already reach it while the
+        # leader connection is still backing off
+        if sync is not None:
+            sync.start()
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    finally:
+        if sync is not None:
+            sync.stop()
+    return 0
+
+
+def cmd_cluster_promote(args, out):
+    from repro.cluster import parse_address
+
+    from repro.api.client import StoreClient
+
+    host, port = parse_address(args.node)
+    with StoreClient.connect(host=host, port=port,
+                             retries=args.retries) as client:
+        result = client.promote(
+            allow_non_durable=args.allow_non_durable)
+    out.write("{} is now {} (applied_seq={}{})\n".format(
+        args.node, result.get("role"), result.get("applied_seq"),
+        "" if result.get("promoted") else "; was already promoted"))
+    return 0
+
+
+def cmd_cluster_status(args, out):
+    from repro.api.client import StoreClient
+    from repro.cluster import parse_address
+
+    failures = 0
+    for node in args.nodes:
+        host, port = parse_address(node)
+        try:
+            with StoreClient.connect(host=host, port=port,
+                                     retries=args.retries) as client:
+                stats = client.stats()
+        except (ReproError, OSError) as error:
+            out.write("node {}: unreachable ({})\n".format(node, error))
+            failures += 1
+            continue
+        docs = len(stats.get("stats", []))
+        replication = stats.get("replication")
+        if replication is None:
+            out.write("node {}: standalone, {} doc(s)\n".format(node,
+                                                                docs))
+        elif replication.get("role") == "leader":
+            subscribers = replication.get("subscribers", {})
+            lags = ", ".join(
+                "{} lag={}".format(name, state.get("lag"))
+                for name, state in sorted(subscribers.items())) or "-"
+            out.write(
+                "node {}: leader seq={} wal=gen{}@{} {} doc(s), "
+                "subscribers: {}\n".format(
+                    node, replication.get("seq"),
+                    replication.get("wal", {}).get("generation"),
+                    replication.get("wal", {}).get("offset"),
+                    docs, lags))
+        else:
+            out.write(
+                "node {}: replica of {} applied_seq={} behind={} "
+                "connected={} {} doc(s){}\n".format(
+                    node, replication.get("leader"),
+                    replication.get("applied_seq"),
+                    replication.get("behind"),
+                    "yes" if replication.get("connected") else "no",
+                    docs,
+                    " last_error={!r}".format(replication["last_error"])
+                    if replication.get("last_error") else ""))
+    return 1 if failures else 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__.splitlines()[0])
@@ -477,6 +602,68 @@ def build_parser():
     store_bench_cmd.add_argument("--seed", type=int, default=11)
     store_bench_cmd.add_argument("--min-depth", type=int, default=0)
     store_bench_cmd.set_defaults(func=cmd_store_bench)
+
+    cluster_cmd = commands.add_parser(
+        "cluster", help="replicated multi-node deployment "
+                        "(WAL-shipping leaders, read replicas)")
+    cluster_commands = cluster_cmd.add_subparsers(dest="cluster_command",
+                                                  required=True)
+
+    cluster_serve_cmd = cluster_commands.add_parser(
+        "serve", help="serve one cluster node (leader or replica) on "
+                      "the network protocol")
+    _store_options(cluster_serve_cmd)
+    _durability_options(cluster_serve_cmd)
+    cluster_serve_cmd.add_argument("--role", required=True,
+                                   choices=("leader", "replica"))
+    cluster_serve_cmd.add_argument("--listen", required=True,
+                                   metavar="HOST:PORT|unix:PATH",
+                                   help="listen address (port 0 picks "
+                                        "an ephemeral port, reported "
+                                        "on stdout)")
+    cluster_serve_cmd.add_argument("--leader", default=None,
+                                   metavar="HOST:PORT",
+                                   help="leader to stream from "
+                                        "(replicas only)")
+    cluster_serve_cmd.add_argument("--replica-id", default=None,
+                                   help="name announced to the leader "
+                                        "(default: replica-<pid>)")
+    cluster_serve_cmd.add_argument("--backlog", type=int, default=None,
+                                   help="records the leader retains "
+                                        "for followers before they "
+                                        "must re-bootstrap")
+    cluster_serve_cmd.add_argument("--poll-wait", type=float,
+                                   default=2.0,
+                                   help="replica long-poll window in "
+                                        "seconds")
+    cluster_serve_cmd.add_argument("--max-pipeline", type=int,
+                                   default=32,
+                                   help="per-connection bound on "
+                                        "queued pipelined requests")
+    cluster_serve_cmd.add_argument("--on-conflict", default="error",
+                                   choices=("error", "reconcile"))
+    cluster_serve_cmd.set_defaults(func=cmd_cluster_serve)
+
+    promote_cmd = cluster_commands.add_parser(
+        "promote", help="convert a caught-up replica into a leader "
+                        "(manual failover)")
+    promote_cmd.add_argument("--node", required=True, metavar="HOST:PORT",
+                             help="the replica to promote")
+    promote_cmd.add_argument("--retries", type=int, default=2,
+                             help="connect retries with backoff")
+    promote_cmd.add_argument("--allow-non-durable", action="store_true",
+                             help="salvage-promote a replica that has "
+                                  "no write-ahead log (its acked "
+                                  "batches die with the process)")
+    promote_cmd.set_defaults(func=cmd_cluster_promote)
+
+    status_cmd = cluster_commands.add_parser(
+        "status", help="replication role, stream position and lag of "
+                       "each node")
+    status_cmd.add_argument("nodes", nargs="+", metavar="HOST:PORT")
+    status_cmd.add_argument("--retries", type=int, default=1,
+                            help="connect retries with backoff")
+    status_cmd.set_defaults(func=cmd_cluster_status)
 
     invert_cmd = commands.add_parser(
         "invert", help="compute the inverse of a PUL")

@@ -1,0 +1,279 @@
+"""The follower side of WAL shipping: :class:`ReplicaStore`.
+
+A replica is a :class:`~repro.store.store.DocumentStore` that gets its
+batches from a leader's record stream instead of from clients: it
+bootstraps from a snapshot transfer (the leader's full resident state
+paired with the stream position it describes), then applies streamed
+WAL records through the exact replay machinery PR 3 recovery uses — so
+replica state is, by construction, what the leader would recover to at
+the same log position (store-README invariant 8).
+
+Reads (``text`` / ``stats`` / ``docs`` / read-only ``query``) are
+served locally; every write is rejected with a typed
+:class:`~repro.errors.NotLeaderError` carrying the leader's address, so
+routing clients follow the redirect instead of failing.
+
+A replica may itself be durable (its own ``wal_dir``): applied records
+are write-ahead logged *locally* before application, and a ``repl-pos``
+cursor record after every applied segment remembers how far the stream
+got — a SIGKILLed replica replays its own WAL tail on restart and
+resumes streaming from the recovered position. That same local WAL is
+what :meth:`ReplicaStore.promote` turns into leadership: the promoted
+node's log already holds everything it acknowledged applying, so it
+attaches a :class:`~repro.cluster.feed.ReplicationSource` and starts
+serving followers of its own.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ClusterError, NotLeaderError, RecoveryError
+from repro.store.durability.snapshot import restore_document
+from repro.store.store import DocumentStore
+
+
+class ReplicaStore(DocumentStore):
+    """A read-only :class:`DocumentStore` fed by a leader's WAL stream.
+
+    Parameters are those of :class:`DocumentStore` plus
+    ``leader_address`` (the ``host:port`` carried inside ``not-leader``
+    rejections). A durable replica (``wal_dir=``) recovers both its
+    documents and its replication cursor (:attr:`applied_seq`) on
+    construction.
+    """
+
+    def __init__(self, leader_address=None, **kwargs):
+        #: next leader sequence number to apply (everything below it is
+        #: applied) and the stream epoch it belongs to; set before
+        #: super().__init__ because recovery may replay repl-pos
+        #: records into them
+        self.applied_seq = 0
+        self.stream_id = None
+        super().__init__(**kwargs)
+        self.role = "replica"
+        self.leader_address = leader_address
+        self._apply_lock = threading.Lock()
+        self._sync = None
+
+    # -- write rejection ------------------------------------------------------
+
+    def _reject_write(self, operation):
+        if self.role == "replica":
+            raise NotLeaderError(self.leader_address, operation=operation)
+
+    def open(self, doc_id, source):
+        self._reject_write("open")
+        return super().open(doc_id, source)
+
+    def close_document(self, doc_id):
+        self._reject_write("close")
+        return super().close_document(doc_id)
+
+    def submit(self, doc_id, pul, client=None):
+        self._reject_write("submit")
+        return super().submit(doc_id, pul, client=client)
+
+    def submit_xquery(self, doc_id, expression, client=None):
+        self._reject_write("submit-xquery")
+        return super().submit_xquery(doc_id, expression, client=client)
+
+    def submit_message(self, message):
+        self._reject_write("submit")
+        return super().submit_message(message)
+
+    def discard_pending(self, doc_id):
+        self._reject_write("discard")
+        return super().discard_pending(doc_id)
+
+    def flush(self, doc_id, num_shards=None):
+        self._reject_write("flush")
+        return super().flush(doc_id, num_shards=num_shards)
+
+    def flush_all(self, num_shards=None):
+        self._reject_write("flush")
+        return super().flush_all(num_shards=num_shards)
+
+    # -- the streaming apply path ---------------------------------------------
+
+    def _replay_position(self, record):
+        # repl-pos records in the replica's own WAL restore the cursor
+        seq = record.get("seq", 0)
+        if seq >= self.applied_seq:
+            self.applied_seq = seq
+            self.stream_id = record.get("stream", self.stream_id)
+
+    def attach_sync(self, sync):
+        """Register the :class:`~repro.cluster.sync.ReplicaSync` pulling
+        for this store, so :meth:`promote` can stop it."""
+        self._sync = sync
+
+    def bootstrap(self, payloads, seq, stream=None):
+        """Install a snapshot transfer: full leader state at position
+        ``seq`` of stream epoch ``stream``.
+
+        Replaces whatever was resident (the re-bootstrap path after a
+        :class:`~repro.errors.ReplicationResetError` or a stream-epoch
+        change). A durable replica seals the transfer into its own
+        snapshot generation immediately — its WAL must describe the
+        *new* timeline, not prepend stale opens to it — and logs the
+        cursor.
+        """
+        with self._apply_lock:
+            fresh = {}
+            for payload in payloads:
+                entry = self._restored_entry(restore_document(payload))
+                if entry.doc_id in fresh:
+                    raise ClusterError(
+                        "snapshot transfer names {!r} twice".format(
+                            entry.doc_id))
+                fresh[entry.doc_id] = entry
+            with self._lock:
+                # swapped in as one assignment: a concurrent read sees
+                # the old timeline or the new one, never a half-empty
+                # store mid-rebootstrap
+                self._entries = fresh
+            self.applied_seq = seq
+            self.stream_id = stream
+            if self._durability is not None:
+                generation = self.snapshot()
+                if generation is None:
+                    raise ClusterError(
+                        "bootstrap could not seal its snapshot (another "
+                        "compaction in flight?)")
+                self._durability.log_position(seq, stream=stream)
+        return {"docs": sorted(fresh), "seq": seq}
+
+    def apply_records(self, records, next_seq):
+        """Apply one ``wal-segment`` response: ``records`` is the
+        ``[{"seq", "record"}, ...]`` list, ``next_seq`` the cursor the
+        leader handed back for the follow-up request.
+
+        Applied strictly in sequence through the same switch recovery
+        replays: already-applied sequences are skipped (idempotent
+        redelivery), a gap is a stream bug and raises. A durable
+        replica write-ahead logs each record into its own WAL before
+        applying it, then records the advanced cursor.
+        """
+        with self._apply_lock:
+            for item in records:
+                seq = item.get("seq")
+                if not isinstance(seq, int) or isinstance(seq, bool):
+                    raise ClusterError(
+                        "replicated record carries no integer seq: "
+                        "{!r}".format(item))
+                if seq < self.applied_seq:
+                    continue
+                if seq > self.applied_seq:
+                    raise ClusterError(
+                        "replication stream gap: expected seq {}, got "
+                        "{}".format(self.applied_seq, seq))
+                self._apply_one(item.get("record") or {})
+                self.applied_seq = seq + 1
+            if next_seq > self.applied_seq:
+                raise ClusterError(
+                    "leader advanced the cursor to {} but only seq {} "
+                    "was shipped".format(next_seq, self.applied_seq))
+            if records and self._durability is not None:
+                self._durability.log_position(self.applied_seq,
+                                              stream=self.stream_id)
+        return self.applied_seq
+
+    def _apply_one(self, record):
+        """Apply one streamed record, *idempotently* and under the
+        entry's flush lock.
+
+        Idempotence: a crash between applying a record and advancing
+        the durable cursor (the per-segment ``repl-pos``) makes the
+        leader re-ship it after restart — so re-applying any record at
+        the cursor must be a no-op, never an error, and must not write
+        a duplicate into the replica's own WAL (a second ``open``
+        would poison its next recovery with "log opens twice").
+
+        Locking: the apply path is the replica's only mutator, but it
+        must still take ``entry.flush_lock`` around every mutation —
+        that lock is what :meth:`DocumentStore.query` and snapshot
+        compaction's :meth:`_with_quiesced_entries` rely on for a
+        still view of the document/labeling pair, and both are
+        reachable on a replica while the sync thread streams.
+        """
+        kind = record.get("kind")
+        durability = self._durability
+        if kind == "open":
+            restored = restore_document(record["doc"])
+            with self._lock:
+                if restored.doc_id in self._entries:
+                    return   # redelivered after a crash-before-cursor
+            if durability is not None:
+                durability.log_open(record["doc"])
+            self._install_restored(restored)
+        elif kind == "close":
+            with self._lock:
+                entry = self._entries.get(record["doc_id"])
+            if entry is None:
+                return   # redelivered: already evicted
+            # same order as the leader's close_document: wait out any
+            # in-flight reader of this entry before evicting it
+            with entry.flush_lock:
+                if durability is not None:
+                    durability.log_close(record["doc_id"])
+                with self._lock:
+                    self._entries.pop(record["doc_id"], None)
+        elif kind == "relabel":
+            entry = self._replay_entry(record["doc_id"])
+            with entry.flush_lock:
+                if durability is not None:
+                    durability.log_relabel(entry.doc_id)
+                entry.labeling.build(entry.document)
+        elif kind == "repl-pos":
+            pass  # the upstream was itself once a replica; its cursor
+        elif kind == "batch":
+            entry = self._replay_entry(record["doc_id"])
+            with entry.flush_lock:
+                # the shared replay switch (invariant 8): version
+                # checks, application through the incremental-relabel
+                # machinery, failed-batch skip + labeling rebuild —
+                # and, because we are not ``_replaying``, _run_batch
+                # write-ahead logs into the replica's own WAL first
+                self._replay_batch_record(entry, record)
+        else:
+            raise RecoveryError(
+                "unknown replicated record kind {!r}".format(kind))
+
+    # -- failover -------------------------------------------------------------
+
+    def promote(self, backlog=None, allow_non_durable=False):
+        """Convert this replica into a leader (manual failover).
+
+        Stops the streaming sync first — joining it applies every
+        record already fetched, and a *restarted* replica has already
+        replayed its local WAL tail on construction — so promotion
+        never discards an acknowledged batch. The promoted node
+        immediately attaches a replication source, ready to serve
+        followers of its own (which must re-bootstrap: the new leader's
+        stream is renumbered). Idempotent.
+
+        A replica without a WAL is refused by default: promoting it
+        would mint a leader whose acked batches die with the process
+        and that cannot feed followers — the exact guarantees a
+        failover exists to keep. ``allow_non_durable=True`` overrides
+        for a last-resort salvage when no durable node survived.
+        """
+        if self._durability is None and not allow_non_durable:
+            raise ClusterError(
+                "refusing to promote a replica with no write-ahead "
+                "log: the promoted leader could not make batches "
+                "durable or feed followers (pass allow_non_durable "
+                "/ --allow-non-durable to salvage anyway)")
+        sync = self._sync
+        if sync is not None:
+            sync.stop(join=True)
+            self._sync = None
+        with self._apply_lock:
+            already = self.role == "leader"
+            self.role = "leader"
+            self.leader_address = None
+            if self._durability is not None:
+                self.enable_replication(backlog=backlog)
+        return {"role": "leader", "promoted": not already,
+                "applied_seq": self.applied_seq}

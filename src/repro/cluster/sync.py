@@ -1,0 +1,218 @@
+"""The replica's pull loop: :class:`ReplicaSync`.
+
+One daemon thread per replica that dials the leader (with
+reconnect-and-backoff, so cluster bootstrap races never surface as raw
+``ConnectionRefusedError``), subscribes, bootstraps from a snapshot
+transfer when the stream cannot be joined in place, then long-polls
+``wal-segment`` and applies each batch of records through
+:meth:`~repro.cluster.replica.ReplicaStore.apply_records`.
+
+Bootstrap decision (the only subtle part): a replica joins the stream
+in place only when its recorded position belongs to the leader's
+current *stream epoch* and still falls inside the retained window —
+anything else (fresh replica, epoch change after a leader restart or
+promotion, fell behind the backlog) installs a full snapshot transfer
+first. The leader also answers
+:class:`~repro.errors.ReplicationResetError` mid-stream when the
+window slides past the cursor; the loop re-bootstraps and carries on.
+
+Leader loss is survived, not fatal: the loop keeps retrying with capped
+exponential backoff until it is stopped or the replica is promoted. A
+``not-leader`` answer from the upstream (it was itself demoted or is a
+replica) follows the advertised redirect when one is carried.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.api.client import StoreClient
+from repro.errors import (
+    NotLeaderError,
+    ProtocolError,
+    ReplicationResetError,
+    ReproError,
+)
+
+
+def parse_address(address):
+    """``host:port`` -> ``(host, port)`` (the cluster's address form)."""
+    host, sep, port = str(address).rpartition(":")
+    if not sep or not host:
+        raise ReproError(
+            "cluster addresses are host:port, got {!r}".format(address))
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ReproError(
+            "cluster address port must be an integer, got "
+            "{!r}".format(port)) from None
+
+
+class ReplicaSync:
+    """Stream a leader's WAL into one :class:`ReplicaStore`.
+
+    Parameters
+    ----------
+    replica:
+        The store to feed (also receives ``attach_sync`` so
+        ``promote`` can stop the loop).
+    leader:
+        ``host:port`` of the leader to follow.
+    replica_id:
+        Name announced to the leader (feeds its lag stats) and used as
+        the connection identity.
+    wait_s / max_records:
+        Long-poll window and batch size of each ``wal-segment`` pull.
+    backoff / max_backoff:
+        Reconnect schedule after a connection failure.
+    """
+
+    def __init__(self, replica, leader, replica_id,
+                 wait_s=2.0, max_records=256,
+                 backoff=0.2, max_backoff=5.0):
+        self.replica = replica
+        self.leader = str(leader)
+        self.replica_id = str(replica_id)
+        self.wait_s = wait_s
+        self.max_records = max_records
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self._stop = threading.Event()
+        self._client = None
+        self._client_lock = threading.Lock()
+        self._thread = threading.Thread(
+            target=self._run, daemon=True,
+            name="replica-sync-{}".format(self.replica_id))
+        #: observability, surfaced through the replica's extended stats
+        self.connected = False
+        self.last_error = None
+        self.last_end_seq = None
+        replica.attach_sync(self)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self):
+        self._thread.start()
+        return self
+
+    def stop(self, join=True, timeout=30.0):
+        """Stop the loop; ``join=True`` waits until the in-flight
+        segment (if any) has been applied, so callers observe a settled
+        replica."""
+        self._stop.set()
+        with self._client_lock:
+            client = self._client
+            self._client = None
+        if client is not None:
+            # closing the socket from here unblocks a long-poll recv
+            client.close()
+        if join and self._thread.is_alive() \
+                and self._thread is not threading.current_thread():
+            self._thread.join(timeout)
+
+    @property
+    def stopped(self):
+        return self._stop.is_set()
+
+    def status(self):
+        return {"leader": self.leader, "connected": self.connected,
+                "applied_seq": self.replica.applied_seq,
+                "behind": (None if self.last_end_seq is None else
+                           max(0, self.last_end_seq
+                               - self.replica.applied_seq)),
+                "last_error": self.last_error}
+
+    # -- the loop ------------------------------------------------------------
+
+    def _run(self):
+        delay = self.backoff
+        while not self._stop.is_set():
+            try:
+                client = self._connect()
+                if client is None:
+                    return
+                delay = self.backoff      # a successful dial resets it
+                self._stream(client)
+            except (ConnectionError, OSError, ProtocolError) as exc:
+                self._note_error(exc)
+            except NotLeaderError as exc:
+                # the upstream is (now) a replica itself; follow its
+                # advertised leader when it knows one
+                self._note_error(exc)
+                if exc.leader:
+                    self.leader = str(exc.leader)
+                    self.replica.leader_address = self.leader
+            except ReproError as exc:
+                self._note_error(exc)
+            finally:
+                self._drop_client()
+            if self._stop.wait(delay):
+                return
+            delay = min(delay * 2, self.max_backoff)
+
+    def _connect(self):
+        host, port = parse_address(self.leader)
+        client = StoreClient.connect(
+            host=host, port=port, client=self.replica_id,
+            timeout=max(self.wait_s * 4, 10.0),
+            retries=2, backoff=self.backoff, max_backoff=self.max_backoff)
+        with self._client_lock:
+            if self._stop.is_set():
+                client.close()
+                return None
+            self._client = client
+        self.connected = True
+        self.replica.leader_address = self.leader
+        return client
+
+    def _drop_client(self):
+        self.connected = False
+        with self._client_lock:
+            client = self._client
+            self._client = None
+        if client is not None:
+            client.close()
+
+    def _stream(self, client):
+        info = client.replicate_subscribe(replica=self.replica_id)
+        if self._needs_bootstrap(info):
+            transfer = client.snapshot_transfer()
+            self.replica.bootstrap(transfer["docs"], transfer["seq"],
+                                   stream=transfer.get("stream"))
+        while not self._stop.is_set():
+            try:
+                segment = client.wal_segment(
+                    from_seq=self.replica.applied_seq,
+                    replica=self.replica_id,
+                    max_records=self.max_records, wait_s=self.wait_s)
+            except ReplicationResetError:
+                # the retained window slid past our cursor: start over
+                # from a fresh transfer on this same connection
+                transfer = client.snapshot_transfer()
+                self.replica.bootstrap(transfer["docs"], transfer["seq"],
+                                       stream=transfer.get("stream"))
+                continue
+            self.replica.apply_records(segment["records"],
+                                       segment["next_seq"])
+            self.last_end_seq = segment["end_seq"]
+            self.last_error = None
+
+    def _needs_bootstrap(self, info):
+        replica = self.replica
+        if replica.stream_id != info.get("stream"):
+            return True               # different epoch: seqs don't mean
+        if replica.applied_seq < info["first_seq"]:
+            return True               # fell out of the retained window
+        if replica.applied_seq > info["seq"]:
+            return True               # ahead of the stream: impossible
+        return False                  # join the stream in place
+
+    def _note_error(self, exc):
+        self.last_error = "{}: {}".format(type(exc).__name__, exc)
+
+    def __repr__(self):
+        return ("ReplicaSync({!r} <- {}, applied_seq={}, "
+                "connected={})".format(
+                    self.replica_id, self.leader,
+                    self.replica.applied_seq, self.connected))

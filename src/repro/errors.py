@@ -213,6 +213,59 @@ class ProtocolError(ReproError):
     code = "protocol"
 
 
+class ConnectionLostError(ProtocolError):
+    """Raised client-side when the transport died mid-conversation
+    (EOF mid-response, reset while sending). Distinct from a
+    server-*reported* protocol violation so routing clients know the
+    failure names the node, not the request — retrying elsewhere is
+    sound."""
+
+    code = "connection-lost"
+
+
+class ClusterError(ReproError):
+    """Base error of the replication subsystem (:mod:`repro.cluster`):
+    misconfigured roles, replication feeds on non-durable stores, ..."""
+
+    code = "cluster"
+
+
+class NotLeaderError(ClusterError):
+    """Raised when a write (or any leader-only operation) reaches a
+    replica. Carries the leader's address so routing clients
+    (:class:`~repro.cluster.client.ClusterClient`) can follow the
+    redirect instead of surfacing the failure."""
+
+    code = "not-leader"
+    detail_attrs = ("leader",)
+
+    def __init__(self, leader=None, operation=None):
+        hint = (" (leader: {})".format(leader) if leader
+                else " (no known leader)")
+        what = operation or "write"
+        super().__init__(
+            "this node is a replica and cannot accept {}{}".format(
+                what, hint))
+        self.leader = leader
+
+
+class ReplicationResetError(ClusterError):
+    """Raised when a follower asks for a log sequence the leader no
+    longer retains (fell behind the bounded backlog, or the leader was
+    restarted/promoted and renumbered). The follower must re-bootstrap
+    from a full snapshot transfer."""
+
+    code = "replication-reset"
+    detail_attrs = ("first_seq",)
+
+    def __init__(self, requested, first_seq):
+        super().__init__(
+            "log sequence {} is no longer retained (oldest available: "
+            "{}); re-bootstrap from a snapshot transfer".format(
+                requested, first_seq))
+        self.first_seq = first_seq
+
+
 class QueryError(ReproError):
     """Base error for the XQuery Update front end."""
 

@@ -26,7 +26,12 @@ Record payloads are JSON objects (framed by :mod:`.wal`):
     (the failed-flush recovery path); replayed so the label timeline
     stays digit-identical;
 ``{"kind": "close", "doc_id": ...}``
-    the document was evicted.
+    the document was evicted;
+``{"kind": "repl-pos", "seq": n}``
+    written by a *replica* store: every leader record below sequence
+    ``n`` has been applied (the replication cursor, recovered so a
+    restarted replica resumes streaming where it left off — see
+    :mod:`repro.cluster`).
 """
 
 from __future__ import annotations
@@ -279,6 +284,14 @@ class DurabilityManager:
         self._writer = None
         self.generation = 0
         self.batches_since_snapshot = 0
+        #: optional replication hook (see :mod:`repro.cluster.feed`):
+        #: ``on_append()`` after every synced record, ``on_rotate(sealed
+        #: generation, sealed path, new generation, new path)`` when
+        #: compaction rotates the active segment — called *before* the
+        #: sealed files are deleted, so a feed can drain them first.
+        #: Lock order is manager -> listener: the hooks run under the
+        #: manager lock and must never call back into the manager.
+        self.feed_listener = None
         os.makedirs(directory, exist_ok=True)
 
     # -- paths ---------------------------------------------------------------
@@ -314,6 +327,28 @@ class DurabilityManager:
 
     # -- logging -------------------------------------------------------------
 
+    def wal_position(self):
+        """``(generation, segment path, synced byte offset)`` of the
+        write-ahead log right now — the durable horizon a concurrent
+        tail reader may safely read up to."""
+        with self._lock:
+            return self._position_locked()
+
+    def _position_locked(self):
+        synced = (self._writer.synced_size
+                  if self._writer is not None else 0)
+        return self.generation, self._wal_path(self.generation), synced
+
+    def attach_feed(self, listener):
+        """Register the replication listener and return its anchor
+        position, atomically: no append or rotation can slip between
+        the anchor read and the hook attachment, so from the returned
+        position on, the listener sees *every* event — the property
+        the feed's generation bookkeeping is built on."""
+        with self._lock:
+            self.feed_listener = listener
+            return self._position_locked()
+
     def _append(self, record, sync=True):
         with self._lock:
             if self._writer is None:
@@ -321,6 +356,8 @@ class DurabilityManager:
                     "durability manager is not started (or already "
                     "closed)")
             self._writer.append(encode_payload(record), sync=sync)
+            if self.feed_listener is not None:
+                self.feed_listener.on_append()
 
     def log_open(self, document_payload_dict):
         self._append({"kind": "open", "doc": document_payload_dict})
@@ -336,6 +373,15 @@ class DurabilityManager:
 
     def log_close(self, doc_id):
         self._append({"kind": "close", "doc_id": doc_id})
+
+    def log_position(self, seq, stream=None):
+        """A replica's replication cursor: every leader record below
+        ``seq`` of stream ``stream`` is applied (and therefore in this
+        log)."""
+        record = {"kind": "repl-pos", "seq": seq}
+        if stream is not None:
+            record["stream"] = stream
+        self._append(record)
 
     def snapshot_due(self):
         return (self.policy.mode == "snapshot"
@@ -363,6 +409,12 @@ class DurabilityManager:
             self._writer = WalWriter(self._wal_path(self.generation),
                                      fsync=self.policy.fsync)
             self.batches_since_snapshot = 0
+            if self.feed_listener is not None:
+                # drained *before* the superseded files are unlinked
+                # below, or a lagging feed would lose the sealed tail
+                self.feed_listener.on_rotate(
+                    sealed, self._wal_path(sealed),
+                    self.generation, self._wal_path(self.generation))
             wals, snaps = _scan_directory(self.directory)
             superseded = (
                 [path for generation, path in wals.items()
@@ -411,6 +463,8 @@ def replay_oracle(directory):
             versions.pop(record["doc_id"], None)
         elif kind == "relabel":
             continue  # labels never change document bytes
+        elif kind == "repl-pos":
+            continue  # a replica's replication cursor, not state
         elif kind == "batch":
             doc_id = record["doc_id"]
             document = entries.get(doc_id)

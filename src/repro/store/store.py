@@ -40,7 +40,12 @@ from repro.aggregation import aggregate
 from repro.apply.events import document_events, events_to_document
 from repro.apply.streaming import apply_streaming
 from repro.distributed.messages import ShardEnvelope
-from repro.errors import QueryEvaluationError, RecoveryError, ReproError
+from repro.errors import (
+    ClusterError,
+    QueryEvaluationError,
+    RecoveryError,
+    ReproError,
+)
 from repro.integration import reconcile
 from repro.labeling.scheme import ContainmentLabeling
 from repro.pipeline.merge import merge_shards
@@ -57,7 +62,7 @@ from repro.store.durability import (
 )
 from repro.xdm.document import Document
 from repro.xdm.parser import parse_document
-from repro.xdm.serializer import serialize
+from repro.xdm.serializer import serialize, serialize_node
 
 #: default headroom budget: containment codes may grow to this many digits
 #: before the store schedules a full relabel of the document
@@ -210,6 +215,13 @@ class DocumentStore:
         self._replaying = False
         self._compacting = threading.Lock()
         self.recovery = None
+        #: a standalone store is trivially its own leader; the cluster
+        #: subsystem's :class:`~repro.cluster.replica.ReplicaStore`
+        #: overrides this (and flips it back on promotion)
+        self.role = "leader"
+        #: the :class:`~repro.cluster.feed.ReplicationSource` feeding
+        #: followers, once :meth:`enable_replication` has run
+        self.replication = None
         if isinstance(durability, str):
             durability = DurabilityPolicy.parse(durability)
         if durability is None:
@@ -375,6 +387,34 @@ class DocumentStore:
                     "expressions, or paths selecting nothing)")
             depth = self.submit(doc_id, pul, client=client)
         return depth, ops
+
+    def query(self, doc_id, path):
+        """Evaluate a read-only path expression against the resident
+        document; returns the selected nodes serialized, in document
+        order.
+
+        This is the read surface replicas scale out: unlike
+        :meth:`submit_xquery` it queues nothing and never mutates, so a
+        read-only node serves it freely. Evaluation holds the flush
+        lock so the paths never walk a tree a concurrent flush is
+        mutating in place.
+        """
+        # local import: the read path should not drag the query stack
+        # into store-only deployments
+        from repro.xquery import evaluate_path, parse_path
+
+        entry = self._require(doc_id)
+        with entry.flush_lock:
+            with self._lock:
+                if self._entries.get(doc_id) is not entry:
+                    raise ReproError(
+                        "document {!r} was closed while the query "
+                        "waited".format(doc_id))
+            nodes = evaluate_path(parse_path(path), entry.document)
+            rendered = [serialize_node(node) for node in nodes]
+            version = entry.version
+        return {"doc_id": doc_id, "version": version,
+                "count": len(rendered), "nodes": rendered}
 
     def submit_message(self, message):
         """Route a :class:`~repro.distributed.messages.PULMessage` to the
@@ -544,41 +584,92 @@ class DocumentStore:
         if not self._compacting.acquire(blocking=False):
             return None
         try:
-            while True:
-                with self._lock:
-                    entries = sorted(self._entries.values(),
-                                     key=lambda entry: str(entry.doc_id))
-                acquired = []
-                try:
-                    for entry in entries:
-                        if entry is held_entry:
-                            continue
-                        entry.flush_lock.acquire()
-                        acquired.append(entry)
-                    # the store lock is held across validation AND
-                    # writing: no document can be opened or closed (and
-                    # no open/close record logged) between what the
-                    # snapshot captures and the segment rotation, so
-                    # every record in the sealed segments is subsumed by
-                    # the snapshot. Flush locks keep each captured
-                    # entry's state still; a concurrently-flushing
-                    # document either finished logging before we got its
-                    # lock (captured at the new version) or flushes into
-                    # the next segment.
-                    with self._lock:
-                        if sorted(self._entries.values(),
-                                  key=lambda entry: str(entry.doc_id)) \
-                                == entries:
-                            return self._durability.write_snapshot(
-                                document_payload(entry)
-                                for entry in entries)
-                finally:
-                    for entry in acquired:
-                        entry.flush_lock.release()
-                # a document was opened or closed while the flush locks
-                # were being collected: retry against the new entry set
+            return self._with_quiesced_entries(
+                held_entry,
+                lambda entries: self._durability.write_snapshot(
+                    document_payload(entry) for entry in entries))
         finally:
             self._compacting.release()
+
+    def _with_quiesced_entries(self, held_entry, capture):
+        """Run ``capture(entries)`` with every entry's flush lock *and*
+        the store lock held.
+
+        The store lock is held across validation AND the capture: no
+        document can be opened or closed (and no open/close record
+        logged) while ``capture`` observes the state, so a snapshot it
+        writes subsumes every record in the sealed segments. Flush
+        locks keep each captured entry's state still; a
+        concurrently-flushing document either finished logging before
+        we got its lock (captured at the new version) or flushes after
+        the capture. ``held_entry`` names the entry whose flush lock
+        this thread already holds (``None`` outside a flush). Retries
+        from scratch when the entry set churned while the flush locks
+        were being collected.
+        """
+        while True:
+            with self._lock:
+                entries = sorted(self._entries.values(),
+                                 key=lambda entry: str(entry.doc_id))
+            acquired = []
+            try:
+                for entry in entries:
+                    if entry is held_entry:
+                        continue
+                    entry.flush_lock.acquire()
+                    acquired.append(entry)
+                with self._lock:
+                    if sorted(self._entries.values(),
+                              key=lambda entry: str(entry.doc_id)) \
+                            == entries:
+                        return capture(entries)
+            finally:
+                for entry in acquired:
+                    entry.flush_lock.release()
+            # a document was opened or closed while the flush locks
+            # were being collected: retry against the new entry set
+
+    # -- replication ---------------------------------------------------------
+
+    def enable_replication(self, backlog=None):
+        """Attach a :class:`~repro.cluster.feed.ReplicationSource` so
+        followers can stream this store's write-ahead log (idempotent;
+        returns the source). Replication *ships the WAL*, so the store
+        must be durable."""
+        # imported lazily: the cluster package imports the store
+        from repro.cluster.feed import DEFAULT_BACKLOG, ReplicationSource
+
+        if self._durability is None:
+            raise ClusterError(
+                "replication ships the write-ahead log; the store "
+                "needs a durable policy (durability= and wal_dir=)")
+        if self.replication is None:
+            self.replication = ReplicationSource(
+                self._durability,
+                backlog=DEFAULT_BACKLOG if backlog is None else backlog)
+        return self.replication
+
+    def capture_state(self):
+        """Atomically capture the full resident state for a snapshot
+        transfer: ``(document payloads, seq)``.
+
+        Taken under every flush lock plus the store lock, so the
+        payloads and the replication sequence describe exactly the same
+        instant — a follower that installs the payloads and streams
+        records from ``seq`` misses nothing and double-applies nothing.
+        ``seq`` is ``None`` when replication is not enabled.
+        """
+        def capture(entries):
+            payloads = [document_payload(entry) for entry in entries]
+            seq = None
+            if self.replication is not None:
+                # every record logged before the locks were taken is
+                # synced; ingesting under the locks makes the count
+                # final for this capture
+                seq = self.replication.next_seq
+            return payloads, seq
+
+        return self._with_quiesced_entries(None, capture)
 
     def _recover_state(self, state):
         """Replay a :class:`~repro.store.durability.LoadedState`."""
@@ -599,38 +690,16 @@ class DocumentStore:
                 elif kind == "relabel":
                     entry = self._replay_entry(record["doc_id"])
                     entry.labeling.build(entry.document)
+                elif kind == "repl-pos":
+                    # a replica's replication cursor; the base store
+                    # ignores it, ReplicaStore recovers its position
+                    self._replay_position(record)
                 elif kind == "batch":
                     entry = self._replay_entry(record["doc_id"])
-                    version = record["version"]
-                    if version <= entry.version:
+                    if self._replay_batch_record(entry, record):
+                        replayed += 1
+                    else:
                         skipped += 1
-                        continue
-                    if version != entry.version + 1:
-                        raise RecoveryError(
-                            "log names version {} of {!r} but the replay "
-                            "reached version {}".format(
-                                version, entry.doc_id, entry.version))
-                    try:
-                        self._run_batch(entry,
-                                        pul_from_xml(record["pul"]),
-                                        num_shards=None,
-                                        clients=record.get("clients", 0))
-                    except Exception:
-                        # breadth matches the live flush path's handler:
-                        # the original flush failed on this logged batch
-                        # (whatever it raised) and rebuilt its labeling.
-                        # Rebuild here too — the crash may have landed
-                        # after the fsynced batch record but before the
-                        # matching relabel record, and without the
-                        # rebuild the labeling would stay in the
-                        # mid-apply mutated state and every later
-                        # batch's codes would diverge. When the relabel
-                        # record *did* make it to disk, replaying it is
-                        # an idempotent second build.
-                        entry.labeling.build(entry.document)
-                        skipped += 1
-                        continue
-                    replayed += 1
                 else:
                     raise RecoveryError(
                         "unknown record kind {!r}".format(kind))
@@ -647,6 +716,48 @@ class DocumentStore:
             clean=state.clean, truncated_bytes=state.truncated_bytes)
         return self.recovery
 
+    def _replay_batch_record(self, entry, record):
+        """Make one logged ``batch`` record effective on ``entry``.
+
+        THE replay switch's batch arm, shared verbatim by crash
+        recovery and by the replica streaming-apply path
+        (:mod:`repro.cluster.replica`) — store-README invariant 8
+        ("replica state ≡ leader replay") is structural only as long
+        as both run this one routine. Returns ``True`` when the batch
+        applied, ``False`` when it was skipped: either its version is
+        already covered (idempotent redelivery / post-divergence
+        duplicate), or its application failed — breadth matching the
+        live flush path's handler: the original flush failed on this
+        logged batch (whatever it raised) and rebuilt its labeling, so
+        the labeling is rebuilt here too. The crash may have landed
+        after the fsynced batch record but before the matching relabel
+        record; without the rebuild the labeling would stay in the
+        mid-apply mutated state and every later batch's codes would
+        diverge. When the relabel record *did* make it to disk,
+        replaying it is an idempotent second build.
+        """
+        version = record["version"]
+        if version <= entry.version:
+            return False
+        if version != entry.version + 1:
+            raise RecoveryError(
+                "log names version {} of {!r} but the replay "
+                "reached version {}".format(
+                    version, entry.doc_id, entry.version))
+        try:
+            self._run_batch(entry, pul_from_xml(record["pul"]),
+                            num_shards=None,
+                            clients=record.get("clients", 0))
+        except Exception:
+            entry.labeling.build(entry.document)
+            return False
+        return True
+
+    def _replay_position(self, record):
+        """Hook for ``repl-pos`` records during replay (no-op here;
+        :class:`~repro.cluster.replica.ReplicaStore` restores its
+        streaming cursor from them)."""
+
     def _replay_entry(self, doc_id):
         entry = self._entries.get(doc_id)
         if entry is None:
@@ -655,11 +766,17 @@ class DocumentStore:
                 "opened".format(doc_id))
         return entry
 
-    def _install_restored(self, restored):
+    @staticmethod
+    def _restored_entry(restored):
+        """A resident entry rebuilt from a snapshot-form payload."""
         entry = StoredDocument(restored.doc_id, restored.document,
                                restored.labeling)
         for counter, value in restored.counters.items():
             setattr(entry, counter, value)
+        return entry
+
+    def _install_restored(self, restored):
+        entry = self._restored_entry(restored)
         with self._lock:
             if restored.doc_id in self._entries:
                 raise RecoveryError(

@@ -22,7 +22,7 @@ Multiple expressions separated by commas compile into one PUL.
 """
 
 from repro.xquery.compiler import compile_pul
-from repro.xquery.parser import parse_program
+from repro.xquery.parser import parse_path, parse_program
 from repro.xquery.xpath import evaluate_path
 
-__all__ = ["compile_pul", "parse_program", "evaluate_path"]
+__all__ = ["compile_pul", "parse_path", "parse_program", "evaluate_path"]

@@ -72,6 +72,16 @@ def parse_program(text):
     return expressions
 
 
+def parse_path(text):
+    """Parse a bare path expression (the read-only query surface —
+    no updating keywords, just the abbreviated-XPath subset)."""
+    cursor = _Cursor(tokenize(text))
+    path = _parse_path(cursor)
+    if cursor.current.kind != EOF:
+        cursor.fail("trailing input after path")
+    return path
+
+
 def _parse_expression(cursor):
     if cursor.at_name("insert"):
         return _parse_insert(cursor)

@@ -1,0 +1,162 @@
+"""Hypothesis properties of the incremental WAL tail reader.
+
+The replication feed leans on one equivalence: tailing a log file
+*incrementally* — any number of reads, over any growth schedule, with
+any ``up_to`` horizons — must yield exactly the records a single
+:func:`scan_records` pass over the final bytes yields. The suite grows
+a file chunk by chunk at hypothesis-chosen split points (including
+mid-header and mid-payload cuts), reads after every growth step, and
+compares; torn tails and mid-record truncation points must never
+surface a record early, error, or advance the position into the tear.
+"""
+
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pul.serialize import pul_to_xml
+from repro.store.durability import (
+    WalTailReader,
+    WalWriter,
+    encode_record,
+    scan_records,
+)
+from tests.strategies import wire_puls
+
+
+def _payloads():
+    binary = st.binary(max_size=80)
+    batch = wire_puls(max_ops=2).map(
+        lambda pul: pul_to_xml(pul).encode("utf-8"))
+    return st.lists(binary | batch, max_size=5)
+
+
+def _frame(payloads):
+    return b"".join(encode_record(p) for p in payloads)
+
+
+def _grow(path, data):
+    with open(path, "ab") as handle:
+        handle.write(data)
+
+
+@given(payloads=_payloads(), data=st.data())
+@settings(max_examples=80)
+def test_incremental_tailing_equals_full_scan(tmp_path_factory,
+                                              payloads, data):
+    """Grow the file at arbitrary byte cuts; the union of all reads is
+    the full scan of the final file."""
+    path = str(tmp_path_factory.mktemp("tail") / "wal.log")
+    frame = _frame(payloads)
+    cuts = sorted(data.draw(
+        st.lists(st.integers(0, len(frame)), max_size=6), label="cuts"))
+    reader = WalTailReader(path)
+    collected = []
+    written = 0
+    for cut in cuts + [len(frame)]:
+        if cut > written:
+            _grow(path, frame[written:cut])
+            written = cut
+        collected.extend(payload for __, payload in reader.read())
+    expected, valid_bytes, clean = scan_records(frame)
+    assert collected == expected
+    assert clean and reader.position == valid_bytes
+    # offsets reported by a fresh reader address the same records
+    fresh = WalTailReader(path)
+    for offset, payload in fresh.read():
+        record = encode_record(payload)
+        assert frame[offset:offset + len(record)] == record
+
+
+@given(payloads=_payloads().filter(bool), data=st.data())
+@settings(max_examples=80)
+def test_torn_tail_never_surfaces_and_never_advances(tmp_path_factory,
+                                                     payloads, data):
+    """Truncate the final file at any byte — mid-header, mid-payload,
+    anywhere: the reader yields exactly the valid record prefix and its
+    position stays at the prefix end (where the writer's rollback or
+    recovery's truncation would resume)."""
+    path = str(tmp_path_factory.mktemp("torn") / "wal.log")
+    frame = _frame(payloads)
+    cut = data.draw(st.integers(0, len(frame)), label="cut")
+    _grow(path, frame[:cut])
+    reader = WalTailReader(path)
+    first = reader.read()
+    # reading again without growth yields nothing new
+    assert reader.read() == []
+    expected, valid_bytes, __ = scan_records(frame[:cut])
+    assert [payload for __unused, payload in first] == expected
+    assert reader.position == valid_bytes <= cut
+    # completing the torn record makes it (and the rest) appear
+    _grow(path, frame[cut:])
+    rest = [payload for __unused, payload in reader.read()]
+    assert expected + rest == payloads
+    assert reader.position == len(frame)
+
+
+@given(payloads=_payloads().filter(bool), data=st.data())
+@settings(max_examples=60)
+def test_corrupt_byte_stops_the_tail_like_the_scan(tmp_path_factory,
+                                                   payloads, data):
+    path = str(tmp_path_factory.mktemp("corrupt") / "wal.log")
+    frame = bytearray(_frame(payloads))
+    position = data.draw(st.integers(0, len(frame) - 1), label="byte")
+    frame[position] ^= 1 << data.draw(st.integers(0, 7), label="bit")
+    _grow(path, bytes(frame))
+    reader = WalTailReader(path)
+    got = [payload for __, payload in reader.read()]
+    expected, valid_bytes, __ = scan_records(bytes(frame))
+    assert got == expected
+    assert reader.position == valid_bytes
+
+
+def test_up_to_horizon_is_respected(tmp_path):
+    """The durable-horizon bound: bytes past ``up_to`` stay invisible
+    even when a complete record sits there."""
+    path = str(tmp_path / "wal.log")
+    first, second = encode_record(b"one"), encode_record(b"two")
+    _grow(path, first + second)
+    reader = WalTailReader(path)
+    assert [p for __, p in reader.read(up_to=len(first))] == [b"one"]
+    assert reader.read(up_to=len(first)) == []
+    # horizons behind the position are a no-op, not a rewind
+    assert reader.read(up_to=2) == []
+    assert [p for __, p in reader.read(up_to=len(first) + len(second))] \
+        == [b"two"]
+
+
+def test_limit_bounds_each_read(tmp_path):
+    path = str(tmp_path / "wal.log")
+    payloads = [b"a", b"b", b"c", b"d"]
+    _grow(path, _frame(payloads))
+    reader = WalTailReader(path)
+    assert [p for __, p in reader.read(limit=3)] == [b"a", b"b", b"c"]
+    assert [p for __, p in reader.read(limit=3)] == [b"d"]
+    assert reader.records_read == 4
+
+
+def test_missing_file_reads_empty_then_catches_up(tmp_path):
+    path = str(tmp_path / "late.log")
+    reader = WalTailReader(path)
+    assert reader.read() == []
+    _grow(path, _frame([b"x"]))
+    assert [p for __, p in reader.read()] == [b"x"]
+
+
+def test_tailing_a_live_writer_up_to_synced_size(tmp_path):
+    """The feed's exact usage: follow a WalWriter through appends and
+    group-commit syncs, only ever reading to ``synced_size``."""
+    path = str(tmp_path / "live.log")
+    with WalWriter(path, fsync=False) as writer:
+        reader = WalTailReader(path)
+        writer.append(b"first")
+        assert [p for __, p in reader.read(up_to=writer.synced_size)] \
+            == [b"first"]
+        writer.append(b"second", sync=False)
+        # unsynced: invisible behind the horizon
+        assert reader.read(up_to=writer.synced_size) == []
+        writer.sync()
+        assert [p for __, p in reader.read(up_to=writer.synced_size)] \
+            == [b"second"]
+    assert os.path.getsize(path) == reader.position
