@@ -1,0 +1,167 @@
+"""Durable flush throughput under concurrency — the group-commit bench.
+
+The experiment behind the PR 6 commit-train claim: with per-batch
+append+fsync, N clients flushing concurrently pay N fsyncs; with group
+commit one leader fsync covers every record appended while the train
+was boarding, so durable flushes/sec rises with concurrency while
+fsyncs-per-flush falls toward ``1/N``.
+
+Each round runs ``--threads`` clients, each flushing its own resident
+document ``--flushes`` times on one log-durable
+:class:`~repro.store.DocumentStore` (fresh WAL directory per repeat).
+``os.fsync`` is wrapped — never replaced — to count calls, so the
+reported ``fsyncs_per_flush`` is measured, not inferred. A
+single-threaded pass runs first as the unamortized reference.
+
+Usage::
+
+    python benchmarks/bench_group_commit.py --threads 8 --flushes 30
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+import repro.store.durability.wal as wal_module
+from repro.pul.ops import ReplaceValue
+from repro.pul.pul import PUL
+from repro.store import DocumentStore
+from repro.xdm.parser import parse_document
+
+DOC_TEXT = "<doc><meta><owner>bench</owner></meta></doc>"
+
+
+class _FsyncCounter:
+    """Wraps ``os.fsync`` inside the WAL module to count calls."""
+
+    def __init__(self):
+        self.count = 0
+        self._real = os.fsync
+
+    def __enter__(self):
+        def counting(fd):
+            self.count += 1
+            return self._real(fd)
+        wal_module.os.fsync = counting
+        return self
+
+    def __exit__(self, *exc_info):
+        wal_module.os.fsync = self._real
+
+
+def _owner_text_id():
+    document = parse_document(DOC_TEXT)
+    owner = next(n for n in document.nodes()
+                 if n.is_element and n.name == "owner")
+    return owner.children[0].node_id
+
+
+def run_round(threads, flushes, wal_dir):
+    """One measured pass; returns ``(wall seconds, fsync count)``."""
+    text_id = _owner_text_id()
+    with DocumentStore(backend="serial", durability="log",
+                       wal_dir=wal_dir) as store:
+        for index in range(threads):
+            store.open("d{}".format(index), DOC_TEXT)
+        barrier = threading.Barrier(threads + 1)
+        errors = []
+
+        def client(index):
+            doc_id = "d{}".format(index)
+            barrier.wait()
+            try:
+                for round_index in range(flushes):
+                    store.submit(doc_id, PUL(
+                        [ReplaceValue(text_id,
+                                      "v{}".format(round_index))],
+                        origin=doc_id))
+                    store.flush(doc_id)
+            except Exception as exc:    # pragma: no cover - bench guard
+                errors.append(exc)
+
+        workers = [threading.Thread(target=client, args=(index,))
+                   for index in range(threads)]
+        for worker in workers:
+            worker.start()
+        with _FsyncCounter() as counter:
+            barrier.wait()
+            start = time.perf_counter()
+            for worker in workers:
+                worker.join()
+            wall = time.perf_counter() - start
+        if errors:
+            raise errors[0]
+    return wall, counter.count
+
+
+def measure(threads, flushes, repeats):
+    best = None
+    for __ in range(max(1, repeats)):
+        wal_dir = tempfile.mkdtemp(prefix="bench-group-commit-")
+        try:
+            wall, fsyncs = run_round(threads, flushes, wal_dir)
+        finally:
+            shutil.rmtree(wal_dir, ignore_errors=True)
+        if best is None or wall < best[0]:
+            best = (wall, fsyncs)
+    return best
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="durable flush throughput under concurrency "
+                    "(group commit)")
+    parser.add_argument("--threads", type=int, default=8,
+                        help="concurrent flushing clients")
+    parser.add_argument("--flushes", type=int, default=30,
+                        help="durable flushes per client")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="passes per configuration; the summary "
+                             "keeps the best (variance control)")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="write a machine-readable summary here")
+    args = parser.parse_args(argv)
+
+    serial_wall, serial_fsyncs = measure(1, args.flushes, args.repeats)
+    serial_rate = args.flushes / serial_wall if serial_wall \
+        else float("inf")
+    print("serial reference: 1 thread x {} flushes  {:8.3f}s  "
+          "{:>8.0f} flush/s  {:.2f} fsyncs/flush".format(
+              args.flushes, serial_wall, serial_rate,
+              serial_fsyncs / args.flushes))
+
+    total = args.threads * args.flushes
+    wall, fsyncs = measure(args.threads, args.flushes, args.repeats)
+    rate = total / wall if wall else float("inf")
+    per_flush = fsyncs / total if total else 0.0
+    print("group commit: {} threads x {} flushes  {:8.3f}s  "
+          "{:>8.0f} flush/s  {:.2f} fsyncs/flush".format(
+              args.threads, args.flushes, wall, rate, per_flush))
+    print("\ngroup-commit summary: {:.2f}x the serial durable rate, "
+          "{:.0%} of the one-fsync-per-flush cost".format(
+              rate / serial_rate if serial_rate else float("inf"),
+              per_flush))
+
+    if args.json:
+        payload = {"bench_group_commit": {
+            "ops_per_sec": rate,
+            "median_wall_s": wall,
+            "fsyncs_per_flush": per_flush,
+            "serial_ops_per_sec": serial_rate,
+            "concurrency_speedup": (rate / serial_rate
+                                    if serial_rate else float("inf")),
+            "threads": args.threads,
+        }}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print("wrote {}".format(args.json))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Frame codec throughput — protocol v2 binary vs v1 JSON.
+
+Times encode+decode round trips of the protocol's hot message shapes
+(a ``submit`` request carrying an XML payload, a ``text`` response
+carrying a serialized document, a small ``stats`` poll) under both
+codecs. The v2 claim: strings travel as raw length-prefixed UTF-8, so
+the codec stops paying JSON escape-and-rescan on every kilobyte of
+XML.
+
+Usage::
+
+    python benchmarks/bench_wire_codec.py --messages 3000 --xml-bytes 4096
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.api import protocol
+from repro.api.protocol import HEADER_SIZE, decode_payload, encode_frame
+
+
+def build_messages(xml_bytes):
+    """The measured mix: one write, one bulk read, one cheap poll."""
+    xml = ('<items>' + '<item attr="v&amp;al">text&#10;</item>'
+           * max(1, xml_bytes // 40) + '</items>')
+    return [
+        protocol.request(7, "submit", {"doc_id": "d1", "pul": xml}),
+        protocol.ok_response(8, {"doc_id": "d1", "text": xml}),
+        protocol.request(9, "stats", {"doc_id": "d1"}),
+    ]
+
+
+def roundtrip_rate(messages, count, version, repeats):
+    """Best-of-``repeats`` messages/sec for encode+decode."""
+    best = None
+    for __ in range(max(1, repeats)):
+        start = time.perf_counter()
+        for index in range(count):
+            message = messages[index % len(messages)]
+            frame = encode_frame(message, version=version)
+            decoded = decode_payload(frame[HEADER_SIZE:],
+                                     version=version)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+        assert decoded == messages[(count - 1) % len(messages)]
+    return count / best if best else float("inf"), best
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="binary (v2) vs JSON (v1) frame codec throughput")
+    parser.add_argument("--messages", type=int, default=3000,
+                        help="encode+decode round trips per pass")
+    parser.add_argument("--xml-bytes", type=int, default=4096,
+                        help="approximate XML payload size")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="passes per codec; the summary keeps the "
+                             "best")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="write a machine-readable summary here")
+    args = parser.parse_args(argv)
+
+    messages = build_messages(args.xml_bytes)
+    frame_v1 = sum(len(encode_frame(m, version=1)) for m in messages)
+    frame_v2 = sum(len(encode_frame(m, version=2)) for m in messages)
+    print("message mix: {} messages, ~{} XML bytes; frames "
+          "v1={}B v2={}B".format(len(messages), args.xml_bytes,
+                                 frame_v1, frame_v2))
+
+    v1_rate, v1_wall = roundtrip_rate(messages, args.messages, 1,
+                                      args.repeats)
+    v2_rate, v2_wall = roundtrip_rate(messages, args.messages, 2,
+                                      args.repeats)
+    print("v1 JSON:   {:8.3f}s  {:>10.0f} msg/s".format(v1_wall,
+                                                        v1_rate))
+    print("v2 binary: {:8.3f}s  {:>10.0f} msg/s".format(v2_wall,
+                                                        v2_rate))
+    speedup = v2_rate / v1_rate if v1_rate else float("inf")
+    print("\ncodec summary: v2 decodes+encodes {:.2f}x the JSON "
+          "rate".format(speedup))
+
+    if args.json:
+        payload = {"bench_wire_codec": {
+            "ops_per_sec": v2_rate,
+            "median_wall_s": v2_wall,
+            "json_ops_per_sec": v1_rate,
+            "speedup_vs_json": speedup,
+            "frame_bytes_v1": frame_v1,
+            "frame_bytes_v2": frame_v2,
+        }}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print("wrote {}".format(args.json))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

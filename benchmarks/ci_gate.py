@@ -65,7 +65,21 @@ SMOKE_RUNS = (
     ("bench_replication.py",
      ["--replicas", "0", "2", "--reads", "300", "--readers", "4",
       "--write-rounds", "15", "--repeats", "2"]),
+    ("bench_wire_codec.py",
+     ["--messages", "2000", "--xml-bytes", "4096", "--repeats", "3"]),
+    ("bench_group_commit.py",
+     ["--threads", "8", "--flushes", "25", "--repeats", "2"]),
 )
+
+#: machine-independent metric floors checked on *this* run's summary
+#: (dimensionless ratios, so no calibration applies). These pin claims
+#: a committed baseline cannot express: the ops/sec gate only guards
+#: against regression relative to history, these guard an absolute
+#: property of the current code.
+METRIC_FLOORS = {
+    "bench_server_concurrency": {"pipelining_speedup": 1.3},
+    "bench_wire_codec": {"speedup_vs_json": 1.0},
+}
 
 
 #: calibration loop sizing: ~100ms per timed pass on a 2020s laptop —
@@ -79,7 +93,8 @@ CALIBRATION_PASSES = 3
 #: a fast-CPU/slow-disk runner must not fail the gate on hardware. The
 #: inverse direction (a regression hidden by a slower runner) is an
 #: accepted smoke-gate tradeoff.
-IO_BOUND_BENCHES = frozenset({"bench_durability"})
+IO_BOUND_BENCHES = frozenset({"bench_durability",
+                              "bench_group_commit"})
 
 #: benches whose throughput depends on the runner's *core count*
 #: (process-per-node clusters) as well as per-core speed: the CPU
@@ -214,6 +229,31 @@ def compare(current, previous, tolerance, scale=1.0):
     return failures
 
 
+def check_floors(current, floors=METRIC_FLOORS):
+    """Absolute-metric failures on this run (empty = pass); applies
+    even without a committed baseline — the floors are properties of
+    the code, not of history."""
+    failures = []
+    for name, metrics in sorted(floors.items()):
+        summary = current.get(name)
+        if summary is None:
+            continue
+        for metric, floor in sorted(metrics.items()):
+            value = summary.get(metric)
+            if not isinstance(value, (int, float)):
+                failures.append("{}: metric {} missing from the "
+                                "summary".format(name, metric))
+                continue
+            verdict = "ok" if value >= floor else "REGRESSION"
+            print("{:>11} {:<24} {:>12.2f} {} (floor {:.2f})".format(
+                verdict, name, value, metric, floor))
+            if value < floor:
+                failures.append(
+                    "{}: {} of {:.2f} is below the {:.2f} floor".format(
+                        name, metric, value, floor))
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="benchmark smoke runs + regression gate")
@@ -263,16 +303,21 @@ def main(argv=None):
         handle.write("\n")
     print("\nwrote {}".format(out_path))
 
+    print("absolute metric floors:")
+    failures = check_floors(benches)
     if not previous:
-        print("no committed earlier baseline: gate passes trivially")
-        return 0
-    scale = 1.0
-    if isinstance(baseline_calibration, (int, float)) \
-            and baseline_calibration > 0:
-        scale = calibration / baseline_calibration
-    print("comparing against BENCH_{}.json (tolerance -{:.0%}, machine "
-          "scale {:.2f}x):".format(baseline_pr, args.tolerance, scale))
-    failures = compare(benches, previous, args.tolerance, scale=scale)
+        print("no committed earlier baseline: trajectory gate passes "
+              "trivially")
+    else:
+        scale = 1.0
+        if isinstance(baseline_calibration, (int, float)) \
+                and baseline_calibration > 0:
+            scale = calibration / baseline_calibration
+        print("comparing against BENCH_{}.json (tolerance -{:.0%}, "
+              "machine scale {:.2f}x):".format(
+                  baseline_pr, args.tolerance, scale))
+        failures += compare(benches, previous, args.tolerance,
+                            scale=scale)
     if failures:
         for failure in failures:
             print("FAIL: {}".format(failure))

@@ -146,18 +146,21 @@ class StoreClient(_MethodSurface):
     :meth:`connect`.
     """
 
-    def __init__(self, sock, client=None):
+    def __init__(self, sock, client=None,
+                 versions=protocol.SUPPORTED_VERSIONS):
         self._sock = sock
         self._decoder = protocol.FrameDecoder()
         self._frames = []
         self._next_id = 0
+        self._versions = tuple(versions)
         self.client = client
         self.protocol_version = None
         self.server_info = None
 
     @classmethod
     def connect(cls, host=None, port=None, unix_path=None, client=None,
-                timeout=None, retries=0, backoff=0.1, max_backoff=2.0):
+                timeout=None, retries=0, backoff=0.1, max_backoff=2.0,
+                versions=protocol.SUPPORTED_VERSIONS):
         """Connect over TCP (``host``/``port``) or a Unix socket
         (``unix_path``) and negotiate the protocol version.
 
@@ -166,7 +169,9 @@ class StoreClient(_MethodSurface):
         races — a cluster node dialing a peer that is still binding
         should wait it out, not surface a raw
         ``ConnectionRefusedError``. The *last* failure is re-raised
-        when every attempt fails.
+        when every attempt fails. ``versions`` restricts the offered
+        protocol versions (e.g. ``(1,)`` forces the JSON codec against
+        a v2-capable server).
         """
         if unix_path is None and (host is None or port is None):
             raise ProtocolError("connect needs host+port or unix_path")
@@ -192,7 +197,7 @@ class StoreClient(_MethodSurface):
                     raise
                 time.sleep(delay)
                 continue
-            instance = cls(sock, client=client)
+            instance = cls(sock, client=client, versions=versions)
             try:
                 instance._hello()
             except BaseException:
@@ -202,10 +207,14 @@ class StoreClient(_MethodSurface):
 
     def _hello(self):
         result = self._roundtrip(protocol.hello_request(
-            self._take_id(), client=self.client))
+            self._take_id(), client=self.client,
+            versions=self._versions))
         self.protocol_version = result["version"]
         self.server_info = result
         self.client = result.get("client", self.client)
+        # the hello exchange ran as v1 JSON; switch both directions to
+        # the negotiated codec for everything after it
+        self._decoder.use_version(self.protocol_version)
 
     def _take_id(self):
         self._next_id += 1
@@ -216,7 +225,8 @@ class StoreClient(_MethodSurface):
             self._take_id(), op, args))
 
     def _roundtrip(self, message):
-        self._sock.sendall(protocol.encode_frame(message))
+        self._sock.sendall(protocol.encode_frame(
+            message, self.protocol_version or 1))
         while not self._frames:
             data = self._sock.recv(64 * 1024)
             if not data:
@@ -255,7 +265,8 @@ class AsyncStoreClient(_MethodSurface):
     future as its response arrives.
     """
 
-    def __init__(self, reader, writer, client=None):
+    def __init__(self, reader, writer, client=None,
+                 versions=protocol.SUPPORTED_VERSIONS):
         self._reader = reader
         self._writer = writer
         self._decoder = protocol.FrameDecoder()
@@ -263,6 +274,7 @@ class AsyncStoreClient(_MethodSurface):
         self._next_id = 0
         self._reader_task = None
         self._closed = False
+        self._versions = tuple(versions)
         self.client = client
         self.protocol_version = None
         self.server_info = None
@@ -270,7 +282,8 @@ class AsyncStoreClient(_MethodSurface):
     @classmethod
     async def connect(cls, host=None, port=None, unix_path=None,
                       client=None, retries=0, backoff=0.1,
-                      max_backoff=2.0):
+                      max_backoff=2.0,
+                      versions=protocol.SUPPORTED_VERSIONS):
         """Connect over TCP or a Unix socket and negotiate.
 
         ``retries``/``backoff``/``max_backoff`` behave as on
@@ -294,7 +307,7 @@ class AsyncStoreClient(_MethodSurface):
                 if delay is None:
                     raise
                 await asyncio.sleep(delay)
-        instance = cls(reader, writer, client=client)
+        instance = cls(reader, writer, client=client, versions=versions)
         try:
             await instance._hello()
         except BaseException:
@@ -308,7 +321,8 @@ class AsyncStoreClient(_MethodSurface):
         """Negotiate before the reader task exists (strict
         request/response, nothing else is in flight yet)."""
         message = protocol.hello_request(self._take_id(),
-                                         client=self.client)
+                                         client=self.client,
+                                         versions=self._versions)
         self._writer.write(protocol.encode_frame(message))
         await self._writer.drain()
         frames = []
@@ -325,6 +339,8 @@ class AsyncStoreClient(_MethodSurface):
         self.protocol_version = result["version"]
         self.server_info = result
         self.client = result.get("client", self.client)
+        # everything after the (v1 JSON) hello runs the agreed codec
+        self._decoder.use_version(self.protocol_version)
 
     def _take_id(self):
         self._next_id += 1
@@ -337,7 +353,8 @@ class AsyncStoreClient(_MethodSurface):
         # frame before registering the future: an unframeable request
         # (oversized payload) must not leave an orphan in _pending
         frame = protocol.encode_frame(
-            protocol.request(request_id, op, args))
+            protocol.request(request_id, op, args),
+            self.protocol_version or 1)
         future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         try:

@@ -35,6 +35,30 @@ sides share and echoes it (plus its software version) in the response.
 A connection with no shared version is answered with a ``protocol``
 error and closed. Everything after the hello is ordinary requests under
 the negotiated version.
+
+**Protocol v2 — the binary frame codec.** The hello exchange always
+runs as v1 JSON (it is what an unknown peer is guaranteed to read);
+when both sides support v2, every frame *after* the hello response
+carries a struct-packed binary payload instead of JSON::
+
+    +--------------+----------+-------------------------------------+
+    | length (u32) | kind(u8) | kind-specific struct-packed fields  |
+    +--------------+----------+-------------------------------------+
+
+    kind 0x01 request:   id(value) op-code(u8) args(value)
+                         op-code 0xFF is followed by the op name as a
+                         string value (ops outside the table)
+    kind 0x02 ok:        id(value) result(value)
+    kind 0x03 error:     id(value) error-object(value)
+
+``value`` is a type-tagged binary term (see ``_encode_value``): the
+JSON-representable scalars plus lists and string-keyed maps, with
+strings as raw length-prefixed UTF-8. That raw-string rule is the
+codec's point: v1 must JSON-escape-and-scan every document and PUL
+payload it carries, v2 copies the bytes — the hot ops (``submit``,
+``text``, ``wal-segment``) move XML by the kilobyte. Decoded v2 frames
+reconstruct exactly the v1 message dicts, so dispatch, clients and the
+error surface are codec-neutral.
 """
 
 from __future__ import annotations
@@ -47,7 +71,7 @@ from repro.errors import ProtocolError, ReproError
 #: protocol versions this implementation can speak, ascending. A wire
 #: change that an old peer could misread gets a new number appended
 #: here; dropping support for an old number removes it.
-SUPPORTED_VERSIONS = (1,)
+SUPPORTED_VERSIONS = (1, 2)
 
 #: the version this implementation prefers (the newest supported)
 PROTOCOL_VERSION = SUPPORTED_VERSIONS[-1]
@@ -62,10 +86,14 @@ _LENGTH = struct.Struct(">I")
 HEADER_SIZE = _LENGTH.size
 
 
-def encode_frame(obj):
-    """Serialize ``obj`` (a JSON-representable dict) into one frame."""
-    payload = json.dumps(obj, separators=(",", ":"),
-                         sort_keys=True).encode("utf-8")
+def encode_frame(obj, version=1):
+    """Serialize ``obj`` (a message dict) into one frame under
+    ``version``'s codec (1 = JSON, 2 = binary)."""
+    if version >= 2:
+        payload = bytes(_encode_message_v2(obj))
+    else:
+        payload = json.dumps(obj, separators=(",", ":"),
+                             sort_keys=True).encode("utf-8")
     if len(payload) > MAX_FRAME:
         raise ProtocolError(
             "frame payload of {} bytes exceeds the {} byte bound".format(
@@ -73,8 +101,11 @@ def encode_frame(obj):
     return _LENGTH.pack(len(payload)) + payload
 
 
-def decode_payload(payload):
-    """Decode one frame payload into its JSON object."""
+def decode_payload(payload, version=1):
+    """Decode one frame payload into its message dict under
+    ``version``'s codec."""
+    if version >= 2:
+        return _decode_message_v2(payload)
     try:
         obj = json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, ValueError) as exc:
@@ -87,6 +118,238 @@ def decode_payload(payload):
     return obj
 
 
+# -- the v2 binary codec ------------------------------------------------------
+
+_V2_REQUEST = 0x01
+_V2_OK = 0x02
+_V2_ERROR = 0x03
+
+#: request op names packed to one byte; part of the wire spec (see
+#: api/README.md) — codes are append-only, never reused
+OP_CODES = {
+    "hello": 0, "open": 1, "submit": 2, "submit_xquery": 3,
+    "flush": 4, "flush_all": 5, "discard": 6, "text": 7, "stats": 8,
+    "docs": 9, "snapshot": 10, "query": 11,
+    "replicate-subscribe": 12, "wal-segment": 13,
+    "snapshot-transfer": 14, "promote": 15,
+}
+OP_NAMES = {code: name for name, code in OP_CODES.items()}
+
+#: op-code escape: the op travels as a string value (future ops an
+#: older table does not know keep working)
+_OP_NAMED = 0xFF
+
+_T_NONE = 0x00
+_T_FALSE = 0x01
+_T_TRUE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_LIST = 0x06
+_T_DICT = 0x07
+_T_BIGINT = 0x08
+
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+_U32 = struct.Struct(">I")
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+
+def _encode_value(value, out):
+    """Append one type-tagged binary term to ``out`` (a bytearray)."""
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif isinstance(value, int):
+        if _I64_MIN <= value <= _I64_MAX:
+            out.append(_T_INT)
+            out += _I64.pack(value)
+        else:
+            # JSON integers are unbounded; the escape keeps parity
+            text = str(value).encode("ascii")
+            out.append(_T_BIGINT)
+            out += _U32.pack(len(text))
+            out += text
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(_T_STR)
+        out += _U32.pack(len(data))
+        out += data
+    elif isinstance(value, (list, tuple)):
+        out.append(_T_LIST)
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_value(item, out)
+    elif isinstance(value, dict):
+        out.append(_T_DICT)
+        out += _U32.pack(len(value))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ProtocolError(
+                    "map keys must be strings, got {!r}".format(key))
+            data = key.encode("utf-8")
+            out += _U32.pack(len(data))
+            out += data
+            _encode_value(item, out)
+    else:
+        raise ProtocolError(
+            "value of type {} is not wire-encodable".format(
+                type(value).__name__))
+    return out
+
+
+def _decode_value(data, offset):
+    """Decode one term at ``offset``; returns ``(value, next offset)``."""
+    try:
+        tag = data[offset]
+        offset += 1
+        if tag == _T_NONE:
+            return None, offset
+        if tag == _T_TRUE:
+            return True, offset
+        if tag == _T_FALSE:
+            return False, offset
+        if tag == _T_INT:
+            return _I64.unpack_from(data, offset)[0], offset + 8
+        if tag == _T_FLOAT:
+            return _F64.unpack_from(data, offset)[0], offset + 8
+        if tag == _T_STR or tag == _T_BIGINT:
+            (length,) = _U32.unpack_from(data, offset)
+            offset += 4
+            end = offset + length
+            if end > len(data):
+                raise ProtocolError("truncated string term")
+            text = bytes(data[offset:end]).decode("utf-8")
+            return (int(text) if tag == _T_BIGINT else text), end
+        if tag == _T_LIST:
+            (count,) = _U32.unpack_from(data, offset)
+            offset += 4
+            if count > len(data) - offset:
+                raise ProtocolError("list count exceeds the payload")
+            items = []
+            for __ in range(count):
+                item, offset = _decode_value(data, offset)
+                items.append(item)
+            return items, offset
+        if tag == _T_DICT:
+            (count,) = _U32.unpack_from(data, offset)
+            offset += 4
+            if count > len(data) - offset:
+                raise ProtocolError("map count exceeds the payload")
+            mapping = {}
+            for __ in range(count):
+                (length,) = _U32.unpack_from(data, offset)
+                offset += 4
+                end = offset + length
+                if end > len(data):
+                    raise ProtocolError("truncated map key")
+                key = bytes(data[offset:end]).decode("utf-8")
+                mapping[key], offset = _decode_value(data, end)
+            return mapping, offset
+    except (IndexError, struct.error, UnicodeDecodeError,
+            ValueError) as exc:
+        raise ProtocolError(
+            "malformed binary term: {}".format(exc)) from exc
+    raise ProtocolError("unknown binary type tag 0x{:02x}".format(tag))
+
+
+def _encode_message_v2(message):
+    """A message dict (the v1 JSON shape) as a v2 binary payload."""
+    out = bytearray()
+    if "op" in message:
+        out.append(_V2_REQUEST)
+        _encode_value(message.get("id"), out)
+        code = OP_CODES.get(message["op"])
+        if code is None:
+            out.append(_OP_NAMED)
+            _encode_value(message["op"], out)
+        else:
+            out.append(code)
+        _encode_value(message.get("args", {}), out)
+    elif "ok" in message:
+        if message["ok"]:
+            out.append(_V2_OK)
+            _encode_value(message.get("id"), out)
+            _encode_value(message.get("result"), out)
+        else:
+            out.append(_V2_ERROR)
+            _encode_value(message.get("id"), out)
+            _encode_value(message.get("error") or {}, out)
+    else:
+        raise ProtocolError(
+            "message is neither a request nor a response: {!r}".format(
+                message))
+    return out
+
+
+def _decode_message_v2(payload):
+    """A v2 binary payload back into the v1-shaped message dict, so
+    everything above the codec stays version-blind."""
+    if not payload:
+        raise ProtocolError("empty binary frame")
+    kind = payload[0]
+    if kind == _V2_REQUEST:
+        request_id, offset = _decode_value(payload, 1)
+        try:
+            op_code = payload[offset]
+        except IndexError:
+            raise ProtocolError("request frame ends before its op") \
+                from None
+        offset += 1
+        if op_code == _OP_NAMED:
+            op, offset = _decode_value(payload, offset)
+            if not isinstance(op, str):
+                raise ProtocolError(
+                    "escaped op must be a string, got {!r}".format(op))
+        else:
+            op = OP_NAMES.get(op_code)
+            if op is None:
+                raise ProtocolError(
+                    "unknown op code 0x{:02x}".format(op_code))
+        args, offset = _decode_value(payload, offset)
+        if not isinstance(args, dict):
+            raise ProtocolError("request args must be a map")
+        _expect_end(payload, offset)
+        message = {"id": request_id, "op": op}
+        if args:
+            message["args"] = args
+        return message
+    if kind == _V2_OK:
+        request_id, offset = _decode_value(payload, 1)
+        result, offset = _decode_value(payload, offset)
+        _expect_end(payload, offset)
+        return {"id": request_id, "ok": True, "result": result}
+    if kind == _V2_ERROR:
+        request_id, offset = _decode_value(payload, 1)
+        error, offset = _decode_value(payload, offset)
+        _expect_end(payload, offset)
+        if not isinstance(error, dict):
+            error = {"message": str(error)}
+        return {"id": request_id, "ok": False, "error": error}
+    raise ProtocolError(
+        "unknown binary frame kind 0x{:02x}".format(kind))
+
+
+def _expect_end(payload, offset):
+    if offset != len(payload):
+        raise ProtocolError(
+            "{} trailing byte(s) after the message".format(
+                len(payload) - offset))
+
+
+#: buffered-prefix size that triggers compaction in the decoder; below
+#: it the consumed prefix is just cursor-skipped
+_COMPACT_THRESHOLD = 64 * 1024
+
+
 class FrameDecoder:
     """Incremental frame decoder for a byte stream.
 
@@ -95,42 +358,67 @@ class FrameDecoder:
     (length 0..1 or beyond :data:`MAX_FRAME`) raises
     :class:`ProtocolError` immediately — the stream has lost framing
     and cannot be resynchronized, so the connection must be dropped.
+
+    The decoder starts in v1 (JSON); after the hello negotiation the
+    connection switches it with :meth:`use_version` and every later
+    frame decodes under the agreed codec.
+
+    Consumed frames advance a cursor instead of deleting the buffer
+    prefix per frame — ``del buffer[:end]`` is O(buffer) *each*, which
+    goes quadratic when one chunk carries many small frames (the
+    pipelining hot path). The prefix is dropped once per feed, and only
+    compacted mid-stream once it exceeds a threshold.
     """
 
-    __slots__ = ("_buffer",)
+    __slots__ = ("_buffer", "_offset", "version")
 
-    def __init__(self):
+    def __init__(self, version=1):
         self._buffer = bytearray()
+        self._offset = 0
+        self.version = version
+
+    def use_version(self, version):
+        """Switch the payload codec (after a completed negotiation)."""
+        self.version = version
 
     def feed(self, data):
         """Consume ``data``; returns the list of decoded objects."""
-        self._buffer.extend(data)
+        buffer = self._buffer
+        buffer.extend(data)
         frames = []
+        total = len(buffer)
+        offset = self._offset
         while True:
-            if len(self._buffer) < HEADER_SIZE:
+            if total - offset < HEADER_SIZE:
                 break
-            (length,) = _LENGTH.unpack_from(self._buffer)
+            (length,) = _LENGTH.unpack_from(buffer, offset)
             if length < 2 or length > MAX_FRAME:
                 raise ProtocolError(
                     "invalid frame length {} (bounds 2..{})".format(
                         length, MAX_FRAME))
-            end = HEADER_SIZE + length
-            if len(self._buffer) < end:
+            end = offset + HEADER_SIZE + length
+            if total < end:
                 break
-            payload = bytes(self._buffer[HEADER_SIZE:end])
-            del self._buffer[:end]
-            frames.append(decode_payload(payload))
+            payload = bytes(buffer[offset + HEADER_SIZE:end])
+            offset = self._offset = end
+            frames.append(decode_payload(payload, self.version))
+        if offset == total:
+            del buffer[:]
+            self._offset = 0
+        elif offset >= _COMPACT_THRESHOLD:
+            del buffer[:offset]
+            self._offset = 0
         return frames
 
     @property
     def pending_bytes(self):
         """Bytes buffered toward the next (incomplete) frame."""
-        return len(self._buffer)
+        return len(self._buffer) - self._offset
 
     def at_boundary(self):
         """True when the stream ended exactly between frames (EOF here
         is a clean close; mid-frame EOF is a torn trailing frame)."""
-        return not self._buffer
+        return not self.pending_bytes
 
 
 # -- request / response shapes -----------------------------------------------

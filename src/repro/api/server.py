@@ -303,37 +303,103 @@ class StoreServer:
 
     # -- request execution ---------------------------------------------------
 
+    def _plan(self, session, op, args):
+        """Validate one parsed request; returns ``(executor, thunk)``
+        where the thunk is the blocking store call."""
+        spec = self.DISPATCH.get(op)
+        if spec is None:
+            raise ProtocolError("unknown op {!r}".format(op))
+        method_name, required, optional = spec
+        unknown = set(args) - set(required) - set(optional)
+        if unknown:
+            raise ProtocolError("op {!r} does not take {}".format(
+                op, ", ".join(sorted(unknown))))
+        missing = [name for name in required if name not in args]
+        if missing:
+            raise ProtocolError("op {!r} needs {}".format(
+                op, ", ".join(missing)))
+        call_args = {name: value for name, value in args.items()
+                     if isinstance(name, str)}
+        if op in ("submit", "submit_xquery"):
+            call_args.setdefault("client", session.client)
+        method = getattr(self.dispatcher, method_name)
+        executor = (self._poll_executor if op == "wal-segment"
+                    else self._executor)
+        return executor, functools.partial(method, **call_args)
+
     async def _execute(self, session, request_id, op, args):
         """Run one parsed request; always returns a response object."""
         try:
-            spec = self.DISPATCH.get(op)
-            if spec is None:
-                raise ProtocolError("unknown op {!r}".format(op))
-            method_name, required, optional = spec
-            unknown = set(args) - set(required) - set(optional)
-            if unknown:
-                raise ProtocolError("op {!r} does not take {}".format(
-                    op, ", ".join(sorted(unknown))))
-            missing = [name for name in required if name not in args]
-            if missing:
-                raise ProtocolError("op {!r} needs {}".format(
-                    op, ", ".join(missing)))
-            call_args = {name: value for name, value in args.items()
-                         if isinstance(name, str)}
-            if op in ("submit", "submit_xquery"):
-                call_args.setdefault("client", session.client)
-            method = getattr(self.dispatcher, method_name)
-            loop = asyncio.get_running_loop()
-            executor = (self._poll_executor if op == "wal-segment"
-                        else self._executor)
-            result = await loop.run_in_executor(
-                executor, functools.partial(method, **call_args))
+            executor, thunk = self._plan(session, op, args)
+            result = await asyncio.get_running_loop().run_in_executor(
+                executor, thunk)
         except Exception as error:
             # ReproError subclasses ship their stable code; anything
             # else (a TypeError from garbage argument types, ...) is
             # still a response, never a dead connection
             return protocol.error_response(request_id, error)
         return protocol.ok_response(request_id, result)
+
+    async def _execute_many(self, session, messages):
+        """Execute a contiguous pipelined run; responses in request
+        order.
+
+        The head-of-line cost of the naive loop is the per-request
+        event-loop <-> worker-thread handoff: depth-8 pipelining paid
+        8 executor round trips plus 8 drains. Here consecutive
+        shared-executor commands run in ONE executor hop (sequentially
+        in the worker, preserving per-connection order) — only
+        long-poll ops (``wal-segment``, which parks its thread) and
+        planning failures break the run.
+        """
+        loop = asyncio.get_running_loop()
+        responses = []
+        run = []   # (request_id, thunk) pending for the shared hop
+
+        async def flush_run():
+            if not run:
+                return
+            batch = run[:]
+            del run[:]
+
+            def execute_all():
+                out = []
+                for request_id, thunk in batch:
+                    try:
+                        out.append(protocol.ok_response(request_id,
+                                                        thunk()))
+                    except Exception as error:
+                        out.append(protocol.error_response(request_id,
+                                                           error))
+                return out
+
+            responses.extend(await loop.run_in_executor(
+                self._executor, execute_all))
+
+        for message in messages:
+            request_id = message.get("id")
+            try:
+                request_id, op, args = protocol.parse_request(message)
+                executor, thunk = self._plan(session, op, args)
+            except Exception as error:
+                await flush_run()
+                responses.append(protocol.error_response(request_id,
+                                                         error))
+                continue
+            if executor is self._executor:
+                run.append((request_id, thunk))
+                continue
+            await flush_run()
+            try:
+                result = await loop.run_in_executor(executor, thunk)
+            except Exception as error:
+                responses.append(protocol.error_response(request_id,
+                                                         error))
+            else:
+                responses.append(protocol.ok_response(request_id,
+                                                      result))
+        await flush_run()
+        return responses
 
     async def _handle_connection(self, reader, writer):
         connection = _Connection(self, reader, writer)
@@ -358,6 +424,7 @@ class _Connection:
         self.decoder = protocol.FrameDecoder()
         self.queue = asyncio.Queue(maxsize=server.max_pipeline)
         self.session = None
+        self._codec_version = 1
         self._frames = []
         self._reader_task = None
         self._worker_task = None
@@ -427,10 +494,15 @@ class _Connection:
             return False
         self.session = _Session(
             client or self.server._next_session_name(), version)
-        await self._send(protocol.ok_response(request_id, {
+        # the hello response itself always travels as v1 JSON (the
+        # client cannot know the outcome before reading it); both
+        # sides switch codecs right after this frame
+        sent = await self._send(protocol.ok_response(request_id, {
             "version": version, "server": "repro-store",
             "client": self.session.client}))
-        return True
+        self._codec_version = version
+        self.decoder.use_version(version)
+        return sent
 
     # -- reader / worker -----------------------------------------------------
 
@@ -450,7 +522,14 @@ class _Connection:
             await self.queue.put(message)
 
     async def _work(self):
-        """Execute queued requests in order; the only writer."""
+        """Execute queued requests in order; the only writer.
+
+        Pipelined requests already sitting in the queue are drained
+        into one batch, executed in a single worker hop
+        (:meth:`StoreServer._execute_many`) and answered with one
+        write + drain — the per-request handoff and flush latency is
+        what capped the pipelining speedup (see api/README.md).
+        """
         while True:
             item = await self.queue.get()
             if item is _EOF:
@@ -458,15 +537,25 @@ class _Connection:
             if isinstance(item, _ReaderFailure):
                 await self._send(item.response)
                 return
-            try:
-                request_id, op, args = protocol.parse_request(item)
-            except ProtocolError as error:
-                await self._send(protocol.error_response(
-                    item.get("id"), error))
-                continue
-            response = await self.server._execute(
-                self.session, request_id, op, args)
-            if not await self._send(response):
+            batch = [item]
+            tail = None
+            while tail is None:
+                try:
+                    item = self.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if item is _EOF or isinstance(item, _ReaderFailure):
+                    tail = item
+                else:
+                    batch.append(item)
+            responses = await self.server._execute_many(
+                self.session, batch)
+            if not await self._send_many(responses):
+                return
+            if tail is _EOF:
+                return
+            if tail is not None:
+                await self._send(tail.response)
                 return
 
     async def _next_frame(self):
@@ -492,20 +581,32 @@ class _Connection:
                 return None
             self._frames.extend(self.decoder.feed(data))
 
-    async def _send(self, message):
+    async def _send(self, message, drain=True):
         """Write one frame; ``False`` when the peer is gone."""
         try:
-            frame = protocol.encode_frame(message)
+            frame = protocol.encode_frame(message, self._codec_version)
         except ProtocolError as error:
             # a result too large to frame (e.g. `text` of a >MAX_FRAME
             # document) must degrade to an error response, not kill the
             # connection with an unhandled exception
             if message.get("ok"):
                 return await self._send(protocol.error_response(
-                    message.get("id"), error))
+                    message.get("id"), error), drain=drain)
             return False
         try:
             self.writer.write(frame)
+            if drain:
+                await self.writer.drain()
+        except (ConnectionError, OSError):
+            return False
+        return True
+
+    async def _send_many(self, responses):
+        """Write a batch of frames with one flush at the end."""
+        for response in responses:
+            if not await self._send(response, drain=False):
+                return False
+        try:
             await self.writer.drain()
         except (ConnectionError, OSError):
             return False

@@ -1,0 +1,234 @@
+"""In-place batch application with incremental label maintenance.
+
+The store's original hot path rebuilt the whole resident document per
+batch: the streaming evaluator walked every node into an event stream,
+transformed it, and materialized a fresh tree — O(document) work with
+large constants for batches that touch a handful of subtrees. This module
+applies the reduced batch PUL *to the resident tree itself* (the
+:func:`~repro.pul.semantics.apply_pul` semantics, which the differential
+suite proves byte- and id-identical to the streaming path) and then
+repairs the containment labeling only around the touched sites:
+
+* labels of removed subtrees are forgotten (their ids stay burned);
+* runs of freshly inserted siblings receive codes generated strictly
+  between the surviving neighbor codes
+  (:meth:`~repro.labeling.scheme.ContainmentLabeling.assign_run` — the
+  update-tolerance property is preserved: existing codes are never
+  rewritten);
+* sibling pointers are re-derived for exactly the parents whose child
+  lists changed.
+
+Atomicity is the delicate part. The streaming path was atomic by
+construction (the old tree survived a failed batch untouched); in-place
+application mutates the published tree, and two XQUF dynamic checks fire
+*after* mutation (duplicate-attribute detection and the id-index
+rebuild). The applier therefore journals an undo snapshot of every node
+an operation can touch — each target and its parent, a set linear in the
+batch, not the document — and restores structure, parent pointers and the
+root on any failure before re-raising, so the "no partial state is ever
+published" contract of :meth:`DocumentStore.flush` holds unchanged.
+
+Structural edits the per-site repair cannot localize (replacing or
+deleting the document root) fall back to a whole-tree
+:meth:`~repro.labeling.scheme.ContainmentLabeling.sync`, which is always
+valid, just not O(touched).
+"""
+
+from __future__ import annotations
+
+from repro.errors import DocumentError
+from repro.pul.ops import (
+    Delete,
+    InsertAfter,
+    InsertAttributes,
+    InsertBefore,
+    InsertInto,
+    InsertIntoAsFirst,
+    InsertIntoAsLast,
+    Rename,
+    ReplaceChildren,
+    ReplaceNode,
+    ReplaceValue,
+)
+from repro.pul.semantics import apply_pul
+
+#: operations whose label repair anchors at the *target* element
+_TARGET_SITE_OPS = (InsertInto.op_name, InsertIntoAsFirst.op_name,
+                    InsertIntoAsLast.op_name, ReplaceChildren.op_name,
+                    InsertAttributes.op_name)
+
+#: operations whose label repair anchors at the target's *parent*
+_PARENT_SITE_OPS = (InsertBefore.op_name, InsertAfter.op_name,
+                    ReplaceNode.op_name, Delete.op_name)
+
+#: operations that remove the target's subtree from the document
+_REMOVING_OPS = (Delete.op_name, ReplaceNode.op_name)
+
+
+class _Snapshot:
+    """Undo record of one node's mutable state."""
+
+    __slots__ = ("node", "name", "value", "children", "attributes",
+                 "parent")
+
+    def __init__(self, node):
+        self.node = node
+        self.name = node.name
+        self.value = node.value
+        self.children = list(node.children)
+        self.attributes = list(node.attributes)
+        self.parent = node.parent
+
+    def restore(self):
+        node = self.node
+        node.name = self.name
+        node.value = self.value
+        node.children[:] = self.children
+        for child in node.children:
+            child.parent = node
+        node.attributes[:] = self.attributes
+        for attr in node.attributes:
+            attr.parent = node
+        node.parent = self.parent
+
+
+def apply_batch_in_place(document, labeling, pul, preserve_ids=True):
+    """Make ``pul`` effective on ``document`` in place, maintaining
+    ``labeling`` incrementally.
+
+    Returns ``"incremental"`` when the labeling was repaired per-site, or
+    ``"sync"`` when a root-level structural change forced a whole-tree
+    sync. On any application failure the document is restored to its
+    pre-call structure (and the labeling is untouched) before the
+    exception propagates.
+    """
+    snapshots = {}
+    site_ids = []
+    seen_sites = set()
+    removed_ids = []
+    needs_sync = False
+    root = document.root
+    for op in pul:
+        target = document.find(op.target)
+        if target is None:
+            # apply_pul resolves every target before mutating anything,
+            # so the miss raises there with the tree still untouched
+            continue
+        if id(target) not in snapshots:
+            snapshots[id(target)] = _Snapshot(target)
+        parent = target.parent
+        if parent is not None and id(parent) not in snapshots:
+            snapshots[id(parent)] = _Snapshot(parent)
+        kind = op.op_name
+        if kind in _TARGET_SITE_OPS:
+            if target.node_id not in seen_sites:
+                seen_sites.add(target.node_id)
+                site_ids.append(target.node_id)
+        elif kind in _PARENT_SITE_OPS:
+            if parent is None:
+                needs_sync = True  # root replaced/deleted/flanked
+            elif parent.node_id not in seen_sites:
+                seen_sites.add(parent.node_id)
+                site_ids.append(parent.node_id)
+        if kind in _REMOVING_OPS:
+            removed_ids.extend(n.node_id for n in target.iter_subtree())
+        elif kind == ReplaceChildren.op_name:
+            for child in target.children:
+                removed_ids.extend(n.node_id
+                                   for n in child.iter_subtree())
+    try:
+        apply_pul(document, pul, check=False, preserve_ids=preserve_ids,
+                  reindex=False)
+        if needs_sync or document.root is not root:
+            # root-level structural change: localized repair has no
+            # labeled anchor, re-derive index and labels wholesale
+            document.rebuild_index()
+            labeling.sync(document)
+            return "sync"
+        document.forget_ids(removed_ids)
+        for node_id in removed_ids:
+            labeling.forget(node_id)
+        runs = []
+        repoint = []
+        for site_id in site_ids:
+            site = document.find(site_id)
+            if site is None:
+                continue  # the site itself was removed by a sibling op
+            site_label = labeling.find(site_id)
+            if site_label is None:
+                # no labeled anchor (the site was created by this very
+                # batch — shouldn't survive reduction, but a wholesale
+                # repair is always correct)
+                document.rebuild_index()
+                labeling.sync(document)
+                return "sync"
+            _collect_runs(labeling, site, site_label, runs)
+            repoint.append(site)
+        # fresh identifiers must come out in document order across every
+        # insertion site — exactly what a whole-document rebuild_index
+        # would assign. Runs occupy disjoint code gaps and start-code
+        # order is document order, so sorting by each run's left bound
+        # reproduces the rebuild's scan order; within a run, tree order.
+        runs.sort(key=lambda entry: entry[0])
+        # duplicate detection first, exactly like rebuild_index: a clash
+        # must raise before any fresh id is burned, or a failed batch
+        # would advance the allocator and diverge later assignments
+        seen = set()
+        highest = -1
+        for __, __, __, run in runs:
+            for tree in run:
+                for node in tree.iter_subtree():
+                    node_id = node.node_id
+                    if node_id is None:
+                        continue
+                    if node_id in document or node_id in seen:
+                        raise DocumentError(
+                            "duplicate node id: {}".format(node_id))
+                    seen.add(node_id)
+                    if node_id > highest:
+                        highest = node_id
+        document.allocator.reserve_at_least(highest + 1)
+        for __, __, __, run in runs:
+            for tree in run:
+                document.register_tree(tree)
+    except Exception:
+        for snapshot in snapshots.values():
+            snapshot.restore()
+        document.root = root
+        # the failure may have left the id index mid-maintenance;
+        # re-derive it from the restored tree (every node keeps its
+        # original id, so no fresh identifiers are burned)
+        document.rebuild_index()
+        raise
+    try:
+        for left, right, site_label, run in runs:
+            labeling.assign_run(site_label, run, left, right)
+        for site in repoint:
+            labeling.repoint_children(site)
+    except Exception:
+        # the batch is committed (tree and index maintained); a label
+        # repair that cannot be localized is finished wholesale instead
+        # of unwinding a successfully applied batch
+        labeling.sync(document)
+        return "sync"
+    return "incremental"
+
+
+def _collect_runs(labeling, site, site_label, runs):
+    """Append ``site``'s unlabeled runs to ``runs`` as ``(left_code,
+    right_code, site_label, nodes)`` — consecutive label-less attributes
+    and children, bounded by the neighboring existing codes."""
+    run = []
+    left = site_label.start
+    for item in list(site.attributes) + list(site.children):
+        label = (labeling.find(item.node_id)
+                 if item.node_id is not None else None)
+        if label is None:
+            run.append(item)
+            continue
+        if run:
+            runs.append((left, label.start, site_label, run))
+            run = []
+        left = label.end
+    if run:
+        runs.append((left, site_label.end, site_label, run))

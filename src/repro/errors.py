@@ -205,6 +205,17 @@ class RecoveryError(DurabilityError):
     code = "recovery"
 
 
+class RemoteOSError(ReproError):
+    """Client-side reconstruction of an operating-system failure the
+    server hit while executing a command (``OSError`` — disk full,
+    permission denied, ...). The server wraps raw ``OSError`` under the
+    stable code ``"os"``; registering a class for it means the code
+    round-trips to a dedicated type instead of degrading to the base
+    :class:`ReproError`."""
+
+    code = "os"
+
+
 class ProtocolError(ReproError):
     """Raised on wire-protocol violations (:mod:`repro.api.protocol`):
     malformed or oversized frames, non-JSON payloads, requests missing

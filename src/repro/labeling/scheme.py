@@ -12,7 +12,7 @@ which is the update-tolerance property the paper requires (Section 4.1:
 from __future__ import annotations
 
 from repro.errors import LabelingError
-from repro.labeling.codes import CDBSEncoder
+from repro.labeling.codes import CDBSEncoder, code_str, intern_code
 from repro.labeling.containment import ExtendedLabel
 from repro.xdm.navigation import depth as node_depth
 
@@ -245,6 +245,74 @@ class ContainmentLabeling:
     def forget(self, node_id):
         """Forget one node's label (streaming evaluator: removed nodes)."""
         self._labels.pop(node_id, None)
+
+    # -- per-site maintenance (used by the in-place batch applier) ----------
+
+    def assign_run(self, parent_label, nodes, left_code, right_code):
+        """Label a run of freshly inserted *attached* subtrees.
+
+        ``nodes`` are consecutive unlabeled attributes and/or children of
+        the element labeled ``parent_label``, already attached and with
+        node ids assigned; their subtree boundaries receive codes strictly
+        between ``left_code`` and ``right_code`` (both codes of existing
+        neighbors inside the parent's interval, so containment holds by
+        construction). This is the per-site counterpart of a whole-tree
+        :meth:`sync` — the in-place applier calls it once per insertion
+        site. Code generation runs on the interned representation and
+        renders strings once at install time. Sibling pointers are *not*
+        touched; callers finish the site with :meth:`repoint_children`.
+        """
+        slots = []
+        base_level = parent_label.level + 1
+        for node in nodes:
+            _leveled_slots(node, base_level, slots)
+        codes = self.encoder.codes_between_interned(
+            intern_code(left_code), intern_code(right_code), len(slots))
+        labels = self._labels
+        open_code = {}
+        for index, (node, which, level) in enumerate(slots):
+            if which == 0:
+                open_code[id(node)] = codes[index]
+            else:
+                start = code_str(open_code.pop(id(node)))
+                end = code_str(codes[index])
+                labels[node.node_id] = ExtendedLabel(
+                    node_id=node.node_id,
+                    node_type=node.node_type,
+                    start=start,
+                    end=end,
+                    level=level,
+                    parent_id=(node.parent.node_id
+                               if node.parent is not None else None),
+                )
+                self._track(start, end)
+        if open_code:
+            raise LabelingError("unbalanced boundary sequence")
+
+    def repoint_children(self, parent):
+        """Recompute the sibling pointers of ``parent``'s direct children
+        (one element's worth of :meth:`_refresh_pointers`, for sites whose
+        child list an in-place batch changed)."""
+        previous = None
+        for child in parent.children:
+            self._set_pointers(child, previous)
+            previous = child
+        if previous is not None:
+            self._point(previous, right_sibling_id=None)
+
+
+def _leveled_slots(root, base_level, slots):
+    """Append ``root``'s boundary slots as ``(node, which, level)`` triples
+    (document order, attribute boundaries right after the owner's start).
+    ``base_level`` is the absolute level of ``root`` itself."""
+    slots.append((root, 0, base_level))
+    if root.is_element:
+        for attr in root.attributes:
+            slots.append((attr, 0, base_level + 1))
+            slots.append((attr, 1, base_level + 1))
+        for child in root.children:
+            _leveled_slots(child, base_level + 1, slots)
+    slots.append((root, 1, base_level))
 
 
 def _boundary_slots(root):

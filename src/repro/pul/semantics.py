@@ -190,7 +190,8 @@ def _check_attribute_uniqueness(elements, root):
                     element.node_id, sorted(names)))
 
 
-def apply_pul(document, pul, check=True, preserve_ids=False):
+def apply_pul(document, pul, check=True, preserve_ids=False,
+              reindex=True):
     """Apply ``pul`` to ``document`` in place, deterministically.
 
     ``ins↓`` inserts as first (the stage-10 deterministic choice of
@@ -199,6 +200,10 @@ def apply_pul(document, pul, check=True, preserve_ids=False):
     :meth:`~repro.xdm.document.Document.rebuild_index`), unless
     ``preserve_ids`` keeps identifiers already present in the parameter
     trees (the producer-assigned ids of the aggregation scenario).
+    ``reindex=False`` skips the index rebuild entirely — the caller takes
+    over id assignment and index maintenance (the in-place batch applier
+    does it incrementally, reproducing the same document-order fresh-id
+    assignment).
     """
     if check:
         pul.require_applicable(document)
@@ -212,7 +217,8 @@ def apply_pul(document, pul, check=True, preserve_ids=False):
                           preserve_ids=preserve_ids)
     document.root = scope.roots[0] if scope.roots else None
     _check_attribute_uniqueness(checked, document.root)
-    document.rebuild_index()
+    if reindex:
+        document.rebuild_index()
     return document
 
 

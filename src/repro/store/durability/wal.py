@@ -206,11 +206,23 @@ class WalWriter:
             _fsync_directory(os.path.dirname(path) or ".")
         self._unsynced = 0
         self.appended = 0
-        self._synced_size = os.path.getsize(path)
+        self._size = os.path.getsize(path)
+        self._synced_size = self._size
+        #: bumped whenever *complete* unsynced records are destroyed by
+        #: a failed-fsync rollback; :attr:`rollback_targets` records the
+        #: synced horizon each rollback truncated to. A group-commit
+        #: waiter that appended at epoch ``e`` consults the target of
+        #: bump ``e`` (the first one after its append): a record behind
+        #: that horizon was durable then and stays durable forever (the
+        #: horizon is monotone and truncation never cuts below it); one
+        #: past it was destroyed — even if other records later re-fill
+        #: its byte range and push the horizon past its old end offset
+        self.rollback_epoch = 0
+        self.rollback_targets = []
         self._broken = False
 
     def append(self, payload, sync=True):
-        """Write one record; returns the framed size in bytes."""
+        """Write one record; returns its end offset in the segment."""
         if self._file is None:
             raise WalPoisonedError(
                 "append on a closed log writer ({})".format(self.path))
@@ -226,25 +238,37 @@ class WalWriter:
             while view:
                 view = view[self._file.write(view):]
         except OSError as exc:
-            self._rollback(exc)
+            # a torn append is cut back to the end of the last
+            # *complete* record — which, under group commit, may lie
+            # past the synced horizon: earlier appended-but-unsynced
+            # records belong to other waiters and must survive
+            self._repair(self._size, exc, "log append failed")
+        self._size += len(record)
         self._unsynced += 1
         self.appended += 1
         if sync:
             self.sync()
-        return len(record)
+        return self._size
 
     def sync(self):
         """``fsync`` the file (one syscall for every append since the
         previous sync)."""
         if self._file is None or self._broken or not self._unsynced:
             return
+        target = self._size
         try:
             if self.fsync:
                 os.fsync(self._file.fileno())
         except OSError as exc:
-            self._rollback(exc)
+            # complete-but-unsynced records are destroyed with the torn
+            # state: no reader was ever allowed past the synced horizon,
+            # and waiters for those records observe the epoch bump
+            self.rollback_targets.append(self._synced_size)
+            self.rollback_epoch += 1
+            self._unsynced = 0
+            self._repair(self._synced_size, exc, "log fsync failed")
         self._unsynced = 0
-        self._synced_size = self._file.tell()
+        self._synced_size = target
 
     @property
     def synced_size(self):
@@ -257,31 +281,41 @@ class WalWriter:
         """
         return self._synced_size
 
-    def _rollback(self, exc):
-        """Drop whatever torn bytes a failed write or fsync left.
+    @property
+    def size(self):
+        """Byte offset of the last *complete* record's end (the tail a
+        failed append rolls back to)."""
+        return self._size
 
-        The segment is cut back to the last synced offset so the
-        writer keeps producing valid frames after a transient failure
-        (disk-full, interrupted fsync) — without the repair, the next
-        successful append would frame a record *behind* the torn bytes
-        and recovery's prefix scan would silently truncate it away.
-        When the repair itself fails the writer poisons itself instead
-        of ever appending again.
+    @property
+    def closed(self):
+        return self._file is None
+
+    def _repair(self, target, exc, what):
+        """Cut the segment back to ``target``, dropping torn bytes.
+
+        A failed write truncates to the last complete record; a failed
+        fsync truncates to the last synced record (the caller bumps the
+        epoch for the complete records that cut destroys). Without the
+        repair, the next successful append would frame a record
+        *behind* the torn bytes and recovery's prefix scan would
+        silently truncate it away. When the repair itself fails the
+        writer poisons itself instead of ever appending again.
         """
         try:
-            self._file.truncate(self._synced_size)
+            self._file.truncate(target)
             if self.fsync:
                 os.fsync(self._file.fileno())
         except OSError as repair_error:
             self._broken = True
             raise WalPoisonedError(
-                "log append failed for {} and the segment could not be "
-                "rolled back to its last synced record: {} (writer "
-                "poisoned)".format(self.path, repair_error)) from exc
-        self._unsynced = 0
+                "{} for {} and the segment could not be rolled back to "
+                "a record boundary: {} (writer poisoned)".format(
+                    what, self.path, repair_error)) from exc
+        self._size = target
         raise DurabilityError(
-            "log append failed for {}: {} (segment rolled back to its "
-            "last synced record)".format(self.path, exc)) from exc
+            "{} for {}: {} (segment rolled back to offset {})".format(
+                what, self.path, exc, target)) from exc
 
     def close(self):
         if self._file is None:

@@ -37,8 +37,7 @@ from __future__ import annotations
 import threading
 
 from repro.aggregation import aggregate
-from repro.apply.events import document_events, events_to_document
-from repro.apply.streaming import apply_streaming
+from repro.apply.inplace import apply_batch_in_place
 from repro.distributed.messages import ShardEnvelope
 from repro.errors import (
     ClusterError,
@@ -192,12 +191,22 @@ class DocumentStore:
         snapshot, then the logged batch tail replayed through the
         incremental-relabel machinery (a torn final record is dropped);
         the :class:`RecoveryReport` is left on :attr:`recovery`.
+        Concurrent flushes *group-commit*: each batch record is
+        buffered under the log lock and one leader fsync makes a whole
+        train of them durable together, so N documents flushing at
+        once pay ~1 fsync instead of N — no flush ever returns before
+        its own record is behind the synced horizon.
+    group_window:
+        extra seconds a group-commit leader waits before the shared
+        fsync so more concurrent flushes can board its train (0 — the
+        default — fsyncs immediately; trains still form naturally
+        while a previous fsync is in flight).
     """
 
     def __init__(self, workers=2, backend="thread",
                  max_code_length=DEFAULT_MAX_CODE_LENGTH,
                  on_conflict="error", policies=None,
-                 durability=None, wal_dir=None):
+                 durability=None, wal_dir=None, group_window=0.0):
         if on_conflict not in ("error", "reconcile"):
             raise ReproError(
                 "on_conflict must be 'error' or 'reconcile', got {!r}"
@@ -234,7 +243,8 @@ class DocumentStore:
                 raise ReproError(
                     "durability policy {!r} needs a wal_dir".format(
                         durability))
-            self._durability = DurabilityManager(wal_dir, durability)
+            self._durability = DurabilityManager(wal_dir, durability,
+                                                 group_window=group_window)
         self._reducer = ParallelReducer(workers=workers, backend=backend)
         if self._durability is not None:
             try:
@@ -506,12 +516,13 @@ class DocumentStore:
         """Make one coalesced ``batch`` effective on ``entry``.
 
         Shared by the live flush path and WAL replay: both shard the
-        batch, reduce, merge, apply through the streaming evaluator with
-        incremental label maintenance and run the headroom rule — so a
-        replayed batch reproduces the original flush exactly. On the
-        live path the batch is appended to the write-ahead log (and
-        fsynced) *before* application; a batch whose application then
-        fails is skipped identically at replay time.
+        batch, reduce, merge, apply in place with per-site incremental
+        label maintenance (:func:`apply_batch_in_place`) and run the
+        headroom rule — so a replayed batch reproduces the original
+        flush exactly. On the live path the batch is appended to the
+        write-ahead log (and made durable) *before* application; a batch
+        whose application then fails restores the tree untouched and is
+        skipped identically at replay time.
         """
         if self._durability is not None and not self._replaying:
             self._durability.log_batch(entry.doc_id, entry.version + 1,
@@ -520,15 +531,11 @@ class DocumentStore:
         shards = shard_pul(batch, num_shards or self.workers)
         outcome = self._reducer.reduce_shards(shards)
         reduced = merge_shards(outcome.reduced)
-        document = entry.document
-        output = apply_streaming(
-            document_events(document), reduced,
-            fresh_start=document.allocator.next_value,
-            labeling=entry.labeling)
-        # keep the original allocator: identifiers of removed nodes stay
-        # burned across batches (the never-reused discipline)
-        entry.document = events_to_document(output,
-                                            allocator=document.allocator)
+        # in-place application: identifiers of removed nodes stay burned
+        # (the allocator is the document's own), fresh ids are assigned
+        # in document order by the index rebuild — identical to the
+        # streaming evaluator's assignment, per the differential suite
+        apply_batch_in_place(entry.document, entry.labeling, reduced)
         entry.version += 1
         entry.batches += 1
         if entry.labeling.max_code_length > self.max_code_length:

@@ -141,6 +141,15 @@ class Document:
         for node in root.iter_subtree():
             self._nodes.pop(node.node_id, None)
 
+    def forget_ids(self, node_ids):
+        """Drop ``node_ids`` from the id index (identifiers stay burned).
+
+        The incremental counterpart of :meth:`rebuild_index` for removed
+        subtrees whose nodes the caller enumerated before detaching them
+        (the in-place batch applier works this way)."""
+        for node_id in node_ids:
+            self._nodes.pop(node_id, None)
+
     # -- mutation helpers (index-preserving) --------------------------------
 
     def detach_node(self, node):

@@ -1,0 +1,406 @@
+"""The protocol-v2 binary codec and the version negotiation matrix.
+
+Three layers of guarantee:
+
+* codec — every v1-shaped message (request / ok / error, with the full
+  JSON value range: unicode, floats, unbounded ints, nesting) encodes
+  to a v2 binary payload and decodes back to the *identical* dict, and
+  malformed payloads only ever raise :class:`ProtocolError`;
+* negotiation — a v1-only peer on either side of the connection lands
+  on v1 JSON and keeps full functionality; two v2 peers switch after
+  the hello response and never exchange a JSON frame again;
+* end-to-end — a v1-only client and a v2 client driving one server
+  produce stores byte-identical to the :class:`StatelessBaseline`
+  oracle (the codec must not influence results, only their encoding).
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import AsyncStoreClient, StoreClient, StoreServer, protocol
+from repro.api.protocol import (
+    OP_CODES,
+    FrameDecoder,
+    decode_payload,
+    encode_frame,
+)
+from repro.errors import ProtocolError, RemoteOSError, UnknownNodeError
+from repro.pul.ops import ReplaceValue
+from repro.pul.pul import PUL
+from repro.store import DocumentStore, StatelessBaseline
+from repro.xdm.parser import parse_document
+from repro.xquery import compile_pul
+
+json_values = st.recursive(
+    st.none() | st.booleans()
+    | st.integers(-2**80, 2**80)          # past i64: the bigint escape
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=10)
+
+args_maps = st.dictionaries(st.text(max_size=8), json_values, max_size=4)
+
+v2_messages = (
+    st.builds(protocol.request,
+              json_values,
+              st.sampled_from(sorted(OP_CODES) + ["future-op"]),
+              args_maps)
+    | st.builds(protocol.ok_response, json_values, json_values)
+    | st.builds(lambda rid, err: {"id": rid, "ok": False, "error": err},
+                json_values, args_maps))
+
+
+def v2_roundtrip(message):
+    frame = encode_frame(message, version=2)
+    return decode_payload(frame[protocol.HEADER_SIZE:], version=2)
+
+
+class TestV2RoundTrip:
+    @given(v2_messages)
+    def test_any_message_roundtrips_identically(self, message):
+        assert v2_roundtrip(message) == message
+
+    @given(st.lists(v2_messages, max_size=6),
+           st.lists(st.integers(0, 4096), max_size=8))
+    def test_any_chunking_decodes_the_same_frames(self, objs, cuts):
+        data = b"".join(encode_frame(obj, version=2) for obj in objs)
+        decoder = FrameDecoder(version=2)
+        decoded = []
+        bounds = sorted({min(c, len(data)) for c in cuts}) + [len(data)]
+        start = 0
+        for bound in bounds:
+            decoded.extend(decoder.feed(data[start:bound]))
+            start = bound
+        assert decoded == objs
+        assert decoder.at_boundary()
+
+    def test_table_op_packs_to_one_byte(self):
+        message = protocol.request(1, "submit", {"doc_id": "d"})
+        frame = encode_frame(message, version=2)
+        assert OP_CODES["submit"] in frame
+        assert b"submit" not in frame          # the name never travels
+        assert v2_roundtrip(message) == message
+
+    def test_unknown_op_travels_through_the_named_escape(self):
+        message = protocol.request(1, "op-from-the-future", {"k": "v"})
+        frame = encode_frame(message, version=2)
+        assert b"op-from-the-future" in frame
+        assert v2_roundtrip(message) == message
+
+    def test_xml_payload_travels_as_raw_bytes(self):
+        """The codec's point: no JSON escaping of document payloads —
+        the XML bytes appear verbatim inside the binary frame."""
+        xml = '<doc a="1">text &amp; "quotes" é</doc>'
+        message = protocol.request(3, "open",
+                                   {"doc_id": "d", "xml": xml})
+        frame = encode_frame(message, version=2)
+        assert xml.encode("utf-8") in frame
+        json_frame = encode_frame(message, version=1)
+        assert xml.encode("utf-8") not in json_frame   # v1 must escape
+        assert v2_roundtrip(message) == message
+
+    def test_empty_args_are_omitted_like_v1(self):
+        message = {"id": 5, "op": "docs"}
+        assert v2_roundtrip(message) == message
+        assert "args" not in v2_roundtrip(
+            {"id": 5, "op": "docs", "args": {}})
+
+    def test_error_response_shape_survives(self):
+        response = protocol.error_response(9, UnknownNodeError(42))
+        assert v2_roundtrip(response) == response
+        with pytest.raises(UnknownNodeError):
+            protocol.parse_response(v2_roundtrip(response))
+
+
+class TestV2Malformed:
+    def decode(self, payload):
+        return decode_payload(payload, version=2)
+
+    def test_empty_payload(self):
+        with pytest.raises(ProtocolError):
+            self.decode(b"")
+
+    def test_unknown_frame_kind(self):
+        with pytest.raises(ProtocolError):
+            self.decode(b"\x7f\x00")
+
+    def test_unknown_type_tag(self):
+        with pytest.raises(ProtocolError):
+            self.decode(b"\x02\x00\x7f")      # ok frame, bad term tag
+
+    def test_unknown_op_code(self):
+        # request, id=None, op code far outside the table
+        with pytest.raises(ProtocolError) as excinfo:
+            self.decode(b"\x01\x00\xf0\x07\x00\x00\x00\x00")
+        assert "op code" in str(excinfo.value)
+
+    def test_trailing_bytes_are_rejected(self):
+        frame = encode_frame({"id": 1, "op": "docs"}, version=2)
+        with pytest.raises(ProtocolError) as excinfo:
+            self.decode(frame[protocol.HEADER_SIZE:] + b"\x00")
+        assert "trailing" in str(excinfo.value)
+
+    def test_truncated_string_term(self):
+        # str of announced length 100 with 1 byte present
+        with pytest.raises(ProtocolError):
+            self.decode(b"\x02\x00\x05\x00\x00\x00\x64x")
+
+    def test_truncated_int_term(self):
+        with pytest.raises(ProtocolError):
+            self.decode(b"\x02\x00\x03\x00\x00")
+
+    def test_list_count_beyond_payload(self):
+        with pytest.raises(ProtocolError):
+            self.decode(b"\x02\x00\x06\xff\xff\xff\xff")
+
+    def test_map_count_beyond_payload(self):
+        with pytest.raises(ProtocolError):
+            self.decode(b"\x02\x00\x07\xff\xff\xff\xff")
+
+    def test_non_map_request_args(self):
+        # request, id=None, op "docs" (code 9), args = int
+        bad = b"\x01\x00" + bytes([OP_CODES["docs"]]) + \
+            b"\x03" + (0).to_bytes(8, "big")
+        with pytest.raises(ProtocolError) as excinfo:
+            self.decode(bad)
+        assert "args" in str(excinfo.value)
+
+    def test_invalid_utf8_in_string(self):
+        with pytest.raises(ProtocolError):
+            self.decode(b"\x02\x00\x05\x00\x00\x00\x02\xff\xfe")
+
+    def test_non_string_map_keys_refused_on_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"id": 1, "ok": True,
+                          "result": {1: "x"}}, version=2)
+
+    def test_unencodable_value_refused(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"id": 1, "ok": True,
+                          "result": object()}, version=2)
+
+    def test_message_with_neither_op_nor_ok_refused(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"id": 1}, version=2)
+
+
+class TestDecoderPerformance:
+    def test_many_small_frames_in_one_chunk_stay_linear(self):
+        """The satellite regression: 20k pipelined tiny frames arriving
+        in one chunk must decode in linear time. The old decoder paid
+        ``del buffer[:end]`` per frame — O(buffer) each, quadratic
+        overall, seconds for this input."""
+        count = 20_000
+        chunk = b"".join(
+            encode_frame(protocol.ok_response(i, None))
+            for i in range(count))
+        decoder = FrameDecoder()
+        started = time.perf_counter()
+        frames = decoder.feed(chunk)
+        elapsed = time.perf_counter() - started
+        assert len(frames) == count
+        assert frames[-1] == {"id": count - 1, "ok": True,
+                              "result": None}
+        assert decoder.at_boundary()
+        assert elapsed < 1.5, (
+            "decoding {} small frames took {:.2f}s — the consumed-"
+            "prefix handling has gone quadratic again".format(
+                count, elapsed))
+
+    def test_cursor_survives_torn_frames_between_feeds(self):
+        frames = [protocol.ok_response(i, "x" * i) for i in range(64)]
+        data = b"".join(encode_frame(f) for f in frames)
+        decoder = FrameDecoder()
+        decoded = []
+        step = 7
+        for start in range(0, len(data), step):
+            decoded.extend(decoder.feed(data[start:start + step]))
+        assert decoded == frames
+        assert decoder.at_boundary()
+
+    def test_mid_stream_compaction_keeps_decoding(self):
+        big = protocol.ok_response(1, "y" * (80 * 1024))
+        tail = protocol.ok_response(2, "z")
+        data = encode_frame(big) + encode_frame(tail)
+        decoder = FrameDecoder()
+        # feed the big frame plus half the tail: the consumed prefix
+        # exceeds the compaction threshold while bytes are pending
+        cut = len(encode_frame(big)) + 3
+        first = decoder.feed(data[:cut])
+        assert first == [big] and not decoder.at_boundary()
+        assert decoder.feed(data[cut:]) == [tail]
+        assert decoder.at_boundary()
+
+
+class TestErrorCodeWire:
+    def test_os_code_is_registered(self):
+        from repro.errors import _CODE_REGISTRY
+        assert {"os", "repro"} <= set(_CODE_REGISTRY)
+        assert _CODE_REGISTRY["os"] is RemoteOSError
+
+    def test_oserror_reconstructs_remote_os_error(self):
+        response = protocol.error_response(
+            4, OSError(28, "No space left on device"))
+        assert response["error"]["code"] == "os"
+        with pytest.raises(RemoteOSError) as excinfo:
+            protocol.parse_response(response)
+        assert "No space left" in str(excinfo.value)
+
+    def test_every_server_emittable_code_roundtrips_under_v2(self):
+        """error_response → v2 encode/decode → parse_response must
+        reconstruct the exact class for every registered code."""
+        from repro.errors import _CODE_REGISTRY
+        for code, klass in _CODE_REGISTRY.items():
+            error = {"code": code, "message": "m",
+                     "details": {"k": 1}}
+            decoded = v2_roundtrip({"id": 0, "ok": False,
+                                    "error": error})
+            with pytest.raises(klass) as excinfo:
+                protocol.parse_response(decoded)
+            assert type(excinfo.value) is klass, code
+
+
+DOC = "<doc><items/><meta><owner>c</owner></meta></doc>"
+
+
+def run(coro, timeout=60):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+def make_server():
+    return StoreServer(DocumentStore(workers=2, backend="serial"),
+                       host="127.0.0.1", port=0)
+
+
+class TestNegotiationMatrix:
+    def test_default_peers_land_on_v2(self):
+        async def scenario():
+            async with make_server() as server:
+                host, port = server.tcp_address
+                client = await AsyncStoreClient.connect(host=host,
+                                                        port=port)
+                assert client.protocol_version == 2
+                await client.open("d", DOC)
+                assert (await client.docs()) == {"docs": ["d"]}
+                await client.aclose()
+        run(scenario())
+
+    def test_v1_only_client_against_a_v2_server(self):
+        async def scenario():
+            async with make_server() as server:
+                host, port = server.tcp_address
+                client = await AsyncStoreClient.connect(
+                    host=host, port=port, versions=(1,))
+                assert client.protocol_version == 1
+                await client.open("d", DOC)
+                assert (await client.docs()) == {"docs": ["d"]}
+                await client.aclose()
+        run(scenario())
+
+    def test_v2_client_against_a_v1_only_server(self, monkeypatch):
+        # an old server: its negotiation only knows v1
+        monkeypatch.setattr(protocol, "SUPPORTED_VERSIONS", (1,))
+        async def scenario():
+            async with make_server() as server:
+                host, port = server.tcp_address
+                client = await AsyncStoreClient.connect(host=host,
+                                                        port=port)
+                assert client.protocol_version == 1
+                await client.open("d", DOC)
+                assert (await client.docs()) == {"docs": ["d"]}
+                await client.aclose()
+        run(scenario())
+
+    def test_sync_client_can_force_v1(self):
+        async def scenario():
+            async with make_server() as server:
+                host, port = server.tcp_address
+
+                def blocking_session():
+                    with StoreClient.connect(host=host, port=port,
+                                             versions=(1,)) as client:
+                        assert client.protocol_version == 1
+                        client.open("d", DOC)
+                        return client.text("d")["text"]
+
+                loop = asyncio.get_running_loop()
+                text = await loop.run_in_executor(None,
+                                                  blocking_session)
+                assert "<owner>c</owner>" in text
+        run(scenario())
+
+    def test_v2_connection_frames_are_binary_after_hello(self):
+        """Only the hello exchange is JSON; everything after rides the
+        binary codec (checked at the client's own encoder)."""
+        frame = encode_frame(protocol.request(2, "docs"), version=2)
+        payload = frame[protocol.HEADER_SIZE:]
+        with pytest.raises((ProtocolError, ValueError)):
+            json.loads(payload.decode("utf-8", errors="strict"))
+
+
+class TestCrossVersionEndToEnd:
+    def test_mixed_version_clients_match_the_stateless_oracle(self):
+        """A v1-only client and a v2 client drive sibling documents on
+        one server; both final stores must be byte-identical to a
+        :class:`StatelessBaseline` fed the same submissions — the
+        codec may change the bytes on the wire, never the result."""
+        rounds = 3
+        final = {}
+
+        def owner_text_id(doc_text):
+            document = parse_document(doc_text)
+            owner = next(n for n in document.nodes()
+                         if n.is_element and n.name == "owner")
+            return owner.children[0].node_id
+
+        async def session(server, doc_id, versions):
+            host, port = server.tcp_address
+            client = await AsyncStoreClient.connect(
+                host=host, port=port, client=doc_id,
+                versions=versions)
+            text_id = owner_text_id(DOC)
+            await client.open(doc_id, DOC)
+            for index in range(rounds):
+                await client.submit_xquery(
+                    doc_id,
+                    'insert node <item r="{}"/> as last into '
+                    '/doc/items'.format(index))
+                await client.submit(doc_id, PUL(
+                    [ReplaceValue(text_id, "v{}".format(index))],
+                    origin=doc_id))
+                flushed = await client.flush(doc_id)
+                assert flushed["version"] == index + 1
+            final[doc_id] = (await client.text(doc_id))["text"]
+            await client.aclose()
+
+        async def scenario():
+            async with make_server() as server:
+                await asyncio.gather(
+                    session(server, "legacy", (1,)),
+                    session(server, "binary",
+                            protocol.SUPPORTED_VERSIONS))
+        run(scenario())
+
+        baseline = StatelessBaseline(measure_parse=False)
+        for doc_id in ("legacy", "binary"):
+            text_id = owner_text_id(DOC)
+            baseline.open(doc_id, DOC)
+            for index in range(rounds):
+                baseline.submit(doc_id, compile_pul(
+                    'insert node <item r="{}"/> as last into '
+                    '/doc/items'.format(index),
+                    baseline.document(doc_id)), client=doc_id)
+                baseline.submit(doc_id, PUL(
+                    [ReplaceValue(text_id, "v{}".format(index))],
+                    origin=doc_id), client=doc_id)
+                baseline.flush(doc_id)
+            assert final[doc_id] == baseline.text(doc_id), doc_id
+        # the two clients did identical work: identical results
+        assert final["legacy"] == final["binary"]

@@ -90,6 +90,33 @@ class TestCompare:
             {name: {"ops_per_sec": 300.0}}, previous, 0.30, scale=0.5)
 
 
+class TestCheckFloors:
+    FLOORS = {"bench": {"speedup": 1.3}}
+
+    def test_metric_above_floor_passes(self):
+        current = {"bench": {"speedup": 1.5}}
+        assert not ci_gate.check_floors(current, self.FLOORS)
+
+    def test_metric_below_floor_fails(self):
+        current = {"bench": {"speedup": 1.1}}
+        assert ci_gate.check_floors(current, self.FLOORS)
+
+    def test_missing_metric_fails_loudly(self):
+        # a bench that ran but stopped reporting the gated metric must
+        # not pass silently
+        assert ci_gate.check_floors({"bench": {}}, self.FLOORS)
+
+    def test_bench_absent_from_run_is_skipped(self):
+        # floors gate metrics of benches that ran; a partial local run
+        # (e.g. --out with a bench subset) is not a failure
+        assert not ci_gate.check_floors({}, self.FLOORS)
+
+    def test_registered_floors_name_real_benches(self):
+        smoke_names = {script.replace(".py", "")
+                       for script, __ in ci_gate.SMOKE_RUNS}
+        assert set(ci_gate.METRIC_FLOORS) <= smoke_names
+
+
 class TestCommittedTrajectories:
     def test_untracked_output_is_not_a_baseline(self, tmp_path):
         # a previous local gate run leaves an untracked BENCH file in

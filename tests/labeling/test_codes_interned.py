@@ -1,0 +1,165 @@
+"""String ≡ interned differential for the dynamic code arithmetic.
+
+The interned (tuple-of-ints) fast path must be *definitionally* the
+same arithmetic as the canonical string form: for any bounds, both
+variants produce the identical code or raise the identical error. The
+hypothesis suite drives both representations through the same random
+insertion workloads and pins:
+
+* equality — ``code_str(f_interned(intern(x))) == f(x)`` for
+  ``code_between`` / ``_after`` / ``_before`` and both encoders'
+  ``between`` / ``codes_between`` / ``initial_codes``;
+* the ordering invariants, checked *on the interned form itself*
+  (strictly between the bounds, never ending in digit 0, digits within
+  the base) — not just inherited from the string suite.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LabelingError
+from repro.labeling.codes import (
+    CDBSEncoder,
+    CDQSEncoder,
+    _after,
+    _after_interned,
+    _before,
+    _before_interned,
+    code_between,
+    code_between_interned,
+    code_str,
+    intern_code,
+)
+
+ENCODERS = [CDBSEncoder, CDQSEncoder]
+
+
+@pytest.fixture(params=ENCODERS, ids=["CDBS", "CDQS"])
+def encoder(request):
+    return request.param()
+
+
+def interned_codes(base):
+    """Syntactically valid interned codes: nonempty, digits in the
+    base, last digit nonzero (the no-trailing-zero rule)."""
+    return st.builds(
+        lambda body, last: tuple(body) + (last,),
+        st.lists(st.integers(0, base - 1), max_size=6),
+        st.integers(1, base - 1))
+
+
+def both_or_neither(string_thunk, interned_thunk):
+    """Run both variants; they must agree on the result *or* on the
+    failure."""
+    try:
+        expected = string_thunk()
+    except LabelingError:
+        with pytest.raises(LabelingError):
+            interned_thunk()
+        return None
+    actual = interned_thunk()
+    assert code_str(actual) == expected
+    return actual
+
+
+class TestConversions:
+    @given(interned_codes(4))
+    def test_intern_code_str_roundtrip(self, code):
+        assert intern_code(code_str(code)) == code
+
+    def test_none_bounds_pass_through(self):
+        assert intern_code(None) is None
+        assert code_str(None) is None
+
+    def test_intern_is_idempotent_on_tuples(self):
+        assert intern_code((1, 0, 1)) == (1, 0, 1)
+        assert intern_code("101") == (1, 0, 1)
+        assert code_str("101") == "101"
+
+
+class TestGenericArithmeticDifferential:
+    @given(st.integers(2, 4).flatmap(
+        lambda base: st.tuples(st.just(base),
+                               st.none() | interned_codes(base),
+                               st.none() | interned_codes(base))))
+    @settings(max_examples=200)
+    def test_code_between_matches_string_form(self, case):
+        base, left, right = case
+        result = both_or_neither(
+            lambda: code_between(code_str(left), code_str(right), base),
+            lambda: code_between_interned(left, right, base))
+        if result is None:
+            return
+        # invariants checked on the interned form itself
+        assert result[-1] != 0
+        assert all(0 <= digit < base for digit in result)
+        if left is not None:
+            assert left < result
+        if right is not None:
+            assert result < right
+
+    @given(st.integers(2, 4).flatmap(
+        lambda base: st.tuples(st.just(base), interned_codes(base))))
+    def test_after_and_before_match_string_form(self, case):
+        base, code = case
+        top = base - 1
+        after = _after_interned(code, top)
+        assert code_str(after) == _after(code_str(code), top)
+        assert after > code and after[-1] != 0
+        before = _before_interned(code)
+        assert code_str(before) == _before(code_str(code))
+        assert before < code and before[-1] != 0
+
+
+class TestEncoderDifferential:
+    @given(st.data(), st.sampled_from(ENCODERS))
+    @settings(max_examples=60, deadline=None)
+    def test_insertion_sequences_are_representation_blind(
+            self, data, encoder_cls):
+        """Drive the same random insertion workload through the string
+        and the interned generators: the two code sequences must stay
+        digit-for-digit identical, strictly ordered, zero-free at the
+        tail."""
+        encoder = encoder_cls()
+        count = data.draw(st.integers(0, 6), label="initial")
+        codes = encoder.initial_codes(count)
+        interned = encoder.initial_codes_interned(count)
+        assert [code_str(c) for c in interned] == codes
+        for __ in range(data.draw(st.integers(1, 30), label="rounds")):
+            index = data.draw(st.integers(0, len(codes)), label="slot")
+            left = codes[index - 1] if index > 0 else None
+            right = codes[index] if index < len(codes) else None
+            fresh = encoder.between(left, right)
+            fresh_interned = encoder.between_interned(
+                intern_code(left), intern_code(right))
+            assert code_str(fresh_interned) == fresh
+            assert fresh_interned[-1] != 0
+            assert all(0 <= d < encoder.base for d in fresh_interned)
+            if left is not None:
+                assert intern_code(left) < fresh_interned
+            if right is not None:
+                assert fresh_interned < intern_code(right)
+            codes.insert(index, fresh)
+            interned.insert(index, fresh_interned)
+        assert interned == sorted(interned)
+        assert [code_str(c) for c in interned] == codes
+
+    @given(st.integers(0, 64), st.sampled_from(ENCODERS))
+    @settings(max_examples=40, deadline=None)
+    def test_bulk_generators_match(self, count, encoder_cls):
+        encoder = encoder_cls()
+        strings = encoder.initial_codes(count)
+        interned = encoder.initial_codes_interned(count)
+        assert [code_str(c) for c in interned] == strings
+        if count:
+            run = encoder.codes_between(strings[0], None, 5)
+            run_interned = encoder.codes_between_interned(
+                intern_code(strings[0]), None, 5)
+            assert [code_str(c) for c in run_interned] == run
+
+    def test_interned_bounds_reject_inversion(self, encoder):
+        with pytest.raises(LabelingError):
+            encoder.between_interned((1, 1), (1,))
+        with pytest.raises(LabelingError):
+            encoder.between_interned((1,), (1,))

@@ -244,7 +244,7 @@ class TestRecovery:
         import repro.store.store as store_module
 
         text, batches, __ = workload
-        real_apply = store_module.apply_streaming
+        real_apply = store_module.apply_batch_in_place
         with _durable_store(tmp_path, "log") as store:
             store.open("d", text)
             _run_session(store, batches[:2])
@@ -254,11 +254,11 @@ class TestRecovery:
             def exploding_apply(*args, **kwargs):
                 raise ReproError("simulated mid-apply crash")
 
-            monkeypatch.setattr(store_module, "apply_streaming",
+            monkeypatch.setattr(store_module, "apply_batch_in_place",
                                 exploding_apply)
             with pytest.raises(ReproError):
                 store.flush("d")
-            monkeypatch.setattr(store_module, "apply_streaming",
+            monkeypatch.setattr(store_module, "apply_batch_in_place",
                                 real_apply)
             store.flush("d")  # same pending, now succeeds
             before_text = store.text("d")
