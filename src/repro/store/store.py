@@ -149,16 +149,20 @@ class StoredDocument:
         self.full_relabels = 0
 
     def stats(self):
-        return {
-            "doc_id": self.doc_id,
-            "version": self.version,
-            "nodes": len(self.document),
-            "pending": len(self.pending),
-            "batches": self.batches,
-            "incremental_relabels": self.incremental_relabels,
-            "full_relabels": self.full_relabels,
-            "max_code_length": self.labeling.max_code_length,
-        }
+        # under the flush lock: a concurrent in-place flush mutates the
+        # tree and the counters mid-batch, and a half-applied node count
+        # paired with the pre-batch version number is a torn read
+        with self.flush_lock:
+            return {
+                "doc_id": self.doc_id,
+                "version": self.version,
+                "nodes": len(self.document),
+                "pending": len(self.pending),
+                "batches": self.batches,
+                "incremental_relabels": self.incremental_relabels,
+                "full_relabels": self.full_relabels,
+                "max_code_length": self.labeling.max_code_length,
+            }
 
 
 class DocumentStore:
@@ -322,8 +326,16 @@ class DocumentStore:
         return self._require(doc_id).version
 
     def text(self, doc_id):
-        """Serialized text of the resident document."""
-        return serialize(self._require(doc_id).document)
+        """Serialized text of the resident document.
+
+        Serialization holds the flush lock: flushed batches mutate the
+        resident tree *in place*, so an unlocked walk could serialize a
+        half-applied batch (a torn read) — the reader must observe the
+        pre-batch or the post-batch tree, never anything between.
+        """
+        entry = self._require(doc_id)
+        with entry.flush_lock:
+            return serialize(entry.document)
 
     def stats(self, doc_id=None):
         if doc_id is not None:
@@ -494,6 +506,11 @@ class DocumentStore:
             try:
                 result = self.flush(doc_id, num_shards=num_shards)
             except ReproError as error:
+                if doc_id not in self:
+                    # closed cleanly while flush_all iterated — nothing
+                    # was lost and nothing failed, so reporting it as a
+                    # batch failure would be spurious
+                    continue
                 errors.append((doc_id, error))
                 continue
             if result is not None:
