@@ -63,7 +63,8 @@ class StoreDispatcher:
         return payload
 
     def text(self, doc_id):
-        return {"doc_id": doc_id, "text": self.store.text(doc_id)}
+        text, version = self.store.text_version(doc_id)
+        return {"doc_id": doc_id, "text": text, "version": version}
 
     def query(self, doc_id, path):
         """Evaluate a read-only path expression against the resident

@@ -214,6 +214,89 @@ def apply_batch_in_place(document, labeling, pul, preserve_ids=True):
     return "incremental"
 
 
+def replay_batch(document, labeling, pul):
+    """Re-apply an already-committed reduced batch to a lagging copy's
+    *tree*, maintaining the id index but no labels.
+
+    The MVCC store hands each retired published version back to the
+    writer as the next flush's working copy; before the writer can
+    mutate it, the copy must catch up by one version — exactly the
+    reduced batch that produced the version it lags behind. This is
+    :func:`apply_batch_in_place` stripped to its structural core: no
+    undo journal (the batch already committed once, it cannot fail
+    here), no duplicate pre-scan, and **no label maintenance** — the
+    catch-up's caller copies the published version's immutable
+    id-keyed label map wholesale instead of re-deriving per-site
+    codes, which is the costly half of a live apply. ``labeling`` is
+    the copy's own *pre-batch* labels, used only to order the
+    insertion runs: fresh identifiers must come out in document order
+    across every site exactly as the live apply assigned them (a
+    replay allocating different ids would desynchronize every later
+    batch's targets), and sorting the runs by their left code bound
+    reproduces that order — including the nested-site interleavings a
+    per-site walk would get wrong. Run collection sees the same tree,
+    the same labels and the same reduced PUL as the live apply did,
+    so the runs — and therefore the ids — come out identical.
+    """
+    site_ids = []
+    seen_sites = set()
+    removed_ids = []
+    needs_sync = False
+    root = document.root
+    for op in pul:
+        target = document.find(op.target)
+        if target is None:
+            continue
+        parent = target.parent
+        kind = op.op_name
+        if kind in _TARGET_SITE_OPS:
+            if target.node_id not in seen_sites:
+                seen_sites.add(target.node_id)
+                site_ids.append(target.node_id)
+        elif kind in _PARENT_SITE_OPS:
+            if parent is None:
+                needs_sync = True
+            elif parent.node_id not in seen_sites:
+                seen_sites.add(parent.node_id)
+                site_ids.append(parent.node_id)
+        if kind in _REMOVING_OPS:
+            removed_ids.extend(n.node_id for n in target.iter_subtree())
+        elif kind == ReplaceChildren.op_name:
+            for child in target.children:
+                removed_ids.extend(n.node_id
+                                   for n in child.iter_subtree())
+    apply_pul(document, pul, check=False, preserve_ids=True,
+              reindex=False)
+    if needs_sync or document.root is not root:
+        # root-level structural change: the live apply fell back to a
+        # wholesale reindex, whose document-order id assignment a
+        # rebuild here reproduces exactly
+        document.rebuild_index()
+        return
+    document.forget_ids(removed_ids)
+    runs = []
+    for site_id in site_ids:
+        site = document.find(site_id)
+        if site is None:
+            continue  # the site itself was removed by a sibling op
+        site_label = labeling.find(site_id)
+        if site_label is None:
+            document.rebuild_index()
+            return
+        _collect_runs(labeling, site, site_label, runs)
+    runs.sort(key=lambda entry: entry[0])
+    highest = -1
+    for __, __, __, run in runs:
+        for tree in run:
+            for node in tree.iter_subtree():
+                if node.node_id is not None and node.node_id > highest:
+                    highest = node.node_id
+    document.allocator.reserve_at_least(highest + 1)
+    for __, __, __, run in runs:
+        for tree in run:
+            document.register_tree(tree)
+
+
 def _collect_runs(labeling, site, site_label, runs):
     """Append ``site``'s unlabeled runs to ``runs`` as ``(left_code,
     right_code, site_label, nodes)`` — consecutive label-less attributes

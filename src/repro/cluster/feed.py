@@ -21,6 +21,14 @@ re-bootstrap from a full snapshot transfer
 (:meth:`~repro.store.store.DocumentStore.capture_state`), exactly like
 a fresh replica.
 
+Snapshot-transfer pairing: ``capture_state`` reads :attr:`next_seq`
+*first* and captures published document versions *after*. That order is
+leading-safe — ingestion is lazy, so the seq read can only under-count
+what the payloads already reflect, and a follower streaming from it
+re-receives at most records the replica apply path absorbs idempotently.
+The reverse order (capture, then seq) could pair payloads with a seq
+*past* what they contain, silently losing the gap.
+
 Lock order (deadlock discipline): flush/store locks -> manager lock ->
 feed lock. The manager's hooks hold the manager lock and only ever take
 the feed lock; the feed only calls :meth:`DurabilityManager
@@ -159,7 +167,12 @@ class ReplicationSource:
 
     @property
     def next_seq(self):
-        """Sequence number the next logged record will get."""
+        """Sequence number the next logged record will get.
+
+        Ingestion is pull-based, so the returned value is a *lower
+        bound* on what the log already holds — which is exactly the
+        safe direction for ``capture_state``'s seq-before-payloads
+        pairing (the payloads may lead the seq, never lag it)."""
         self._ingest()
         with self._lock:
             return self._next_seq

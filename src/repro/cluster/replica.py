@@ -190,12 +190,13 @@ class ReplicaStore(DocumentStore):
         a duplicate into the replica's own WAL (a second ``open``
         would poison its next recovery with "log opens twice").
 
-        Locking: the apply path is the replica's only mutator, but it
-        must still take ``entry.flush_lock`` around every mutation —
-        that lock is what :meth:`DocumentStore.query` and snapshot
-        compaction's :meth:`_with_quiesced_entries` rely on for a
-        still view of the document/labeling pair, and both are
-        reachable on a replica while the sync thread streams.
+        Locking: the apply path is the replica's only mutator, and
+        reads never block on it — ``text`` / ``stats`` / read-only
+        ``query`` pin the entry's published version (store-README
+        invariant 9), so a replica serves reads at full speed while
+        the sync thread streams. ``entry.flush_lock`` is still taken
+        around each mutation for writer-side serialization (promotion
+        can hand the same entry to live flushes).
         """
         kind = record.get("kind")
         durability = self._durability
@@ -212,8 +213,9 @@ class ReplicaStore(DocumentStore):
                 entry = self._entries.get(record["doc_id"])
             if entry is None:
                 return   # redelivered: already evicted
-            # same order as the leader's close_document: wait out any
-            # in-flight reader of this entry before evicting it
+            # same order as the leader's close_document: wait out an
+            # in-flight apply of this entry before evicting it (pinned
+            # readers keep their version; eviction never tears a read)
             with entry.flush_lock:
                 if durability is not None:
                     durability.log_close(record["doc_id"])
@@ -222,9 +224,12 @@ class ReplicaStore(DocumentStore):
         elif kind == "relabel":
             entry = self._replay_entry(record["doc_id"])
             with entry.flush_lock:
+                # republish first, log second: a concurrent capture of
+                # this replica's own WAL may then *lead* the record
+                # (idempotent rebuild at replay), never lag it
+                entry.rebuild_labeling()
                 if durability is not None:
                     durability.log_relabel(entry.doc_id)
-                entry.labeling.build(entry.document)
         elif kind == "repl-pos":
             pass  # the upstream was itself once a replica; its cursor
         elif kind == "batch":

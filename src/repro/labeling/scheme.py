@@ -55,6 +55,20 @@ class ContainmentLabeling:
         self._track(label.start, label.end)
         return label
 
+    def copy(self):
+        """Structural copy sharing the (immutable) labels.
+
+        :class:`~repro.labeling.containment.ExtendedLabel` instances are
+        never mutated in place — maintenance replaces map entries — so a
+        copy only needs its own map and watermark. This is what makes an
+        MVCC working copy of a labeled document cheap: O(nodes) dict
+        duplication, no code re-derivation.
+        """
+        clone = ContainmentLabeling(encoder=self.encoder)
+        clone._labels = dict(self._labels)
+        clone._max_code_len = self._max_code_len
+        return clone
+
     # -- code headroom -------------------------------------------------------
 
     @property

@@ -483,29 +483,60 @@ class DurabilityManager:
     def write_snapshot(self, document_payloads):
         """Snapshot ``document_payloads`` and truncate the log.
 
-        Sequence (each step safe against a crash before the next): seal
-        the active segment, write ``snapshot-<G>.snap`` atomically, open
-        segment ``G+1``, delete files the snapshot superseded.
+        The quiesced form — payloads are captured *before* the rotation
+        (caller holds whatever locks make that sound) and the whole
+        sequence runs back to back. The store's lock-free compaction
+        uses the two halves directly: :meth:`begin_rotation`, then an
+        unlocked capture, then :meth:`commit_snapshot`.
+        """
+        sealed = self.begin_rotation()
+        return self.commit_snapshot(sealed, document_payloads)
+
+    def begin_rotation(self):
+        """Seal the active segment and open the next one; return the
+        sealed generation.
+
+        Every record appended before this call is in generations
+        ``<= sealed``; every later append lands in ``sealed + 1``. No
+        file is deleted — a crash between this call and
+        :meth:`commit_snapshot` leaves a fully contiguous
+        snapshot+segment chain, the rotation simply never happened as
+        far as recovery is concerned. The feed listener is drained
+        before the method returns so a lagging replication feed keeps
+        the sealed tail.
         """
         with self._lock:
             sealed = self.generation
             if self._writer is not None:
                 self._writer.close()
                 self._writer = None
-            payload = encode_payload({
-                "kind": "snapshot", "generation": sealed,
-                "docs": list(document_payloads)})
-            write_file_atomically(self._snap_path(sealed), payload)
             self.generation = sealed + 1
             self._writer = WalWriter(self._wal_path(self.generation),
                                      fsync=self.policy.fsync)
             self.batches_since_snapshot = 0
             if self.feed_listener is not None:
-                # drained *before* the superseded files are unlinked
-                # below, or a lagging feed would lose the sealed tail
+                # drained now, while every sealed file still exists
                 self.feed_listener.on_rotate(
                     sealed, self._wal_path(sealed),
                     self.generation, self._wal_path(self.generation))
+            return sealed
+
+    def commit_snapshot(self, sealed, document_payloads):
+        """Write ``snapshot-<sealed>.snap`` atomically and delete the
+        files it supersedes.
+
+        ``document_payloads`` must describe a state at or *past* the end
+        of generation ``sealed`` (captured after :meth:`begin_rotation`
+        returned): recovery loads the snapshot and replays generations
+        ``> sealed``, absorbing any overlap idempotently. A state
+        *behind* the seal would lose records — that ordering is the
+        caller's contract.
+        """
+        with self._lock:
+            payload = encode_payload({
+                "kind": "snapshot", "generation": sealed,
+                "docs": list(document_payloads)})
+            write_file_atomically(self._snap_path(sealed), payload)
             wals, snaps = _scan_directory(self.directory)
             superseded = (
                 [path for generation, path in wals.items()

@@ -35,12 +35,14 @@ state is published) or is reconciled under per-client policies
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.aggregation import aggregate
 from repro.apply.inplace import apply_batch_in_place
 from repro.distributed.messages import ShardEnvelope
 from repro.errors import (
     ClusterError,
+    DurabilityError,
     QueryEvaluationError,
     RecoveryError,
     ReproError,
@@ -59,6 +61,7 @@ from repro.store.durability import (
     document_payload,
     restore_document,
 )
+from repro.store.versions import DocumentVersion, replay_catchup
 from repro.xdm.document import Document
 from repro.xdm.parser import parse_document
 from repro.xdm.serializer import serialize, serialize_node
@@ -66,6 +69,11 @@ from repro.xdm.serializer import serialize, serialize_node
 #: default headroom budget: containment codes may grow to this many digits
 #: before the store schedules a full relabel of the document
 DEFAULT_MAX_CODE_LENGTH = 64
+
+#: how long a state capture waits for a logged batch to publish before
+#: declaring the writer stalled — generous, the window it bridges is a
+#: single batch application
+CAPTURE_TIMEOUT = 60.0
 
 
 def coalesce_batch(pending, labeling, on_conflict="error", policies=None):
@@ -130,16 +138,23 @@ class BatchResult:
 
 
 class StoredDocument:
-    """One resident document: tree, labeling, version, pending queue."""
+    """One resident document: pending queue, writer state, published
+    version chain (see :mod:`repro.store.versions`).
 
-    __slots__ = ("doc_id", "document", "labeling", "version", "lock",
-                 "flush_lock", "pending", "batches",
-                 "incremental_relabels", "full_relabels")
+    The writer side (``version`` and the relabel counters, the working
+    pair, ``checkout``/``publish``) is serialized by ``flush_lock``;
+    the reader side pins :attr:`published` under the publish condition
+    and never touches a lock a writer holds across a batch. ``pending``
+    keeps its own small lock so submissions stay concurrent with both.
+    """
 
-    def __init__(self, doc_id, document, labeling):
+    __slots__ = ("doc_id", "version", "lock", "flush_lock", "pending",
+                 "batches", "incremental_relabels", "full_relabels",
+                 "published", "logged_version", "_publish_cond",
+                 "_working", "_spare", "_catchup")
+
+    def __init__(self, doc_id, document, labeling, counters=None):
         self.doc_id = doc_id
-        self.document = document
-        self.labeling = labeling
         self.version = 0
         self.lock = threading.Lock()         # guards `pending`
         self.flush_lock = threading.Lock()   # serializes batch execution
@@ -147,22 +162,177 @@ class StoredDocument:
         self.batches = 0
         self.incremental_relabels = 0
         self.full_relabels = 0
+        if counters:
+            for counter, value in counters.items():
+                setattr(self, counter, value)
+        #: leaf lock of the whole store: publication swaps, pin counts
+        #: and the logged-version fence live under it, and nothing is
+        #: ever acquired while holding it
+        self._publish_cond = threading.Condition()
+        self._working = None    # the writer's private (document, labeling)
+        self._catchup = None    # what the spare lags by (versions.replay_catchup)
+        #: highest batch version write-ahead logged so far; a state
+        #: capture must wait until the published version covers it, or
+        #: the captured payload would *lag* the log/stream position it
+        #: is paired with (leading is safe — replay is idempotent —
+        #: lagging loses acknowledged records)
+        self.logged_version = self.version
+        self.published = DocumentVersion(
+            doc_id, self.version, document, labeling, self.batches,
+            self.incremental_relabels, self.full_relabels)
+        #: pre-seeded working-copy donor. Spare recycling means every
+        #: written document permanently holds two trees; the one
+        #: O(document) copy that steady state requires is paid *here*,
+        #: where open/restore is already doing O(document) work (parse,
+        #: index, label build), so no flush — not even the first —
+        #: ever pays it. ``catchup`` stays ``None``: the seed is
+        #: content-identical to the published version it shadows.
+        self._spare = DocumentVersion(
+            doc_id, self.version, document.copy(), labeling.copy(),
+            self.batches, self.incremental_relabels, self.full_relabels)
+
+    # -- compatibility accessors (the latest published objects) -------------
+
+    @property
+    def document(self):
+        return self.published.document
+
+    @property
+    def labeling(self):
+        return self.published.labeling
+
+    # -- the reader side -----------------------------------------------------
+
+    def pin(self):
+        """Pin and return the current published version.
+
+        The pin count keeps the version's tree out of the writer's
+        recycling (``checkout`` never steals a pinned spare), so the
+        caller may walk ``version.document``/``version.labeling`` with
+        no locks at all. Balance every pin with :meth:`unpin`.
+        """
+        with self._publish_cond:
+            version = self.published
+            version.pins += 1
+            return version
+
+    def unpin(self, version):
+        with self._publish_cond:
+            version.pins -= 1
+
+    def wait_published(self, timeout):
+        """Pin the published version once it covers every logged batch.
+
+        The capture-side half of the logged-version fence: a batch
+        record enters the WAL (and the replication stream) *before* its
+        version is published, so a capture pairing payloads with a
+        log/stream position must wait out that window — the pinned
+        version may lead the position (idempotent replay absorbs the
+        overlap) but never lag it.
+        """
+        deadline = time.monotonic() + timeout
+        with self._publish_cond:
+            while self.published.version < self.logged_version:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DurabilityError(
+                        "document {!r} logged version {} but never "
+                        "published it (writer stalled?)".format(
+                            self.doc_id, self.logged_version))
+                self._publish_cond.wait(remaining)
+            version = self.published
+            version.pins += 1
+            return version
+
+    # -- the writer side (callers hold flush_lock) ---------------------------
+
+    def mark_logged(self, version):
+        """Raise the logged-version fence *before* the WAL append — a
+        group-commit train can expose the record to the replication
+        feed before ``log_batch`` returns, and from that instant a
+        capture must know a publish is owed."""
+        with self._publish_cond:
+            self.logged_version = version
+
+    def checkout(self):
+        """The writer's private ``(document, labeling)`` working pair.
+
+        Steals the retired spare when no reader pins it — catching it
+        up by the one batch it lags (O(touched), the common case) — and
+        falls back to a deep copy of the published version when a slow
+        reader still holds the spare or the catch-up replay fails.
+        Idempotent until :meth:`publish`: a repeated checkout (the
+        failed-flush recovery path) returns the same working pair.
+        """
+        if self._working is not None:
+            return self._working
+        with self._publish_cond:
+            spare, catchup = self._spare, self._catchup
+            self._spare = None
+            self._catchup = None
+            if spare is not None and spare.pins:
+                spare = None    # abandoned to its readers
+            published = self.published
+        working = None
+        if spare is not None:
+            try:
+                working = replay_catchup(spare, published, catchup)
+            except Exception:
+                # a catch-up that diverges from the published tree is a
+                # bug, but never one worth corrupting the working copy
+                # over — fall back to copying the published version
+                working = None
+        if working is None:
+            working = (published.document.copy(),
+                       published.labeling.copy())
+        self._working = working
+        return working
+
+    def publish(self, document, labeling, catchup=None):
+        """Atomically publish the working pair as version
+        ``self.version``; the old published version retires into the
+        spare with ``catchup`` describing what it lags by."""
+        version = DocumentVersion(
+            self.doc_id, self.version, document, labeling, self.batches,
+            self.incremental_relabels, self.full_relabels)
+        with self._publish_cond:
+            retired = self.published
+            self.published = version
+            self._spare = retired
+            self._catchup = catchup
+            self._working = None
+            if self.logged_version > self.version:
+                # the logged batch failed to apply: release captures
+                # waiting on a publish that will never come
+                self.logged_version = self.version
+            self._publish_cond.notify_all()
+        return version
+
+    def rebuild_labeling(self):
+        """The failed-batch recovery publish: republish at the *same*
+        version number with a labeling rebuilt from the (unchanged)
+        document, mirroring what WAL replay reconstructs at this point
+        so the label timeline of every later batch stays
+        digit-identical."""
+        document, labeling = self.checkout()
+        labeling.build(document)
+        return self.publish(document, labeling, catchup=("relabel",))
 
     def stats(self):
-        # under the flush lock: a concurrent in-place flush mutates the
-        # tree and the counters mid-batch, and a half-applied node count
-        # paired with the pre-batch version number is a torn read
-        with self.flush_lock:
+        version = self.pin()
+        try:
             return {
                 "doc_id": self.doc_id,
-                "version": self.version,
-                "nodes": len(self.document),
+                "version": version.version,
+                "nodes": len(version.document),
                 "pending": len(self.pending),
-                "batches": self.batches,
-                "incremental_relabels": self.incremental_relabels,
-                "full_relabels": self.full_relabels,
-                "max_code_length": self.labeling.max_code_length,
+                "batches": version.batches,
+                "incremental_relabels": version.incremental_relabels,
+                "full_relabels": version.full_relabels,
+                "max_code_length": version.labeling.max_code_length,
             }
+        finally:
+            self.unpin(version)
 
 
 class DocumentStore:
@@ -323,19 +493,24 @@ class DocumentStore:
         return self._require(doc_id).labeling
 
     def version(self, doc_id):
-        return self._require(doc_id).version
+        return self._require(doc_id).published.version
 
     def text(self, doc_id):
-        """Serialized text of the resident document.
+        """Serialized text of the latest published version."""
+        return self.text_version(doc_id)[0]
 
-        Serialization holds the flush lock: flushed batches mutate the
-        resident tree *in place*, so an unlocked walk could serialize a
-        half-applied batch (a torn read) — the reader must observe the
-        pre-batch or the post-batch tree, never anything between.
-        """
+    def text_version(self, doc_id):
+        """``(serialized text, version)`` of one pinned published
+        version — a consistent pair even while a flush applies: the
+        reader pins the published version and serializes it with no
+        flush lock, so a slow serialization never stalls the write
+        path and a slow batch never stalls the reader."""
         entry = self._require(doc_id)
-        with entry.flush_lock:
-            return serialize(entry.document)
+        version = entry.pin()
+        try:
+            return serialize(version.document), version.version
+        finally:
+            entry.unpin(version)
 
     def stats(self, doc_id=None):
         if doc_id is not None:
@@ -379,12 +554,12 @@ class DocumentStore:
 
         This is the server-side producer of the paper's architecture:
         the client ships the update *expression*, target paths are
-        evaluated against the current resident tree (the labeling's
-        labels travel with the PUL) and the compiled PUL joins the
-        document's pending queue like any raw submission. Compilation
-        holds the flush lock so the paths are never evaluated against a
-        tree that a concurrent flush is mutating in place — the PUL is
-        compiled against the latest *published* version.
+        evaluated against the latest *published* version (the
+        labeling's labels travel with the PUL) and the compiled PUL
+        joins the document's pending queue like any raw submission.
+        Compilation pins the published version instead of taking the
+        flush lock, so a concurrent in-place flush neither tears the
+        paths nor blocks behind a slow compilation.
 
         Returns ``(depth, ops)``: the pending-queue depth after the
         submission and the compiled PUL's operation count.
@@ -394,20 +569,20 @@ class DocumentStore:
         from repro.xquery.compiler import compile_pul
 
         entry = self._require(doc_id)
-        with entry.flush_lock:
-            with self._lock:
-                if self._entries.get(doc_id) is not entry:
-                    raise ReproError(
-                        "document {!r} was closed while the compilation "
-                        "waited".format(doc_id))
-            pul = compile_pul(expression, entry.document,
-                              labeling=entry.labeling, origin=client)
-            ops = len(pul)
-            if not ops:
-                raise QueryEvaluationError(
-                    "expression compiles to an empty PUL (no update "
-                    "expressions, or paths selecting nothing)")
-            depth = self.submit(doc_id, pul, client=client)
+        version = entry.pin()
+        try:
+            pul = compile_pul(expression, version.document,
+                              labeling=version.labeling, origin=client)
+        finally:
+            entry.unpin(version)
+        ops = len(pul)
+        if not ops:
+            raise QueryEvaluationError(
+                "expression compiles to an empty PUL (no update "
+                "expressions, or paths selecting nothing)")
+        # submit re-validates residency: a document closed while the
+        # compilation ran is rejected here, like any raw submission
+        depth = self.submit(doc_id, pul, client=client)
         return depth, ops
 
     def query(self, doc_id, path):
@@ -417,25 +592,24 @@ class DocumentStore:
 
         This is the read surface replicas scale out: unlike
         :meth:`submit_xquery` it queues nothing and never mutates, so a
-        read-only node serves it freely. Evaluation holds the flush
-        lock so the paths never walk a tree a concurrent flush is
-        mutating in place.
+        read-only node serves it freely. Evaluation pins one published
+        version and walks it with no locks — a slow path expression
+        never stalls the document's write path, and the reported
+        ``version`` is exactly the version the paths walked (never a
+        concurrent flush's half-applied successor).
         """
         # local import: the read path should not drag the query stack
         # into store-only deployments
         from repro.xquery import evaluate_path, parse_path
 
         entry = self._require(doc_id)
-        with entry.flush_lock:
-            with self._lock:
-                if self._entries.get(doc_id) is not entry:
-                    raise ReproError(
-                        "document {!r} was closed while the query "
-                        "waited".format(doc_id))
-            nodes = evaluate_path(parse_path(path), entry.document)
+        version = entry.pin()
+        try:
+            nodes = evaluate_path(parse_path(path), version.document)
             rendered = [serialize_node(node) for node in nodes]
-            version = entry.version
-        return {"doc_id": doc_id, "version": version,
+        finally:
+            entry.unpin(version)
+        return {"doc_id": doc_id, "version": version.version,
                 "count": len(rendered), "nodes": rendered}
 
     def submit_message(self, message):
@@ -481,13 +655,18 @@ class DocumentStore:
             except Exception:
                 with entry.lock:
                     entry.pending = pending + entry.pending
-                # a mid-stream failure may have left labels for nodes
-                # that were never published; relabeling the (unchanged)
-                # document restores consistency
-                entry.labeling.build(entry.document)
+                # a mid-stream failure may have left working labels for
+                # nodes that were never published; republish the same
+                # version with a labeling rebuilt from the (unchanged)
+                # document — readers pinned mid-failure keep the old
+                # published version, both have consistent labels
+                entry.rebuild_labeling()
                 if self._durability is not None:
                     # replay must rebuild at the same point, or the label
-                    # timeline of every later batch diverges
+                    # timeline of every later batch diverges. Logged
+                    # *after* the republish so a concurrent capture's
+                    # payload never lags the record (leading is safe:
+                    # replaying the rebuild is idempotent)
                     self._durability.log_relabel(entry.doc_id)
                 raise
         return result
@@ -542,36 +721,52 @@ class DocumentStore:
         skipped identically at replay time.
         """
         if self._durability is not None and not self._replaying:
+            # fence first, then append: a group-commit train may expose
+            # the record to the replication feed before log_batch
+            # returns, and from that instant a state capture must wait
+            # for the matching publish (entry.mark_logged docs). A
+            # failed append is unwound by the caller's rebuild_labeling
+            # publish, which clamps the fence back.
+            entry.mark_logged(entry.version + 1)
             self._durability.log_batch(entry.doc_id, entry.version + 1,
                                        clients, pul_to_xml(batch))
         submitted = len(batch)
         shards = shard_pul(batch, num_shards or self.workers)
         outcome = self._reducer.reduce_shards(shards)
         reduced = merge_shards(outcome.reduced)
-        # in-place application: identifiers of removed nodes stay burned
-        # (the allocator is the document's own), fresh ids are assigned
-        # in document order by the index rebuild — identical to the
-        # streaming evaluator's assignment, per the differential suite
-        apply_batch_in_place(entry.document, entry.labeling, reduced)
+        # in-place application on the *private working pair* (the
+        # recycled spare or a copy — entry.checkout): identifiers of
+        # removed nodes stay burned (the allocator is the pair's own,
+        # position-identical to the published tree's), fresh ids are
+        # assigned in document order by the index rebuild — identical
+        # to the streaming evaluator's assignment, per the differential
+        # suite. Readers keep walking the published version untouched.
+        document, labeling = entry.checkout()
+        apply_batch_in_place(document, labeling, reduced)
         entry.version += 1
         entry.batches += 1
-        if entry.labeling.max_code_length > self.max_code_length:
-            entry.labeling.build(entry.document)
+        if labeling.max_code_length > self.max_code_length:
+            labeling.build(document)
             entry.full_relabels += 1
             relabel = "full"
         else:
             entry.incremental_relabels += 1
             relabel = "incremental"
+        # one atomic reference swap makes the batch visible; the
+        # retired version becomes the next checkout's working copy,
+        # lagging by exactly this batch
+        entry.publish(document, labeling,
+                      catchup=("batch", reduced))
         if self._durability is not None and not self._replaying \
                 and self._durability.snapshot_due():
-            self._write_snapshot(held_entry=entry)
+            self._write_snapshot()
         return BatchResult(
             doc_id=entry.doc_id, version=entry.version,
             clients=clients,
             submitted_ops=submitted, reduced_ops=len(reduced),
             shard_sizes=[len(s) for s in shards], relabel=relabel,
             failures=list(outcome.failures),
-            max_code_length=entry.labeling.max_code_length)
+            max_code_length=labeling.max_code_length)
 
     # -- durability ----------------------------------------------------------
 
@@ -585,73 +780,54 @@ class DocumentStore:
         """
         if self._durability is None:
             return None
-        return self._write_snapshot(held_entry=None)
+        return self._write_snapshot()
 
-    def _write_snapshot(self, held_entry):
-        """Compact under every document's flush lock.
+    def _write_snapshot(self):
+        """Compact by capturing *published versions* — no flush lock,
+        no store-wide quiesce; writers keep flushing throughout.
 
-        ``held_entry`` is the entry whose flush triggered the compaction
-        (its flush lock is already held by this thread). The
-        non-blocking ``_compacting`` guard makes two concurrent
+        Rotate-then-capture ordering makes the snapshot safe without
+        stopping the world: the log rotates *first* (sealing generation
+        G), then every document's published version is captured. Each
+        payload therefore covers every record of generations <= G —
+        :meth:`StoredDocument.wait_published` waits out the window
+        where a batch is logged but not yet published — and possibly a
+        prefix of the new segment's records too. Leading payloads are
+        harmless: recovery replays the overlap idempotently
+        (version-skip for batches, skip-if-present for opens,
+        tolerated-missing for closes, deterministic rebuild for
+        relabels). Lagging payloads — the failure mode a capture-first
+        ordering would risk — cannot happen.
+
+        The non-blocking ``_compacting`` guard keeps two concurrent
         triggering flushes safe: the loser skips and retries after its
-        next batch, so neither waits on a lock the other holds.
-
-        Lock order matters: :meth:`flush` and :meth:`close_document`
-        take ``flush_lock`` first and the store lock second, so the
-        compaction must never block on a flush lock while holding the
-        store lock (the ABBA deadlock). It therefore captures the entry
-        list under the store lock, *releases* it, collects the flush
-        locks, and only then re-takes the store lock for the capture +
-        rotation — retrying from scratch when a document was opened or
-        closed in the unlocked window.
+        next batch.
         """
         if not self._compacting.acquire(blocking=False):
             return None
         try:
-            return self._with_quiesced_entries(
-                held_entry,
-                lambda entries: self._durability.write_snapshot(
-                    document_payload(entry) for entry in entries))
+            sealed = self._durability.begin_rotation()
+            payloads = self._capture_payloads()
+            return self._durability.commit_snapshot(sealed, payloads)
         finally:
             self._compacting.release()
 
-    def _with_quiesced_entries(self, held_entry, capture):
-        """Run ``capture(entries)`` with every entry's flush lock *and*
-        the store lock held.
-
-        The store lock is held across validation AND the capture: no
-        document can be opened or closed (and no open/close record
-        logged) while ``capture`` observes the state, so a snapshot it
-        writes subsumes every record in the sealed segments. Flush
-        locks keep each captured entry's state still; a
-        concurrently-flushing document either finished logging before
-        we got its lock (captured at the new version) or flushes after
-        the capture. ``held_entry`` names the entry whose flush lock
-        this thread already holds (``None`` outside a flush). Retries
-        from scratch when the entry set churned while the flush locks
-        were being collected.
-        """
-        while True:
-            with self._lock:
-                entries = sorted(self._entries.values(),
-                                 key=lambda entry: str(entry.doc_id))
-            acquired = []
+    def _capture_payloads(self, timeout=CAPTURE_TIMEOUT):
+        """Snapshot-form payloads of every resident document's published
+        version, each pinned only for the duration of its own
+        serialization (a :class:`~repro.store.versions.DocumentVersion`
+        duck-types as a payload source)."""
+        with self._lock:
+            entries = sorted(self._entries.values(),
+                             key=lambda entry: str(entry.doc_id))
+        payloads = []
+        for entry in entries:
+            version = entry.wait_published(timeout)
             try:
-                for entry in entries:
-                    if entry is held_entry:
-                        continue
-                    entry.flush_lock.acquire()
-                    acquired.append(entry)
-                with self._lock:
-                    if sorted(self._entries.values(),
-                              key=lambda entry: str(entry.doc_id)) \
-                            == entries:
-                        return capture(entries)
+                payloads.append(document_payload(version))
             finally:
-                for entry in acquired:
-                    entry.flush_lock.release()
-            # a document was opened or closed while the flush locks
-            # were being collected: retry against the new entry set
+                entry.unpin(version)
+        return payloads
 
     # -- replication ---------------------------------------------------------
 
@@ -674,26 +850,26 @@ class DocumentStore:
         return self.replication
 
     def capture_state(self):
-        """Atomically capture the full resident state for a snapshot
-        transfer: ``(document payloads, seq)``.
+        """Capture the full resident state for a snapshot transfer:
+        ``(document payloads, seq)`` — without stopping writers.
 
-        Taken under every flush lock plus the store lock, so the
-        payloads and the replication sequence describe exactly the same
-        instant — a follower that installs the payloads and streams
-        records from ``seq`` misses nothing and double-applies nothing.
-        ``seq`` is ``None`` when replication is not enabled.
+        Pairing rule: the sequence is read *first*, the payloads are
+        captured *after* — and each payload waits until its document's
+        published version covers every batch already logged
+        (:meth:`StoredDocument.wait_published`). The payloads therefore
+        describe a state at or *past* ``seq``, never behind it: a
+        follower that installs them and streams records from ``seq``
+        misses nothing (the fatal direction), and re-receives at most
+        the records the payloads already reflect — which the replica
+        apply path absorbs idempotently (batch version-skip, open
+        skip-if-present, tolerated-missing close, deterministic
+        relabel rebuild). ``seq`` is ``None`` when replication is not
+        enabled.
         """
-        def capture(entries):
-            payloads = [document_payload(entry) for entry in entries]
-            seq = None
-            if self.replication is not None:
-                # every record logged before the locks were taken is
-                # synced; ingesting under the locks makes the count
-                # final for this capture
-                seq = self.replication.next_seq
-            return payloads, seq
-
-        return self._with_quiesced_entries(None, capture)
+        seq = None
+        if self.replication is not None:
+            seq = self.replication.next_seq
+        return self._capture_payloads(), seq
 
     def _recover_state(self, state):
         """Replay a :class:`~repro.store.durability.LoadedState`."""
@@ -706,14 +882,22 @@ class DocumentStore:
             for record in state.records:
                 kind = record.get("kind")
                 if kind == "open":
-                    self._install_restored(
-                        restore_document(record["doc"]))
+                    # leading snapshots (captured after the log rotated)
+                    # may already contain a document whose open record
+                    # sits in a replayed segment: skip the redelivery
+                    restored = restore_document(record["doc"])
+                    with self._lock:
+                        present = restored.doc_id in self._entries
+                    if present:
+                        skipped += 1
+                    else:
+                        self._install_restored(restored)
                 elif kind == "close":
                     with self._lock:
                         self._entries.pop(record["doc_id"], None)
                 elif kind == "relabel":
                     entry = self._replay_entry(record["doc_id"])
-                    entry.labeling.build(entry.document)
+                    entry.rebuild_labeling()
                 elif kind == "repl-pos":
                     # a replica's replication cursor; the base store
                     # ignores it, ReplicaStore recovers its position
@@ -773,7 +957,7 @@ class DocumentStore:
                             num_shards=None,
                             clients=record.get("clients", 0))
         except Exception:
-            entry.labeling.build(entry.document)
+            entry.rebuild_labeling()
             return False
         return True
 
@@ -793,11 +977,9 @@ class DocumentStore:
     @staticmethod
     def _restored_entry(restored):
         """A resident entry rebuilt from a snapshot-form payload."""
-        entry = StoredDocument(restored.doc_id, restored.document,
-                               restored.labeling)
-        for counter, value in restored.counters.items():
-            setattr(entry, counter, value)
-        return entry
+        return StoredDocument(restored.doc_id, restored.document,
+                              restored.labeling,
+                              counters=restored.counters)
 
     def _install_restored(self, restored):
         entry = self._restored_entry(restored)
@@ -816,15 +998,19 @@ class DocumentStore:
         shards as doc-targeted :class:`ShardEnvelope` messages, so remote
         reduction workers can name the resident document they serve."""
         entry = self._require(doc_id)
-        pul = pul.copy()
-        pul.attach_labels(entry.labeling)
-        shards = shard_pul(pul, num_shards)
+        version = entry.pin()
+        try:
+            pul = pul.copy()
+            pul.attach_labels(version.labeling)
+            shards = shard_pul(pul, num_shards)
+        finally:
+            entry.unpin(version)
         envelopes = []
         for index, shard in enumerate(shards):
             envelope = ShardEnvelope(
                 pul_to_xml(shard), origin=pul.origin,
                 shard_index=index, shard_count=len(shards),
-                base_version=entry.version, doc_id=doc_id)
+                base_version=version.version, doc_id=doc_id)
             if network is not None:
                 network.send("store/{}".format(doc_id),
                              "reducer-{}".format(index), envelope,

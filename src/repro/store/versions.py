@@ -1,0 +1,102 @@
+"""Immutable published document versions — the store's MVCC core.
+
+The resident store serves reads and writes on the same documents at
+millions-of-users volume; serializing every read behind the writer's
+flush lock makes one slow XQuery stall the whole write path (and one
+slow batch stall every reader). Multi-version concurrency control
+decouples them:
+
+* every resident document has exactly one *published*
+  :class:`DocumentVersion` — an immutable ``(document, labeling)`` pair
+  stamped with the version counter it represents;
+* readers *pin* the published version (a refcount under the entry's
+  publish lock), walk it freely with no further locking, and unpin;
+* the single writer (serialized by the flush lock as before) builds
+  version N+1 on a *private working copy* and publishes it with one
+  atomic reference swap — readers mid-walk keep the version they
+  pinned, new readers see N+1.
+
+The working copy is not a per-flush deep copy: that would turn the
+O(touched) in-place apply back into O(document) per batch. Instead the
+version retired by a publish becomes the *spare*: it lags the new
+published version by exactly one batch, and the entry remembers that
+batch's reduced PUL as the spare's *catch-up*. The next flush steals
+the spare — provided no reader still pins it — replays the batch's
+structural effect (:func:`repro.apply.inplace.replay_batch`,
+deterministic and therefore byte- and id-identical to the published
+tree), copies the published version's immutable id-keyed label map
+wholesale, and mutates on. A spare still pinned by a slow reader is
+abandoned to its readers and the writer falls back to one deep copy;
+the common case pays one extra structural apply plus a dict copy per
+flush, never O(document) tree copying or label re-derivation. Entries are even *born* with a
+seeded spare — a copy made at open/restore, where the store is already
+doing O(document) work — so no flush in a document's life, not even
+the first, pays an O(document) copy.
+
+Durability-facing duck typing: a :class:`DocumentVersion` carries the
+same ``doc_id`` / ``document`` / ``labeling`` / counter attribute names
+as a resident entry, so
+:func:`repro.store.durability.snapshot.document_payload` serializes a
+pinned version directly — snapshot compaction and snapshot transfer
+capture published versions without quiescing writers.
+"""
+
+from __future__ import annotations
+
+from repro.apply.inplace import replay_batch
+from repro.errors import ReproError
+
+
+class DocumentVersion:
+    """One immutable published version of a resident document.
+
+    ``pins`` counts readers currently walking this version; it is
+    guarded by the owning entry's publish lock, not by this object. A
+    retired version with live pins is never recycled into a working
+    copy — its tree stays frozen until the last reader unpins and the
+    garbage collector takes it.
+    """
+
+    __slots__ = ("doc_id", "version", "document", "labeling", "batches",
+                 "incremental_relabels", "full_relabels", "pins")
+
+    def __init__(self, doc_id, version, document, labeling, batches=0,
+                 incremental_relabels=0, full_relabels=0):
+        self.doc_id = doc_id
+        self.version = version
+        self.document = document
+        self.labeling = labeling
+        self.batches = batches
+        self.incremental_relabels = incremental_relabels
+        self.full_relabels = full_relabels
+        self.pins = 0
+
+    def __repr__(self):
+        return "DocumentVersion(doc={!r}, v{}, pins={})".format(
+            self.doc_id, self.version, self.pins)
+
+
+def replay_catchup(spare, published, catchup):
+    """Catch the retired ``spare`` up to ``published``; returns the
+    caught-up ``(document, labeling)`` working pair.
+
+    Only the *tree* is replayed: ``catchup`` is what the publish that
+    retired the spare recorded — ``("batch", reduced_pul)`` replays the
+    flushed batch's structural effect
+    (:func:`repro.apply.inplace.replay_batch`, deterministic and
+    therefore byte- and id-identical to the published tree),
+    ``("relabel",)`` and ``None`` change no structure. The labeling is
+    never re-derived: labels are immutable and keyed by node id, and
+    the caught-up tree carries exactly the published tree's ids, so the
+    published label map is *copied* wholesale — one dict copy instead
+    of per-site code generation, which keeps the catch-up strictly
+    cheaper than the live apply it mirrors.
+    """
+    if catchup is not None:
+        kind = catchup[0]
+        if kind == "batch":
+            replay_batch(spare.document, spare.labeling, catchup[1])
+        elif kind != "relabel":
+            raise ReproError(
+                "unknown version catch-up kind {!r}".format(kind))
+    return spare.document, published.labeling.copy()

@@ -46,6 +46,10 @@ class IdAllocator:
     def next_value(self):
         return self._next
 
+    @property
+    def stride(self):
+        return self._stride
+
 
 class Document:
     """A rooted XML document with identified nodes.
@@ -219,9 +223,12 @@ class Document:
 
     def copy(self):
         """Deep copy of the document preserving node ids and the allocator
-        position (so the copy keeps allocating fresh ids)."""
+        position *and stride* (so the copy keeps allocating exactly the
+        identifiers the original would have — a strided producer's copy
+        must not collapse into another producer's id space)."""
         clone = Document(allocator=IdAllocator(
-            start=self._allocator.next_value))
+            start=self._allocator.next_value,
+            stride=self._allocator.stride))
         if self.root is not None:
             clone.set_root(self.root.deep_copy(keep_ids=True))
         return clone
