@@ -72,6 +72,10 @@ SMOKE_RUNS = (
     ("bench_query_serving.py",
      ["--scale", "0.02", "--readers", "4", "--rounds", "8",
       "--repeats", "2"]),
+    ("bench_cdc.py",
+     ["--writes", "120", "--poll-writes", "10", "--repeats", "2"]),
+    ("bench_bulk_load.py",
+     ["--docs", "120", "--chunk-docs", "40", "--repeats", "2"]),
 )
 
 #: machine-independent metric floors checked on *this* run's summary
@@ -103,7 +107,8 @@ CALIBRATION_PASSES = 3
 #: regression hidden by a slower runner) is an accepted smoke-gate
 #: tradeoff.
 IO_BOUND_BENCHES = frozenset({"bench_durability",
-                              "bench_group_commit"})
+                              "bench_group_commit",
+                              "bench_bulk_load"})
 
 #: benches whose throughput depends on the runner's *core count*
 #: (process-per-node clusters) as well as per-core speed: the CPU

@@ -27,6 +27,20 @@ Submissions accept either the PUL exchange document as text or a
 the expression form (:meth:`submit_xquery`) is the preferred surface:
 the server compiles it against the resident document, so the client
 needs no copy of the tree at all.
+
+**Close semantics (uniform across StoreClient, AsyncStoreClient and
+ClusterClient):** every client is a context manager (``with`` /
+``async with``); ``close()`` / ``aclose()`` is idempotent, in-flight
+requests fail, and **any call after close raises**
+``ProtocolError("client is closed")`` — never a raw ``AttributeError``
+or a hung socket. ``closed`` reports the state.
+
+**Subscriptions** (PR 8, CDC): :meth:`StoreClient.subscribe` is a sync
+generator and :meth:`AsyncStoreClient.subscribe` an async iterator —
+``for event in client.subscribe(doc_ids=["d1"])`` long-polls the
+server's change feed and yields events as they are published; each
+event carries its own resume ``token``. The underlying single-poll op
+is :meth:`subscribe_once` on both.
 """
 
 from __future__ import annotations
@@ -138,12 +152,66 @@ class _MethodSurface:
             return self._call("promote", allow_non_durable=True)
         return self._call("promote")
 
+    # -- CDC & bulk ETL (see repro.cdc / repro.etl) ---------------------------
+
+    @staticmethod
+    def _subscribe_args(from_token, doc_ids, decode, max_events,
+                        wait_s, subscriber):
+        args = {}
+        if from_token is not None:
+            args["from_token"] = from_token
+        if doc_ids is not None:
+            args["doc_ids"] = list(doc_ids)
+        if not decode:
+            args["decode"] = False
+        if max_events is not None:
+            args["max_events"] = max_events
+        if wait_s is not None:
+            args["wait_s"] = wait_s
+        if subscriber is not None:
+            args["subscriber"] = subscriber
+        return args
+
+    def subscribe_once(self, from_token=None, doc_ids=None, decode=True,
+                       max_events=None, wait_s=None, subscriber=None):
+        """One subscription poll; returns ``{"events", "token",
+        "end_seq", "stream"}``. Most callers want the generator form
+        (:meth:`subscribe`) instead."""
+        return self._call("subscribe", **self._subscribe_args(
+            from_token, doc_ids, decode, max_events, wait_s,
+            subscriber))
+
+    def unsubscribe(self, subscriber):
+        """Drop a named subscriber from the feed's lag accounting."""
+        return self._call("unsubscribe", subscriber=subscriber)
+
+    def bulk_import(self, docs):
+        """Load one chunk of ``{"doc_id", "xml"}`` documents
+        atomically under a single group fsync."""
+        return self._call("bulk-import", docs=list(docs))
+
+    def export(self, doc_ids=None, cursor=None, max_docs=None,
+               format=None):
+        """One page of a filtered, resumable corpus export."""
+        args = {}
+        if doc_ids is not None:
+            args["doc_ids"] = list(doc_ids)
+        if cursor is not None:
+            args["cursor"] = cursor
+        if max_docs is not None:
+            args["max_docs"] = max_docs
+        if format is not None:
+            args["format"] = format
+        return self._call("export", **args)
+
 
 class StoreClient(_MethodSurface):
     """Blocking client: one request in flight at a time.
 
-    Use as a context manager or call :meth:`close`. Construct via
-    :meth:`connect`.
+    Use as a context manager (``with StoreClient.connect(...) as c:``)
+    or call :meth:`close`. Construct via :meth:`connect`. After
+    :meth:`close`, every call raises ``ProtocolError("client is
+    closed")``.
     """
 
     def __init__(self, sock, client=None,
@@ -225,6 +293,8 @@ class StoreClient(_MethodSurface):
             self._take_id(), op, args))
 
     def _roundtrip(self, message):
+        if self._sock is None:
+            raise ProtocolError("client is closed")
         self._sock.sendall(protocol.encode_frame(
             message, self.protocol_version or 1))
         while not self._frames:
@@ -241,7 +311,38 @@ class StoreClient(_MethodSurface):
                 "{!r}".format(response_id, message["id"]))
         return result
 
+    def subscribe(self, doc_ids=None, from_token=None, decode=True,
+                  subscriber=None, wait_s=5.0, max_events=None):
+        """Stream change events as a generator: ``for event in
+        client.subscribe(doc_ids=["d1"]): ...``.
+
+        Starts at the live tail unless ``from_token`` resumes an
+        earlier position; long-polls ``wait_s`` seconds per round trip
+        and runs until the caller stops iterating. Every yielded event
+        carries its own resume ``token`` (the position *after* it) —
+        persist the last one to survive a disconnect. Typed failures
+        propagate: ``SubscriptionLaggedError`` when the resume point
+        fell out of the backlog, ``ResumeExpiredError`` after a
+        failover changed the stream epoch (re-bootstrap from
+        :meth:`export` and resume from its token).
+        """
+        token = from_token
+        while True:
+            page = self.subscribe_once(
+                from_token=token, doc_ids=doc_ids, decode=decode,
+                max_events=max_events, wait_s=wait_s,
+                subscriber=subscriber)
+            token = page["token"]
+            for event in page["events"]:
+                yield event
+
+    @property
+    def closed(self):
+        return self._sock is None
+
     def close(self):
+        """Close the connection (idempotent). Calls after this raise
+        ``ProtocolError("client is closed")``."""
         if self._sock is not None:
             try:
                 self._sock.close()
@@ -402,8 +503,34 @@ class AsyncStoreClient(_MethodSurface):
         else:
             future.set_result(result)
 
+    async def subscribe(self, doc_ids=None, from_token=None,
+                        decode=True, subscriber=None, wait_s=5.0,
+                        max_events=None):
+        """Stream change events as an async iterator: ``async for
+        event in client.subscribe(doc_ids=["d1"]): ...``.
+
+        Semantics match :meth:`StoreClient.subscribe`: starts at the
+        live tail unless ``from_token`` is given, long-polls ``wait_s``
+        per round trip, yields events carrying their own resume
+        ``token``, and raises the typed lag/epoch errors."""
+        token = from_token
+        while True:
+            page = await self.subscribe_once(
+                from_token=token, doc_ids=doc_ids, decode=decode,
+                max_events=max_events, wait_s=wait_s,
+                subscriber=subscriber)
+            token = page["token"]
+            for event in page["events"]:
+                yield event
+
+    @property
+    def closed(self):
+        return self._closed
+
     async def aclose(self):
-        """Close the connection; in-flight requests fail."""
+        """Close the connection (idempotent); in-flight requests fail
+        and calls after this raise ``ProtocolError("client is
+        closed")``."""
         if self._closed:
             return
         self._closed = True
@@ -416,7 +543,7 @@ class AsyncStoreClient(_MethodSurface):
         for future in self._pending.values():
             if not future.done():
                 future.set_exception(
-                    ProtocolError("client closed"))
+                    ProtocolError("client is closed"))
         self._pending.clear()
         try:
             self._writer.close()

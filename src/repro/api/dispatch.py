@@ -190,6 +190,76 @@ class StoreDispatcher:
         payloads, seq = self.store.capture_state()
         return {"docs": payloads, "seq": seq, "stream": source.stream_id}
 
+    # -- CDC & bulk ETL (see repro.cdc / repro.etl) ---------------------------
+
+    def subscribe(self, from_token=None, doc_ids=None, decode=None,
+                  max_events=None, wait_s=None, subscriber=None):
+        """One subscription poll against the change feed: events at or
+        after ``from_token`` (the live tail when omitted), filtered to
+        ``doc_ids``, decoded (PUL op summaries) unless ``decode`` is
+        false. Stateless server-side — the resume token in the result
+        is the whole subscription state."""
+        # imported lazily, like the cluster surface below
+        from repro.cdc.feed import ChangeFeed
+
+        if from_token is not None and not isinstance(from_token, str):
+            raise ProtocolError("subscribe \"from_token\" must be a "
+                                "string")
+        if doc_ids is not None and not isinstance(doc_ids,
+                                                  (list, tuple)):
+            raise ProtocolError("subscribe \"doc_ids\" must be a list")
+        if subscriber is not None and not isinstance(subscriber, str):
+            raise ProtocolError("subscribe \"subscriber\" must be a "
+                                "string")
+        feed = ChangeFeed(self._source())
+        return feed.read(
+            from_token=from_token, doc_ids=doc_ids,
+            decode=True if decode is None else bool(decode),
+            max_events=max_events,
+            wait_s=0.0 if wait_s is None else wait_s,
+            subscriber=subscriber)
+
+    def unsubscribe(self, subscriber):
+        """Drop a named subscriber from the feed's lag accounting."""
+        if not isinstance(subscriber, str):
+            raise ProtocolError("unsubscribe \"subscriber\" must be a "
+                                "string")
+        return {"subscriber": subscriber,
+                "forgotten": self._source().forget_subscriber(
+                    subscriber)}
+
+    def bulk_import(self, docs):
+        """Load one ETL chunk (``[{"doc_id", "xml"}]``) atomically
+        under a single group fsync."""
+        if not isinstance(docs, (list, tuple)):
+            raise ProtocolError(
+                "bulk-import needs \"docs\" as a list of "
+                "{doc_id, xml} objects")
+        for doc in docs:
+            if not isinstance(doc, dict):
+                raise ProtocolError(
+                    "bulk-import documents must be objects, got "
+                    "{}".format(type(doc).__name__))
+        return self.store.bulk_load(docs)
+
+    def export(self, doc_ids=None, cursor=None, max_docs=None,
+               format=None):
+        """One page of a filtered, resumable corpus export, read from
+        pinned MVCC versions; carries the CDC resume token matching
+        the exported state when replication is enabled."""
+        from repro.cdc.tokens import encode_token
+
+        if doc_ids is not None and not isinstance(doc_ids,
+                                                  (list, tuple)):
+            raise ProtocolError("export \"doc_ids\" must be a list")
+        result = self.store.export_state(
+            doc_ids=doc_ids, cursor=cursor, limit=max_docs,
+            form="xml" if format is None else format)
+        result["token"] = (
+            None if result["stream"] is None
+            else encode_token(result["stream"], result["seq"]))
+        return result
+
     def promote(self, allow_non_durable=None):
         """Convert a replica into a leader (manual failover)."""
         promote = getattr(self.store, "promote", None)

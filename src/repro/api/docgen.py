@@ -1,0 +1,117 @@
+"""Generate the op and error tables of ``api/README.md``.
+
+The operation registry (:mod:`repro.api.ops`) and the error-code
+registry (:mod:`repro.errors`) are the single source of truth for the
+wire surface; this module renders them into the marked regions of the
+protocol spec so the document can never drift from the code. Each
+region sits between ``<!-- BEGIN GENERATED: name -->`` / ``<!-- END
+GENERATED: name -->`` markers; everything outside the markers is
+hand-written prose and untouched.
+
+Usage::
+
+    python -m repro.api.docgen            # rewrite README.md in place
+    python -m repro.api.docgen --check    # exit 1 when out of sync (CI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.api.ops import OPS
+from repro.errors import _CODE_REGISTRY
+
+README = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "README.md")
+
+
+def _cell(names):
+    return ", ".join("`{}`".format(name) for name in names)
+
+
+def render_op_codes():
+    lines = ["| code | op |", "|------|----|"]
+    for spec in OPS:
+        lines.append("| {} | `{}` |".format(spec.code, spec.name))
+    lines.append("| 0xFF | *named-op escape* | ")
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def render_ops(group):
+    lines = ["| op | required args | optional | result |",
+             "|----|---------------|----------|--------|"]
+    for spec in OPS:
+        if spec.group != group:
+            continue
+        lines.append("| `{}` | {} | {} | {} |".format(
+            spec.name, _cell(spec.required), _cell(spec.optional),
+            spec.result))
+    return "\n".join(lines)
+
+
+def render_error_codes():
+    lines = ["| code | raised as | meaning |",
+             "|------|-----------|---------|"]
+    for code, klass in _CODE_REGISTRY.items():
+        lines.append("| `{}` | `{}` | {} |".format(
+            code, klass.__name__, klass.wire_doc))
+    return "\n".join(lines)
+
+
+#: region name -> renderer; region names appear in the README markers
+REGIONS = {
+    "op-codes": render_op_codes,
+    "ops-core": lambda: render_ops("core"),
+    "ops-replication": lambda: render_ops("replication"),
+    "ops-cdc": lambda: render_ops("cdc"),
+    "error-codes": render_error_codes,
+}
+
+
+def apply(text):
+    """README text with every generated region re-rendered."""
+    for name, render in REGIONS.items():
+        begin = "<!-- BEGIN GENERATED: {} -->".format(name)
+        end = "<!-- END GENERATED: {} -->".format(name)
+        if begin not in text or end not in text:
+            raise ValueError(
+                "api/README.md lost its {!r} markers".format(name))
+        head, rest = text.split(begin, 1)
+        __, tail = rest.split(end, 1)
+        text = head + begin + "\n" + render() + "\n" + end + tail
+    return text
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="(re)generate the registry tables in api/README.md")
+    parser.add_argument("--check", action="store_true",
+                        help="verify instead of write; exit 1 on drift")
+    parser.add_argument("--path", default=README,
+                        help="README to process (default: the "
+                             "package's)")
+    args = parser.parse_args(argv)
+    with open(args.path, "r", encoding="utf-8") as handle:
+        current = handle.read()
+    rendered = apply(current)
+    if args.check:
+        if rendered != current:
+            sys.stderr.write(
+                "api/README.md is out of sync with the op/error "
+                "registries — run `python -m repro.api.docgen`\n")
+            return 1
+        print("api/README.md is in sync with the registries")
+        return 0
+    if rendered != current:
+        with open(args.path, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print("api/README.md regenerated")
+    else:
+        print("api/README.md already in sync")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

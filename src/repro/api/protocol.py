@@ -66,6 +66,7 @@ from __future__ import annotations
 import json
 import struct
 
+from repro.api.ops import OP_CODES
 from repro.errors import ProtocolError, ReproError
 
 #: protocol versions this implementation can speak, ascending. A wire
@@ -125,14 +126,10 @@ _V2_OK = 0x02
 _V2_ERROR = 0x03
 
 #: request op names packed to one byte; part of the wire spec (see
-#: api/README.md) — codes are append-only, never reused
-OP_CODES = {
-    "hello": 0, "open": 1, "submit": 2, "submit_xquery": 3,
-    "flush": 4, "flush_all": 5, "discard": 6, "text": 7, "stats": 8,
-    "docs": 9, "snapshot": 10, "query": 11,
-    "replicate-subscribe": 12, "wal-segment": 13,
-    "snapshot-transfer": 14, "promote": 15,
-}
+#: api/README.md) — codes are append-only, never reused. Declared in
+#: the operation registry (:mod:`repro.api.ops`), the single source of
+#: truth the dispatch table and the generated docs share; re-exported
+#: here because this module *is* the wire spec.
 OP_NAMES = {code: name for name, code in OP_CODES.items()}
 
 #: op-code escape: the op travels as a string value (future ops an

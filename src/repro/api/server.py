@@ -47,7 +47,7 @@ import socket
 import stat
 import sys
 
-from repro.api import protocol
+from repro.api import ops, protocol
 from repro.api.dispatch import StoreDispatcher
 from repro.errors import ProtocolError, ReproError
 
@@ -155,28 +155,10 @@ class StoreServer:
 
     #: ``op -> (dispatcher method, required args, optional args)`` —
     #: the dispatch table both transports are built from (the line
-    #: protocol reaches the same methods through its own arg parsing)
-    DISPATCH = {
-        "open": ("open", ("doc_id", "xml"), ()),
-        "submit": ("submit", ("doc_id", "pul"), ("client",)),
-        "submit_xquery": ("submit_xquery", ("doc_id", "query"),
-                          ("client",)),
-        "flush": ("flush", ("doc_id",), ()),
-        "flush_all": ("flush_all", (), ()),
-        "discard": ("discard", ("doc_id",), ()),
-        "text": ("text", ("doc_id",), ()),
-        "stats": ("stats", (), ("doc_id",)),
-        "docs": ("docs", (), ()),
-        "snapshot": ("snapshot", (), ()),
-        "query": ("query", ("doc_id", "path"), ()),
-        # replication (see repro.cluster): followers stream the
-        # leader's write-ahead log and bootstrap from state transfers
-        "replicate-subscribe": ("replicate_subscribe", (), ("replica",)),
-        "wal-segment": ("wal_segment", ("from_seq",),
-                        ("replica", "max_records", "wait_s")),
-        "snapshot-transfer": ("snapshot_transfer", (), ()),
-        "promote": ("promote", (), ("allow_non_durable",)),
-    }
+    #: protocol reaches the same methods through its own arg parsing).
+    #: Derived from the operation registry (:mod:`repro.api.ops`), the
+    #: same declaration the v2 op codes and the generated docs use.
+    DISPATCH = ops.dispatch_table()
 
     def __init__(self, store=None, host=None, port=0, unix_path=None,
                  max_pipeline=DEFAULT_MAX_PIPELINE, executor_workers=8):
@@ -198,7 +180,7 @@ class StoreServer:
         self._executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=executor_workers,
             thread_name_prefix="store-server")
-        # replication long-polls (`wal-segment` with wait_s) park a
+        # long-polls (`wal-segment` / `subscribe` with wait_s) park a
         # thread for seconds at a time; on the shared pool, enough
         # followers would occupy every worker and stall each write
         # until a poll deadline expired — so polls get their own pool
@@ -323,7 +305,7 @@ class StoreServer:
         if op in ("submit", "submit_xquery"):
             call_args.setdefault("client", session.client)
         method = getattr(self.dispatcher, method_name)
-        executor = (self._poll_executor if op == "wal-segment"
+        executor = (self._poll_executor if op in ops.POLL_OPS
                     else self._executor)
         return executor, functools.partial(method, **call_args)
 
@@ -349,7 +331,8 @@ class StoreServer:
         8 executor round trips plus 8 drains. Here consecutive
         shared-executor commands run in ONE executor hop (sequentially
         in the worker, preserving per-connection order) — only
-        long-poll ops (``wal-segment``, which parks its thread) and
+        long-poll ops (:data:`repro.api.ops.POLL_OPS`, which park
+        their thread) and
         planning failures break the run.
         """
         loop = asyncio.get_running_loop()

@@ -1,0 +1,27 @@
+"""Change-data-capture: the replication feed as a public surface.
+
+:mod:`repro.cluster` treats the write-ahead log as replication
+transport — followers speak raw ``wal-segment`` pulls and replay every
+record. This package turns the same numbered, epoch-fenced stream into
+an integration surface for downstream consumers:
+
+- :mod:`repro.cdc.tokens` — opaque, checksummed resume tokens binding
+  a stream epoch to a log sequence;
+- :mod:`repro.cdc.feed` — :class:`ChangeFeed`, the subscription view
+  over a :class:`~repro.cluster.feed.ReplicationSource`: per-document
+  filters, decoded or raw delivery, typed lag/epoch errors;
+- :mod:`repro.cdc.mirror` — :class:`DocumentMirror`, an idempotent
+  consumer that rebuilds byte-identical documents from raw events
+  (the reference subscriber used by tests and benchmarks).
+"""
+
+from repro.cdc.feed import ChangeFeed
+from repro.cdc.mirror import DocumentMirror
+from repro.cdc.tokens import decode_token, encode_token
+
+__all__ = [
+    "ChangeFeed",
+    "DocumentMirror",
+    "decode_token",
+    "encode_token",
+]

@@ -1,0 +1,136 @@
+""":class:`DocumentMirror` — the reference CDC consumer.
+
+A mirror rebuilds resident documents from the **raw** event stream
+(``decode=False`` subscriptions) exactly the way crash recovery and
+replicas replay the log: snapshot-form ``open`` payloads restore the
+producer's node identifiers, ``batch`` records are reduced sequentially
+and made effective with the in-memory evaluator preserving those
+identifiers, and the per-document version counter absorbs at-least-once
+redelivery. Byte-identity of a mirror against the leader (and against
+:class:`~repro.store.store.StatelessBaseline`) is the CDC correctness
+property the e2e suite pins.
+
+The apply switch mirrors :func:`repro.store.durability.replay_oracle`
+on purpose — a CDC consumer is a replayer that happens to live outside
+the process.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClusterError
+from repro.pul.semantics import apply_pul
+from repro.pul.serialize import pul_from_xml
+from repro.reduction import reduce_deterministic
+from repro.store.durability.snapshot import restore_document
+from repro.xdm.serializer import serialize
+
+
+class DocumentMirror:
+    """Idempotent document reconstruction from raw change events."""
+
+    def __init__(self):
+        self._docs = {}       # doc_id -> Document
+        self._versions = {}   # doc_id -> applied version
+
+    # -- bootstrap ------------------------------------------------------------
+
+    def bootstrap(self, payloads):
+        """Reset the mirror from snapshot-form payloads (an ``export``
+        in ``state`` form). Pair with the export's resume token: the
+        token was read *before* the payloads were pinned, so resuming
+        from it re-delivers at most changes the payloads already
+        contain — absorbed below by the version check."""
+        self._docs = {}
+        self._versions = {}
+        for payload in payloads:
+            restored = restore_document(payload)
+            self._docs[restored.doc_id] = restored.document
+            self._versions[restored.doc_id] = \
+                restored.counters["version"]
+
+    # -- the apply switch -----------------------------------------------------
+
+    def apply(self, event):
+        """Make one raw subscription event effective.
+
+        Accepts the event objects a ``decode=False`` subscription
+        delivers (``{"seq", "token", "record"}``). Returns ``True``
+        when the event changed mirror state, ``False`` when it was
+        absorbed as a duplicate or carried no document change.
+        """
+        record = event["record"] if "record" in event else event
+        kind = record.get("kind")
+        if kind == "open":
+            return self._apply_open(record)
+        if kind == "close":
+            doc_id = record["doc_id"]
+            present = doc_id in self._docs
+            self._docs.pop(doc_id, None)
+            self._versions.pop(doc_id, None)
+            return present
+        if kind == "batch":
+            return self._apply_batch(record)
+        if kind in ("relabel", "repl-pos"):
+            return False  # labels/cursors never change document bytes
+        raise ClusterError(
+            "unknown change-event kind {!r}".format(kind))
+
+    def apply_all(self, events):
+        """Apply a poll's worth of events; returns the applied count."""
+        return sum(1 for event in events if self.apply(event))
+
+    def _apply_open(self, record):
+        restored = restore_document(record["doc"])
+        if restored.doc_id in self._docs:
+            return False  # redelivered open of a resident document
+        self._docs[restored.doc_id] = restored.document
+        self._versions[restored.doc_id] = restored.counters["version"]
+        return True
+
+    def _apply_batch(self, record):
+        doc_id = record["doc_id"]
+        document = self._docs.get(doc_id)
+        if document is None:
+            raise ClusterError(
+                "change event targets {!r} but the mirror holds no "
+                "base state for it — bootstrap from an export "
+                "first".format(doc_id))
+        version = record["version"]
+        current = self._versions[doc_id]
+        if version <= current:
+            return False  # at-least-once redelivery, already covered
+        if version > current + 1:
+            raise ClusterError(
+                "change feed gap on {!r}: event names version {} but "
+                "the mirror is at {}".format(doc_id, version, current))
+        try:
+            reduced = reduce_deterministic(pul_from_xml(record["pul"]))
+            reduced.check_compatible()
+            working = document.copy()
+            apply_pul(working, reduced, check=False, preserve_ids=True)
+        except Exception:
+            # the leader skipped this logged batch too (failed flush);
+            # its version number will be reused by the next batch
+            return False
+        self._docs[doc_id] = working
+        self._versions[doc_id] = version
+        return True
+
+    # -- reads ----------------------------------------------------------------
+
+    def doc_ids(self):
+        return sorted(self._docs, key=str)
+
+    def version(self, doc_id):
+        return self._versions.get(doc_id)
+
+    def text(self, doc_id):
+        """Serialized bytes of the mirrored document."""
+        document = self._docs.get(doc_id)
+        if document is None:
+            raise ClusterError(
+                "mirror holds no document {!r}".format(doc_id))
+        return serialize(document)
+
+    def __repr__(self):
+        return "DocumentMirror(documents={})".format(len(self._docs))

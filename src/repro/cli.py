@@ -23,7 +23,11 @@ Subcommands mirror the library's pipeline (``-`` reads stdin):
   ``store recover`` rebuilds state from a durability directory
   (``--verify`` byte-compares against the stateless replay oracle);
   ``store bench`` reports resident-incremental vs parse+full-relabel
-  throughput;
+  throughput; ``store import``/``store export`` are the streaming bulk
+  ETL pair — chunked group-committed loads of XML corpora, and
+  filtered resumable dumps whose resume token anchors a CDC
+  subscription (``--target`` a running server or ``--wal-dir`` a local
+  directory);
 * ``cluster``   — the replicated multi-node deployment:
   ``cluster serve --role leader|replica`` runs one node (leaders ship
   their write-ahead log, replicas stream it and serve reads),
@@ -50,6 +54,7 @@ from repro.apply.events import events_to_xml, parse_events
 from repro.apply.inmemory import apply_in_memory
 from repro.apply.streaming import apply_streaming
 from repro.errors import ReproError
+from repro.etl.importer import DEFAULT_CHUNK_DOCS
 from repro.integration import ProducerPolicy, integrate, reconcile
 from repro.labeling import ContainmentLabeling
 from repro.pipeline import DEFAULT_BATCH_SIZE, run_pipeline
@@ -237,6 +242,10 @@ def cmd_store_serve(args, out):
                           max_code_length=args.max_code_length,
                           on_conflict=args.on_conflict,
                           durability=policy, wal_dir=wal_dir)
+    if getattr(args, "replicate", False):
+        # standalone CDC: publish the WAL as a change feed so
+        # `subscribe`/`export` work without a cluster deployment
+        store.enable_replication()
     if store.recovery is not None:
         # the report goes to stderr so the protocol stream stays a pure
         # one-response-per-command channel
@@ -326,6 +335,99 @@ def cmd_store_bench(args, out):
         seed=args.seed, min_depth=args.min_depth)
     for line in report.lines():
         out.write(line + "\n")
+    return 0
+
+
+def _etl_store(args):
+    """Open the local store an ETL command targets (``--wal-dir``)."""
+    policy, wal_dir = _durability_policy(args)
+    if wal_dir is None:
+        raise ReproError("store import/export needs --target host:port "
+                         "(a running server) or --wal-dir (a durability "
+                         "directory)")
+    store = DocumentStore(workers=args.workers, backend=args.backend,
+                          max_code_length=args.max_code_length,
+                          durability=policy, wal_dir=wal_dir)
+    if store.recovery is not None:
+        for line in store.recovery.lines():
+            sys.stderr.write("recover: {}\n".format(line))
+    return store
+
+
+def cmd_store_import(args, out):
+    from repro.etl import BulkImporter
+
+    def progress(line):
+        if args.verbose:
+            out.write(line + "\n")
+
+    store = client = None
+    try:
+        if args.target:
+            from repro.api.client import StoreClient
+            from repro.cluster import parse_address
+
+            host, port = parse_address(args.target)
+            client = StoreClient.connect(host=host, port=port)
+            load = client.bulk_import
+        else:
+            store = _etl_store(args)
+            load = store.bulk_load
+        importer = BulkImporter(load, chunk_docs=args.chunk_docs,
+                                max_errors=args.max_errors,
+                                doc_prefix=args.doc_prefix,
+                                progress=progress)
+        report = importer.run(args.paths)
+    finally:
+        if client is not None:
+            client.close()
+        if store is not None:
+            store.close()
+    for reject in report.rejected:
+        out.write("reject {}: {}\n".format(reject["source"],
+                                           reject["reason"]))
+    out.write("imported {} of {} document(s) ({} nodes, {} chunk(s), "
+              "{} rejected)\n".format(
+                  report.loaded, report.scanned, report.nodes,
+                  report.chunks, len(report.rejected)))
+    return 0
+
+
+def cmd_store_export(args, out):
+    from repro.etl import export_corpus
+
+    def progress(line):
+        if args.verbose:
+            out.write(line + "\n")
+
+    store = client = None
+    try:
+        if args.target:
+            from repro.api.client import StoreClient
+            from repro.cluster import parse_address
+
+            host, port = parse_address(args.target)
+            client = StoreClient.connect(host=host, port=port)
+            export = client.export
+        else:
+            from repro.api.dispatch import StoreDispatcher
+
+            store = _etl_store(args)
+            export = StoreDispatcher(store).export
+        result = export_corpus(export, out_dir=args.out_dir,
+                               doc_ids=args.docs or None,
+                               page_size=args.page_size,
+                               form=args.format, progress=progress)
+    finally:
+        if client is not None:
+            client.close()
+        if store is not None:
+            store.close()
+    out.write("exported {} document(s) in {} page(s) to {}\n".format(
+        result["docs"], result["pages"],
+        args.out_dir if args.out_dir else "stdout report"))
+    if result["token"]:
+        out.write("resume token: {}\n".format(result["token"]))
     return 0
 
 
@@ -570,6 +672,10 @@ def build_parser():
                                 "pipelined requests (network mode)")
     serve_cmd.add_argument("--on-conflict", default="error",
                            choices=("error", "reconcile"))
+    serve_cmd.add_argument("--replicate", action="store_true",
+                           help="publish the write-ahead log as a "
+                                "change feed (enables subscribe/export "
+                                "CDC ops; needs --wal-dir)")
     serve_cmd.set_defaults(func=cmd_store_serve)
 
     recover_cmd = store_commands.add_parser(
@@ -602,6 +708,54 @@ def build_parser():
     store_bench_cmd.add_argument("--seed", type=int, default=11)
     store_bench_cmd.add_argument("--min-depth", type=int, default=0)
     store_bench_cmd.set_defaults(func=cmd_store_bench)
+
+    def _etl_target_options(parser_):
+        parser_.add_argument("--target", default=None,
+                             metavar="HOST:PORT",
+                             help="a running store server (the leader "
+                                  "in a cluster); mutually exclusive "
+                                  "with --wal-dir")
+        parser_.add_argument("--verbose", action="store_true",
+                             help="report per-chunk/per-page progress")
+
+    import_cmd = store_commands.add_parser(
+        "import", help="streaming bulk load: XML files/directories -> "
+                       "parse -> label -> group-committed chunks")
+    _store_options(import_cmd)
+    _durability_options(import_cmd)
+    _etl_target_options(import_cmd)
+    import_cmd.add_argument("paths", nargs="+",
+                            help=".xml files or directories (walked "
+                                 "recursively); doc id = file stem")
+    import_cmd.add_argument("--doc-prefix", default="",
+                            help="prefix prepended to every doc id")
+    import_cmd.add_argument("--chunk-docs", type=int,
+                            default=DEFAULT_CHUNK_DOCS,
+                            help="documents per group-committed chunk")
+    import_cmd.add_argument("--max-errors", type=int, default=None,
+                            help="abort (import-aborted) after this "
+                                 "many rejects (default: tolerate all; "
+                                 "rejects are reported either way)")
+    import_cmd.set_defaults(func=cmd_store_import)
+
+    export_cmd = store_commands.add_parser(
+        "export", help="filtered, resumable corpus dump from pinned "
+                       "MVCC versions")
+    _store_options(export_cmd)
+    _durability_options(export_cmd)
+    _etl_target_options(export_cmd)
+    export_cmd.add_argument("--out-dir", default=None,
+                            help="write each document's XML here "
+                                 "(default: report only)")
+    export_cmd.add_argument("--docs", nargs="*", default=None,
+                            help="restrict the dump to these doc ids")
+    export_cmd.add_argument("--page-size", type=int, default=64,
+                            help="documents per export page")
+    export_cmd.add_argument("--format", default="xml",
+                            choices=("xml", "state"),
+                            help="payload form: serialized xml or "
+                                 "snapshot-form state (mirrors)")
+    export_cmd.set_defaults(func=cmd_store_export)
 
     cluster_cmd = commands.add_parser(
         "cluster", help="replicated multi-node deployment "

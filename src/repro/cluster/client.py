@@ -28,7 +28,12 @@ import time
 
 from repro.api.client import StoreClient
 from repro.cluster.sync import parse_address
-from repro.errors import ClusterError, ConnectionLostError, NotLeaderError
+from repro.errors import (
+    ClusterError,
+    ConnectionLostError,
+    NotLeaderError,
+    ProtocolError,
+)
 
 #: virtual nodes per shard on the ring — enough that the arc sizes even
 #: out across shards without making lookups measurably slower
@@ -144,6 +149,7 @@ class ClusterClient:
         self.backoff = backoff
         self.max_backoff = max_backoff
         self.timeout = timeout
+        self._closed = False
         self._shards = {}
         names = []
         for spec in shards:
@@ -177,6 +183,10 @@ class ClusterClient:
 
     # -- routed calls --------------------------------------------------------
 
+    def _check_open(self):
+        if self._closed:
+            raise ProtocolError("client is closed")
+
     def _call_leader(self, shard, op, **args):
         """Run one op against a shard's leader.
 
@@ -189,6 +199,7 @@ class ClusterClient:
         (:class:`ConnectionLostError` / ``OSError``) move on to the
         next candidate, real command failures propagate immediately.
         """
+        self._check_open()
         candidates = [shard.leader]
         probed_replicas = False
         tried = set()
@@ -233,6 +244,7 @@ class ClusterClient:
     def _call_read(self, shard, op, **args):
         """Run a read: round-robin across the shard's replicas, leader
         as the fallback (and the only target when fan-out is off)."""
+        self._check_open()
         if not (self.read_replicas and shard.replicas):
             return self._call_leader(shard, op, **args)
         turn = shard._read_turn % len(shard.replicas)
@@ -320,7 +332,73 @@ class ClusterClient:
             results.extend(outcome["results"])
         return {"batches": batches, "ops": ops, "results": results}
 
+    # -- CDC & bulk ETL (see repro.cdc / repro.etl) ---------------------------
+
+    def _shard_for_all(self, doc_ids, op):
+        """The single shard owning every id in ``doc_ids`` (document
+        subscriptions are per-shard streams; spanning two leaders
+        would interleave two unrelated epochs)."""
+        names = {self.ring.lookup(doc_id) for doc_id in doc_ids}
+        if len(names) != 1:
+            raise ClusterError(
+                "{} spans shards {} — open one subscription per "
+                "shard".format(op, ", ".join(sorted(names))))
+        return self._shards[names.pop()]
+
+    def subscribe(self, doc_ids, from_token=None, decode=True,
+                  subscriber=None, wait_s=5.0, max_events=None):
+        """Stream change events for ``doc_ids`` (all on one shard) as
+        a generator — the routed counterpart of
+        :meth:`StoreClient.subscribe`, following leader redirects
+        between polls."""
+        doc_ids = ([doc_ids] if isinstance(doc_ids, str)
+                   else list(doc_ids))
+        shard = self._shard_for_all(doc_ids, "subscribe")
+        token = from_token
+        while True:
+            page = self._call_leader(
+                shard, "subscribe_once", from_token=token,
+                doc_ids=doc_ids, decode=decode, max_events=max_events,
+                wait_s=wait_s, subscriber=subscriber)
+            token = page["token"]
+            for event in page["events"]:
+                yield event
+
+    def unsubscribe(self, subscriber, doc_ids):
+        """Drop a named subscriber on the shard serving ``doc_ids``."""
+        doc_ids = ([doc_ids] if isinstance(doc_ids, str)
+                   else list(doc_ids))
+        return self._call_leader(
+            self._shard_for_all(doc_ids, "unsubscribe"),
+            "unsubscribe", subscriber=subscriber)
+
+    def bulk_import(self, docs):
+        """Route one ETL chunk across the ring: documents are grouped
+        by owning shard and each group loads atomically on its leader
+        (per-shard atomicity — the cross-shard chunk is not)."""
+        groups = {}
+        for doc in docs:
+            doc_id = doc["doc_id"] if isinstance(doc, dict) else doc[0]
+            groups.setdefault(self.ring.lookup(doc_id),
+                              []).append(doc)
+        loaded, nodes, doc_ids = 0, 0, []
+        for name, group in groups.items():
+            result = self._call_leader(self._shards[name],
+                                       "bulk_import", docs=group)
+            loaded += result["loaded"]
+            nodes += result["nodes"]
+            doc_ids.extend(result["doc_ids"])
+        return {"loaded": loaded, "nodes": nodes, "doc_ids": doc_ids,
+                "shards": len(groups)}
+
+    @property
+    def closed(self):
+        return self._closed
+
     def close(self):
+        """Close every pooled connection (idempotent). Calls after
+        this raise ``ProtocolError("client is closed")``."""
+        self._closed = True
         for shard in self._shards.values():
             shard.close()
 

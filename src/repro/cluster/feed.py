@@ -202,6 +202,17 @@ class ReplicationSource:
             return {"seq": self._next_seq, "first_seq": self._first_seq,
                     "backlog": self.backlog, "stream": self.stream_id}
 
+    def forget_subscriber(self, replica):
+        """Drop a named subscriber from the lag stats.
+
+        Backs the ``unsubscribe`` protocol op: a CDC consumer that is
+        done should not linger in :attr:`subscribers` for
+        :data:`SUBSCRIBER_TTL_S` and skew the lag numbers an operator
+        reads. Returns whether the name was present.
+        """
+        with self._lock:
+            return self.subscribers.pop(str(replica), None) is not None
+
     def read_from(self, from_seq, limit=DEFAULT_SEGMENT_RECORDS,
                   wait_s=0.0, replica=None):
         """Records ``from_seq ..`` (at most ``limit``), long-polling up

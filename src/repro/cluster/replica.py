@@ -70,6 +70,10 @@ class ReplicaStore(DocumentStore):
         self._reject_write("close")
         return super().close_document(doc_id)
 
+    def bulk_load(self, docs):
+        self._reject_write("bulk-import")
+        return super().bulk_load(docs)
+
     def submit(self, doc_id, pul, client=None):
         self._reject_write("submit")
         return super().submit(doc_id, pul, client=client)

@@ -27,6 +27,8 @@ class ReproError(Exception):
 
     #: stable machine-readable error code (see the module docstring)
     code = "repro"
+    wire_doc = ("generic library failure (also: unknown codes from "
+                "newer servers)")
 
     #: attribute names copied into ``to_dict()``'s ``details`` object
     #: (values must be JSON-serializable; informational on the far side)
@@ -91,6 +93,7 @@ class XMLSyntaxError(ReproError):
     """
 
     code = "xml-syntax"
+    wire_doc = "malformed document text (`details.position`)"
     detail_attrs = ("position",)
 
     def __init__(self, message, position=None):
@@ -104,12 +107,14 @@ class DocumentError(ReproError):
     """Raised on invalid document manipulation (unknown node, bad shape)."""
 
     code = "document"
+    wire_doc = "invalid document manipulation"
 
 
 class UnknownNodeError(DocumentError):
     """Raised when a node id does not belong to the document."""
 
     code = "unknown-node"
+    wire_doc = "node id not in the document (`details.node_id`)"
     detail_attrs = ("node_id",)
 
     def __init__(self, node_id):
@@ -122,6 +127,8 @@ class InvalidOperationError(ReproError):
     parameters (violating the static conditions of Table 2)."""
 
     code = "invalid-operation"
+    wire_doc = ("static-condition violation on an update op (Table "
+                "2)")
 
 
 class NotApplicableError(ReproError):
@@ -131,6 +138,7 @@ class NotApplicableError(ReproError):
     """
 
     code = "not-applicable"
+    wire_doc = "PUL not applicable (Definition 1/4)"
 
 
 class IncompatibleOperationsError(NotApplicableError):
@@ -138,6 +146,7 @@ class IncompatibleOperationsError(NotApplicableError):
     e.g. two renames of the same node."""
 
     code = "incompatible-operations"
+    wire_doc = "incompatible ops in one PUL (Definition 3)"
 
     def __init__(self, op1, op2):
         super().__init__(
@@ -151,12 +160,14 @@ class MergeError(ReproError):
     """Raised when two PULs cannot be merged (Definition 5)."""
 
     code = "merge"
+    wire_doc = "PULs cannot be merged (Definition 5)"
 
 
 class SerializationError(ReproError):
     """Raised on malformed PUL exchange documents."""
 
     code = "serialization"
+    wire_doc = "malformed PUL exchange document"
 
 
 class LabelingError(ReproError):
@@ -164,6 +175,7 @@ class LabelingError(ReproError):
     labels from different schemes compared)."""
 
     code = "labeling"
+    wire_doc = "invalid labeling-scheme use"
 
 
 class ReconciliationError(ReproError):
@@ -171,6 +183,7 @@ class ReconciliationError(ReproError):
     satisfying the producers' policies (Algorithm 3 abort)."""
 
     code = "reconciliation"
+    wire_doc = "no valid reconciliation (Algorithm 3 abort)"
     detail_attrs = ("reason",)
 
     def __init__(self, conflict, reason):
@@ -186,6 +199,8 @@ class DurabilityError(ReproError):
     the tolerated torn tail, unwritable durability directories, ...)."""
 
     code = "durability"
+    wire_doc = ("WAL/snapshot failure, snapshot on a non-durable "
+                "store")
 
 
 class WalPoisonedError(DurabilityError):
@@ -196,6 +211,8 @@ class WalPoisonedError(DurabilityError):
     bytes would be unreachable to recovery."""
 
     code = "wal-poisoned"
+    wire_doc = ("the write-ahead log can no longer accept records; "
+                "the store stops acknowledging batches")
 
 
 class RecoveryError(DurabilityError):
@@ -203,6 +220,7 @@ class RecoveryError(DurabilityError):
     snapshot generation, replay diverging from the logged versions)."""
 
     code = "recovery"
+    wire_doc = "durable state cannot be reconstructed"
 
 
 class RemoteOSError(ReproError):
@@ -214,6 +232,8 @@ class RemoteOSError(ReproError):
     :class:`ReproError`."""
 
     code = "os"
+    wire_doc = ("server-side `OSError` (disk full, permission "
+                "denied, ...) hit while executing a command")
 
 
 class ProtocolError(ReproError):
@@ -222,6 +242,8 @@ class ProtocolError(ReproError):
     required fields, or a failed protocol-version negotiation."""
 
     code = "protocol"
+    wire_doc = ("malformed frame/request, failed negotiation, "
+                "unknown op")
 
 
 class ConnectionLostError(ProtocolError):
@@ -232,6 +254,10 @@ class ConnectionLostError(ProtocolError):
     sound."""
 
     code = "connection-lost"
+    wire_doc = ("client-side only: the transport died "
+                "mid-conversation (EOF mid-response, reset) — the "
+                "failure names the node, not the request, so routers "
+                "retry elsewhere")
 
 
 class ClusterError(ReproError):
@@ -239,6 +265,9 @@ class ClusterError(ReproError):
     misconfigured roles, replication feeds on non-durable stores, ..."""
 
     code = "cluster"
+    wire_doc = ("replication misuse (replication op on a "
+                "non-replicating node, promote on a plain store, "
+                "stream gap)")
 
 
 class NotLeaderError(ClusterError):
@@ -248,6 +277,9 @@ class NotLeaderError(ClusterError):
     redirect instead of surfacing the failure."""
 
     code = "not-leader"
+    wire_doc = ("a write (or replication-stream op) reached a "
+                "replica; `details.leader` carries the leader's "
+                "`host:port` so routing clients follow the redirect")
     detail_attrs = ("leader",)
 
     def __init__(self, leader=None, operation=None):
@@ -267,6 +299,9 @@ class ReplicationResetError(ClusterError):
     from a full snapshot transfer."""
 
     code = "replication-reset"
+    wire_doc = ("the follower's `from_seq` is older than the "
+                "leader's retained backlog (`details.first_seq`); "
+                "re-bootstrap from `snapshot-transfer`")
     detail_attrs = ("first_seq",)
 
     def __init__(self, requested, first_seq):
@@ -277,16 +312,82 @@ class ReplicationResetError(ClusterError):
         self.first_seq = first_seq
 
 
+class SubscriptionLaggedError(ClusterError):
+    """Raised when a CDC subscriber resumes from a sequence the leader
+    has already trimmed from its bounded backlog. The subscriber missed
+    events that can never be redelivered; it must re-bootstrap (e.g.
+    from an ``export`` of the current state) before resuming."""
+
+    code = "subscription-lagged"
+    wire_doc = ("a CDC resume point fell out of the retained backlog "
+                "(`details.first_seq`); re-bootstrap (e.g. via "
+                "`export`) before resuming")
+    detail_attrs = ("first_seq",)
+
+    def __init__(self, requested, first_seq):
+        super().__init__(
+            "subscription lagged: sequence {} was trimmed from the "
+            "change feed (oldest available: {}); re-bootstrap before "
+            "resuming".format(requested, first_seq))
+        self.first_seq = first_seq
+
+
+class ResumeExpiredError(ClusterError):
+    """Raised when a resume token names a different stream epoch than
+    the one the server is publishing (the node restarted or a failover
+    promoted a new leader, renumbering the feed). Positions never carry
+    across epochs; the subscriber must re-bootstrap and take a fresh
+    token."""
+
+    code = "resume-expired"
+    wire_doc = ("the resume token's stream epoch does not match the "
+                "feed (a restart or failover renumbered it); "
+                "re-bootstrap and take a fresh token")
+    detail_attrs = ("token_stream", "stream")
+
+    def __init__(self, token_stream, stream):
+        super().__init__(
+            "resume token belongs to stream epoch {} but this feed is "
+            "epoch {}; positions do not carry across epochs — "
+            "re-bootstrap and take a fresh token".format(
+                token_stream, stream))
+        self.token_stream = token_stream
+        self.stream = stream
+
+
+class ImportAbortedError(ReproError):
+    """Raised when a bulk import crosses its quality gate: more source
+    documents were rejected by the validate stage than ``max_errors``
+    allows. Carries the progress counters so the operator knows how
+    much of the corpus had already been loaded durably."""
+
+    code = "import-aborted"
+    wire_doc = ("bulk import crossed its `max-errors` quality gate "
+                "(`details.loaded`, `details.rejected`)")
+    detail_attrs = ("loaded", "rejected")
+
+    def __init__(self, loaded, rejected, max_errors):
+        super().__init__(
+            "bulk import aborted: {} document(s) rejected "
+            "(max-errors {}); {} loaded before the abort".format(
+                rejected, max_errors, loaded))
+        self.loaded = loaded
+        self.rejected = rejected
+
+
 class QueryError(ReproError):
     """Base error for the XQuery Update front end."""
 
     code = "query"
+    wire_doc = "XQuery Update front-end failure"
 
 
 class QuerySyntaxError(QueryError):
     """Raised on unparsable XQuery Update expressions."""
 
     code = "query-syntax"
+    wire_doc = ("unparsable XQuery Update expression "
+                "(`details.position`)")
     detail_attrs = ("position",)
 
     def __init__(self, message, position=None):
@@ -301,3 +402,4 @@ class QueryEvaluationError(QueryError):
     (e.g. a path selecting no node where exactly one is required)."""
 
     code = "query-evaluation"
+    wire_doc = "well-formed expression that cannot be evaluated"

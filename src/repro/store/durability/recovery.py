@@ -453,6 +453,29 @@ class DurabilityManager:
     def log_open(self, document_payload_dict):
         self._append({"kind": "open", "doc": document_payload_dict})
 
+    def log_open_many(self, document_payload_dicts):
+        """Log a chunk of ``open`` records under **one** fsync.
+
+        The bulk-load path: each payload is buffered unsynced and a
+        single sync covers the whole chunk, so importing N documents
+        pays ~1 fsync instead of N (the same economics as the batch
+        commit train, but for residency). All-or-nothing durability is
+        not promised — a crash mid-chunk recovers a prefix — which is
+        fine because the caller installs residency only after this
+        returns, and an import retry re-submits the chunk."""
+        with self._lock:
+            if self._writer is None:
+                raise DurabilityError(
+                    "durability manager is not started (or already "
+                    "closed)")
+            for payload in document_payload_dicts:
+                self._writer.append(
+                    encode_payload({"kind": "open", "doc": payload}),
+                    sync=False)
+            self._writer.sync()
+            if self.feed_listener is not None:
+                self.feed_listener.on_append()
+
     def log_batch(self, doc_id, version, clients, pul_xml):
         self._append_grouped({"kind": "batch", "doc_id": doc_id,
                               "version": version, "clients": clients,

@@ -454,6 +454,56 @@ class DocumentStore:
                 self._durability.log_open(document_payload(entry))
         return entry
 
+    def bulk_load(self, docs):
+        """Make a chunk of documents resident in one durable step.
+
+        ``docs`` is an iterable of ``{"doc_id", "xml"}`` objects (the
+        ``bulk-import`` wire shape; ``xml`` may also be a parsed
+        :class:`Document`). Parsing and labeling — the expensive part —
+        run outside the store lock; residency is then installed
+        atomically: either every document in the chunk becomes resident
+        (and its ``open`` record is logged under **one** group fsync via
+        :meth:`DurabilityManager.log_open_many`) or none does. A
+        duplicate ``doc_id`` — against the store or within the chunk —
+        fails the whole chunk, so an ETL retry can resubmit it
+        verbatim.
+
+        Returns ``{"loaded", "nodes", "doc_ids"}``.
+        """
+        prepared = []
+        chunk_ids = set()
+        nodes = 0
+        for doc in docs:
+            if isinstance(doc, dict):
+                doc_id, source = doc.get("doc_id"), doc.get("xml")
+            else:
+                doc_id, source = doc
+            if doc_id is None or source is None:
+                raise ReproError(
+                    "bulk-load documents need doc_id and xml")
+            if doc_id in chunk_ids:
+                raise ReproError(
+                    "bulk-load chunk names {!r} twice".format(doc_id))
+            chunk_ids.add(doc_id)
+            if not isinstance(source, Document):
+                source = parse_document(source)
+            labeling = ContainmentLabeling().build(source)
+            prepared.append(StoredDocument(doc_id, source, labeling))
+            nodes += len(source)
+        with self._lock:
+            for entry in prepared:
+                if entry.doc_id in self._entries:
+                    raise ReproError(
+                        "document {!r} is already resident".format(
+                            entry.doc_id))
+            for entry in prepared:
+                self._entries[entry.doc_id] = entry
+            if self._durability is not None and prepared:
+                self._durability.log_open_many(
+                    [document_payload(entry) for entry in prepared])
+        return {"loaded": len(prepared), "nodes": nodes,
+                "doc_ids": [entry.doc_id for entry in prepared]}
+
     def close_document(self, doc_id):
         """Evict a resident document (pending submissions are lost)."""
         with self._lock:
@@ -870,6 +920,64 @@ class DocumentStore:
         if self.replication is not None:
             seq = self.replication.next_seq
         return self._capture_payloads(), seq
+
+    def export_state(self, doc_ids=None, cursor=None, limit=None,
+                     form="state", timeout=CAPTURE_TIMEOUT):
+        """One page of a filtered, resumable corpus export.
+
+        Documents are walked in stable ``str(doc_id)`` order; ``cursor``
+        (the last key of the previous page) resumes after it, ``limit``
+        bounds the page, ``doc_ids`` restricts the walk. Each document
+        is read from its *pinned published version* — the MVCC read
+        path — so a concurrent flush never tears a page.
+
+        ``form`` selects the payload shape: ``"state"`` returns
+        snapshot-form payloads (node identifiers and labels preserved —
+        what :meth:`DocumentMirror.bootstrap` and a re-import need to
+        stay batch-addressable), ``"xml"`` returns serialized text.
+
+        Stream pairing: when replication is enabled, ``(stream, seq)``
+        are read **before** any payload is pinned — the same
+        leading-safe order as :meth:`capture_state` — so a subscriber
+        that bootstraps from this page and resumes from the matching
+        token re-receives at most changes the payloads already contain.
+
+        Returns ``{"docs", "cursor", "done", "seq", "stream"}``.
+        """
+        if form not in ("state", "xml"):
+            raise ReproError(
+                "export form must be 'state' or 'xml', got {!r}".format(
+                    form))
+        seq = stream = None
+        if self.replication is not None:
+            seq = self.replication.next_seq
+            stream = self.replication.stream_id
+        wanted = (None if doc_ids is None
+                  else {str(doc_id) for doc_id in doc_ids})
+        with self._lock:
+            entries = sorted(self._entries.values(),
+                             key=lambda entry: str(entry.doc_id))
+        selected = [
+            entry for entry in entries
+            if (wanted is None or str(entry.doc_id) in wanted)
+            and (cursor is None or str(entry.doc_id) > str(cursor))]
+        page = selected if limit is None else selected[:max(1, int(limit))]
+        docs = []
+        for entry in page:
+            version = entry.wait_published(timeout)
+            try:
+                if form == "state":
+                    docs.append(document_payload(version))
+                else:
+                    docs.append({"doc_id": entry.doc_id,
+                                 "text": serialize(version.document),
+                                 "version": version.version})
+            finally:
+                entry.unpin(version)
+        return {"docs": docs,
+                "cursor": (str(page[-1].doc_id) if page else cursor),
+                "done": len(page) == len(selected),
+                "seq": seq, "stream": stream}
 
     def _recover_state(self, state):
         """Replay a :class:`~repro.store.durability.LoadedState`."""

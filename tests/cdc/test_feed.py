@@ -1,0 +1,205 @@
+"""The :class:`ChangeFeed` subscription view over a live leader."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cdc import ChangeFeed, decode_token, encode_token
+from repro.errors import ResumeExpiredError, SubscriptionLaggedError
+from repro.store import DocumentStore
+
+DOC = "<doc><items/></doc>"
+
+
+def make_leader(tmp_path, name="wal", backlog=None):
+    store = DocumentStore(workers=1, backend="serial",
+                          durability="log", wal_dir=str(tmp_path / name))
+    store.enable_replication(backlog=backlog)
+    return store
+
+
+def flush_insert(store, doc_id="d1", client="c1"):
+    store.submit_xquery(doc_id, 'insert node <x/> as last into '
+                                '/doc/items', client=client)
+    store.flush(doc_id)
+
+
+class TestReads:
+    def test_history_reads_from_the_anchor(self, tmp_path):
+        with make_leader(tmp_path) as store:
+            feed = ChangeFeed(store.replication)
+            anchor = feed.tail_token()
+            store.open("d1", DOC)
+            flush_insert(store)
+            page = feed.read(from_token=anchor)
+            assert [e["kind"] for e in page["events"]] == \
+                ["open", "batch"]
+            assert [e["seq"] for e in page["events"]] == [0, 1]
+            # the page token resumes past everything scanned
+            assert decode_token(page["token"])[1] == page["end_seq"]
+
+    def test_no_token_means_live_tail_only(self, tmp_path):
+        with make_leader(tmp_path) as store:
+            store.open("d1", DOC)
+            flush_insert(store)
+            feed = ChangeFeed(store.replication)
+            page = feed.read()          # anchored at the live end
+            assert page["events"] == []
+            flush_insert(store)
+            page = feed.read(from_token=page["token"])
+            assert [e["kind"] for e in page["events"]] == ["batch"]
+
+    def test_decoded_batch_events_carry_versions_and_ops(self, tmp_path):
+        with make_leader(tmp_path) as store:
+            feed = ChangeFeed(store.replication)
+            anchor = feed.tail_token()
+            store.open("d1", DOC)
+            flush_insert(store, client="alice")
+            events = feed.read(from_token=anchor)["events"]
+            open_event, batch = events
+            assert open_event["doc_id"] == "d1"
+            assert open_event["version"] == 0
+            assert batch["version"] == 1
+            assert batch["clients"] == 1      # producer count, not names
+            assert batch["pul"].startswith("<")
+            assert len(batch["ops"]) == 1
+            assert batch["ops"][0].startswith("ins")
+
+    def test_raw_events_carry_the_untransformed_record(self, tmp_path):
+        with make_leader(tmp_path) as store:
+            feed = ChangeFeed(store.replication)
+            anchor = feed.tail_token()
+            store.open("d1", DOC)
+            events = feed.read(from_token=anchor,
+                               decode=False)["events"]
+            assert events[0]["record"]["kind"] == "open"
+            assert events[0]["record"]["doc"]["doc_id"] == "d1"
+
+    def test_each_event_tokens_the_position_after_it(self, tmp_path):
+        with make_leader(tmp_path) as store:
+            feed = ChangeFeed(store.replication)
+            anchor = feed.tail_token()
+            store.open("d1", DOC)
+            flush_insert(store)
+            flush_insert(store)
+            events = feed.read(from_token=anchor)["events"]
+            # checkpoint mid-poll: resuming from an event's token
+            # redelivers exactly the events after it
+            resumed = feed.read(from_token=events[0]["token"])["events"]
+            assert [e["seq"] for e in resumed] == \
+                [e["seq"] for e in events[1:]]
+
+    def test_max_events_bounds_the_page(self, tmp_path):
+        with make_leader(tmp_path) as store:
+            feed = ChangeFeed(store.replication)
+            anchor = feed.tail_token()
+            store.open("d1", DOC)
+            for __ in range(4):
+                flush_insert(store)
+            page = feed.read(from_token=anchor, max_events=2)
+            assert len(page["events"]) == 2
+            rest = feed.read(from_token=page["token"])
+            assert len(rest["events"]) == 3
+
+
+class TestFiltering:
+    def test_doc_filter_selects_and_still_acknowledges(self, tmp_path):
+        with make_leader(tmp_path) as store:
+            feed = ChangeFeed(store.replication)
+            anchor = feed.tail_token()
+            store.open("a", DOC)
+            store.open("b", DOC)
+            flush_insert(store, "a")
+            flush_insert(store, "b")
+            page = feed.read(from_token=anchor, doc_ids=["b"])
+            assert [(e["kind"], e["doc_id"]) for e in page["events"]] \
+                == [("open", "b"), ("batch", "b")]
+            # filtered-out records are acknowledged: the token covers
+            # the whole scan, so the next poll is empty, not a replay
+            assert feed.read(from_token=page["token"])["events"] == []
+
+    def test_filtered_scan_loops_past_unmatched_history(self, tmp_path):
+        with make_leader(tmp_path) as store:
+            feed = ChangeFeed(store.replication)
+            anchor = feed.tail_token()
+            store.open("a", DOC)
+            for __ in range(5):
+                flush_insert(store, "a")
+            store.open("b", DOC)
+            # max_events=2 bounds each inner read; the poll must keep
+            # scanning past whole pages of filtered-out "a" traffic
+            page = feed.read(from_token=anchor, doc_ids=["b"],
+                             max_events=2)
+            assert [e["doc_id"] for e in page["events"]] == ["b"]
+
+
+class TestLongPoll:
+    def test_wait_returns_early_on_a_matching_event(self, tmp_path):
+        with make_leader(tmp_path) as store:
+            store.open("d1", DOC)
+            feed = ChangeFeed(store.replication)
+            anchor = feed.tail_token()
+
+            def later():
+                time.sleep(0.15)
+                flush_insert(store)
+
+            thread = threading.Thread(target=later)
+            thread.start()
+            started = time.monotonic()
+            page = feed.read(from_token=anchor, wait_s=30.0)
+            elapsed = time.monotonic() - started
+            thread.join()
+            assert [e["kind"] for e in page["events"]] == ["batch"]
+            assert elapsed < 10.0
+
+    def test_wait_times_out_empty(self, tmp_path):
+        with make_leader(tmp_path) as store:
+            feed = ChangeFeed(store.replication)
+            page = feed.read(wait_s=0.05)
+            assert page["events"] == []
+
+
+class TestFencing:
+    def test_foreign_epoch_token_is_resume_expired(self, tmp_path):
+        with make_leader(tmp_path) as store:
+            feed = ChangeFeed(store.replication)
+            stale = encode_token("deadbeef", 3)
+            with pytest.raises(ResumeExpiredError) as info:
+                feed.read(from_token=stale)
+            assert info.value.token_stream == "deadbeef"
+            assert info.value.stream == feed.stream
+
+    def test_restart_fences_old_tokens(self, tmp_path):
+        with make_leader(tmp_path) as store:
+            store.open("d1", DOC)
+            token = ChangeFeed(store.replication).read()["token"]
+        with make_leader(tmp_path) as store:   # same WAL, new epoch
+            feed = ChangeFeed(store.replication)
+            with pytest.raises(ResumeExpiredError):
+                feed.read(from_token=token)
+
+    def test_trimmed_backlog_is_subscription_lagged(self, tmp_path):
+        with make_leader(tmp_path, backlog=4) as store:
+            feed = ChangeFeed(store.replication)
+            anchor = feed.tail_token()
+            store.open("d1", DOC)
+            for __ in range(12):
+                flush_insert(store)
+            with pytest.raises(SubscriptionLaggedError) as info:
+                feed.read(from_token=anchor)
+            assert info.value.first_seq > 0
+
+    def test_named_subscribers_appear_in_stats_until_forgotten(
+            self, tmp_path):
+        with make_leader(tmp_path) as store:
+            store.open("d1", DOC)
+            feed = ChangeFeed(store.replication)
+            feed.read(subscriber="mirror-1")
+            assert "mirror-1" in store.replication.stats()["subscribers"]
+            assert store.replication.forget_subscriber("mirror-1")
+            assert "mirror-1" not in \
+                store.replication.stats()["subscribers"]
+            # forgetting an unknown subscriber reports False, not an error
+            assert not store.replication.forget_subscriber("nobody")
