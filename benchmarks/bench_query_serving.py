@@ -1,4 +1,5 @@
-"""Read serving under write load: MVCC pinned reads vs locked reads.
+"""Read serving: MVCC pinned reads under write load, and indexed
+query execution against the tree walker.
 
 The experiment behind the MVCC PR's claim: a reader must never wait for
 the writer. One writer thread continuously flushes rename batches whose
@@ -20,6 +21,16 @@ same machine, same run) is the machine-independent ratio the CI gate
 floors, and ``reads_during_apply`` counts reads that *completed while a
 batch was mid-apply* — definitionally zero for a correct locked
 baseline, the direct proof of overlap for MVCC.
+
+The second experiment is the index PR's claim: a **selectivity sweep**
+runs the same path queries through ``engine="walk"`` (the tree walker)
+and ``engine="auto"`` (the cost-based planner over the secondary
+index) on a ≥5k-node document. Rare names are where the index pays:
+``//needle`` touches a 20-entry bucket instead of walking every node.
+``index_speedup`` (walker time over indexed time on the selective
+query, same machine, same run) is the machine-independent ratio the CI
+gate floors; dense queries are reported too — the planner's cost model
+keeps them near 1x rather than slowing them down.
 
 Usage::
 
@@ -124,6 +135,59 @@ def _run_arm(scale, readers, rounds, read_fn_name):
     return sum(counts), wall, sum(overlapped)
 
 
+def _build_corpus(rows):
+    """A flat catalog big enough that walking hurts: ``rows`` three-node
+    ``<row>`` records (element + attribute + text) and 20 rare
+    ``<needle>`` elements sprinkled through them."""
+    needle_every = max(1, rows // 20)
+    parts = ["<cat>"]
+    for i in range(rows):
+        parts.append('<row k="k{}">v{}</row>'.format(i % 50, i))
+        if i % needle_every == 0:
+            parts.append("<needle>n{}</needle>".format(i))
+    parts.append("</cat>")
+    return "".join(parts)
+
+
+#: the sweep, selective to dense: a 20-entry bucket, a value-predicate
+#: step, and the bucket that contains nearly the whole document
+SWEEP_QUERIES = ("//needle", '//row[@k = "k7"]', "//row")
+
+
+def _run_selectivity(rows, reps, repeats):
+    """Walker vs planner over one resident document; returns
+    ``(document_size, [per-query result dicts])``."""
+    with DocumentStore(backend="serial") as store:
+        store.open("q", _build_corpus(rows))
+        size = len(store.document("q"))
+        sweep = []
+        for query in SWEEP_QUERIES:
+            walked = store.query("q", query, engine="walk")
+            served = store.query("q", query, explain=True)
+            assert walked["nodes"] == served["nodes"]  # byte identity
+            times = {}
+            for engine in ("walk", "auto"):
+                best = None
+                for __ in range(repeats):
+                    start = time.perf_counter()
+                    for __ in range(reps):
+                        store.query("q", query, engine=engine)
+                    wall = time.perf_counter() - start
+                    if best is None or wall < best:
+                        best = wall
+                times[engine] = best
+            sweep.append({
+                "query": query,
+                "matches": served["count"],
+                "mode": served["plan"]["mode"],
+                "walk_s": times["walk"],
+                "indexed_s": times["auto"],
+                "speedup": (times["walk"] / times["auto"]
+                            if times["auto"] else float("inf")),
+            })
+    return size, sweep
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="read throughput under continuous slow writes: "
@@ -139,6 +203,12 @@ def main(argv=None):
     parser.add_argument("--repeats", type=int, default=2,
                         help="passes per arm; the summary keeps the "
                              "best (variance control)")
+    parser.add_argument("--query-rows", type=int, default=2000,
+                        help="catalog rows for the selectivity sweep "
+                             "(3 nodes each; 2000 rows ~ 6k nodes)")
+    parser.add_argument("--query-reps", type=int, default=25,
+                        help="query executions per timed pass of the "
+                             "selectivity sweep")
     parser.add_argument("--json", default=None, metavar="FILE",
                         help="write a machine-readable summary here")
     args = parser.parse_args(argv)
@@ -166,6 +236,18 @@ def main(argv=None):
         print("WARNING: no MVCC read completed during an apply window "
               "-- the write load never materialized")
 
+    size, sweep = _run_selectivity(args.query_rows, args.query_reps,
+                                   args.repeats)
+    print("\nselectivity sweep over a {}-node document "
+          "({} runs per arm):".format(size, args.query_reps))
+    for row in sweep:
+        print("  {:>18}  {:>5} match(es)  {:>7}  walk {:7.1f}ms  "
+              "indexed {:7.1f}ms  {:5.1f}x".format(
+                  row["query"], row["matches"], row["mode"],
+                  row["walk_s"] * 1000, row["indexed_s"] * 1000,
+                  row["speedup"]))
+    index_speedup = sweep[0]["speedup"]   # the selective //needle arm
+
     if args.json:
         payload = {"bench_query_serving": {
             "ops_per_sec": mvcc_rate,
@@ -174,6 +256,9 @@ def main(argv=None):
             "read_write_overlap": overlap,
             "reads_during_apply": mvcc_overlap,
             "readers": args.readers,
+            "index_speedup": index_speedup,
+            "query_document_nodes": size,
+            "selectivity_sweep": sweep,
         }}
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)

@@ -88,8 +88,12 @@ METRIC_FLOORS = {
     "bench_wire_codec": {"speedup_vs_json": 1.0},
     # reads served during active writes, MVCC over flush-locked, same
     # machine/run: a dimensionless proof that writes don't block reads
-    # (the real ratio is ~10x; 2x holds on any hardware)
-    "bench_query_serving": {"read_write_overlap": 2.0},
+    # (the real ratio is ~10x; 2x holds on any hardware).
+    # index_speedup: walker time over planner time on a selective
+    # ``//name`` against a >=5k-node document, same machine/run (the
+    # real ratio is >50x; 3x holds on any hardware)
+    "bench_query_serving": {"read_write_overlap": 2.0,
+                            "index_speedup": 3.0},
 }
 
 

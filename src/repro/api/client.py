@@ -118,6 +118,12 @@ class _MethodSurface:
         docs)."""
         return self._call("query", doc_id=doc_id, path=path)
 
+    def explain(self, doc_id, path):
+        """Run ``path`` server-side and return the recorded query
+        plan (per step: index-scan vs. walk with bucket/estimate
+        sizes) without the serialized nodes."""
+        return self._call("explain", doc_id=doc_id, path=path)
+
     # -- replication (see repro.cluster) --------------------------------------
 
     def replicate_subscribe(self, replica=None):

@@ -75,6 +75,16 @@ class StoreDispatcher:
                 "{}".format(type(path).__name__))
         return self.store.query(doc_id, path)
 
+    def explain(self, doc_id, path):
+        """Run ``path`` and return the plan the cost model chose —
+        per step: index-scan vs. walk, bucket and estimate sizes —
+        without the serialized nodes (replica-safe like ``query``)."""
+        if not isinstance(path, str):
+            raise ProtocolError(
+                "explain needs the path expression as text, got "
+                "{}".format(type(path).__name__))
+        return self.store.explain(doc_id, path)
+
     # -- submission ----------------------------------------------------------
 
     def submit(self, doc_id, pul, client=None):

@@ -152,6 +152,15 @@ OPS = (
         result="`docs`, `cursor` (pagination key), `done`, `seq`, "
                "`stream`, `token` (CDC anchor read before the "
                "payloads were pinned; `None` without replication)"),
+    # secondary indexes & query planning (PR 9)
+    OpSpec(
+        "explain", 20, "explain",
+        required=("doc_id", "path"),
+        result="`doc_id`, `version`, `path`, `count`, `plan` — the "
+               "recorded per-step plan (`index-scan` vs. `walk`, "
+               "bucket and estimate sizes) the cost model chose; the "
+               "query runs against one pinned version, so `count` "
+               "matches what `query` would return"),
 )
 
 #: ``name -> spec``

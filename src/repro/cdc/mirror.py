@@ -10,6 +10,17 @@ redelivery. Byte-identity of a mirror against the leader (and against
 :class:`~repro.store.store.StatelessBaseline`) is the CDC correctness
 property the e2e suite pins.
 
+With ``index=True`` the mirror additionally maintains the producer's
+*labeling* and *secondary index* (:mod:`repro.index`): the snapshot
+payloads carry the exact label codes, batches repair them per-site with
+the same :func:`~repro.apply.inplace.apply_batch_in_place` the leader
+runs (including the headroom full-relabel rule, so the label timeline
+stays digit-identical when ``max_code_length`` matches the producer's),
+and the index is derived incrementally from each reduced batch — or
+rebuilt on any relabel — exactly like the leader's flush. The CDC index
+parity the suite pins: after any delivery schedule, the mirror's index
+equals an index rebuilt from scratch over the leader's final tree.
+
 The apply switch mirrors :func:`repro.store.durability.replay_oracle`
 on purpose — a CDC consumer is a replayer that happens to live outside
 the process.
@@ -18,6 +29,7 @@ the process.
 from __future__ import annotations
 
 from repro.errors import ClusterError
+from repro.index.structural import build_index
 from repro.pul.semantics import apply_pul
 from repro.pul.serialize import pul_from_xml
 from repro.reduction import reduce_deterministic
@@ -28,9 +40,19 @@ from repro.xdm.serializer import serialize
 class DocumentMirror:
     """Idempotent document reconstruction from raw change events."""
 
-    def __init__(self):
+    def __init__(self, index=False, max_code_length=None):
         self._docs = {}       # doc_id -> Document
         self._versions = {}   # doc_id -> applied version
+        self._index_enabled = bool(index)
+        self._labelings = {}  # doc_id -> ContainmentLabeling (index mode)
+        self._indexes = {}    # doc_id -> DocumentIndex (index mode)
+        if max_code_length is None:
+            from repro.store.store import DEFAULT_MAX_CODE_LENGTH
+            max_code_length = DEFAULT_MAX_CODE_LENGTH
+        #: the producer's headroom threshold: a mirror that relabels at
+        #: a different watermark than its leader would diverge from the
+        #: leader's label timeline on the next incremental repair
+        self._max_code_length = max_code_length
 
     # -- bootstrap ------------------------------------------------------------
 
@@ -42,11 +64,19 @@ class DocumentMirror:
         contain — absorbed below by the version check."""
         self._docs = {}
         self._versions = {}
+        self._labelings = {}
+        self._indexes = {}
         for payload in payloads:
             restored = restore_document(payload)
-            self._docs[restored.doc_id] = restored.document
-            self._versions[restored.doc_id] = \
-                restored.counters["version"]
+            self._install(restored)
+
+    def _install(self, restored):
+        self._docs[restored.doc_id] = restored.document
+        self._versions[restored.doc_id] = restored.counters["version"]
+        if self._index_enabled:
+            self._labelings[restored.doc_id] = restored.labeling
+            self._indexes[restored.doc_id] = build_index(
+                restored.document, restored.labeling)
 
     # -- the apply switch -----------------------------------------------------
 
@@ -56,7 +86,9 @@ class DocumentMirror:
         Accepts the event objects a ``decode=False`` subscription
         delivers (``{"seq", "token", "record"}``). Returns ``True``
         when the event changed mirror state, ``False`` when it was
-        absorbed as a duplicate or carried no document change.
+        absorbed as a duplicate or carried no document change
+        (``relabel`` events rebuild labels and index in index mode,
+        but never the document bytes).
         """
         record = event["record"] if "record" in event else event
         kind = record.get("kind")
@@ -67,11 +99,17 @@ class DocumentMirror:
             present = doc_id in self._docs
             self._docs.pop(doc_id, None)
             self._versions.pop(doc_id, None)
+            self._labelings.pop(doc_id, None)
+            self._indexes.pop(doc_id, None)
             return present
         if kind == "batch":
             return self._apply_batch(record)
-        if kind in ("relabel", "repl-pos"):
-            return False  # labels/cursors never change document bytes
+        if kind == "relabel":
+            # labels/index change, document bytes never do
+            self._rebuild(record.get("doc_id"))
+            return False
+        if kind == "repl-pos":
+            return False  # cursors never change document bytes
         raise ClusterError(
             "unknown change-event kind {!r}".format(kind))
 
@@ -83,8 +121,7 @@ class DocumentMirror:
         restored = restore_document(record["doc"])
         if restored.doc_id in self._docs:
             return False  # redelivered open of a resident document
-        self._docs[restored.doc_id] = restored.document
-        self._versions[restored.doc_id] = restored.counters["version"]
+        self._install(restored)
         return True
 
     def _apply_batch(self, record):
@@ -103,6 +140,9 @@ class DocumentMirror:
             raise ClusterError(
                 "change feed gap on {!r}: event names version {} but "
                 "the mirror is at {}".format(doc_id, version, current))
+        if self._index_enabled:
+            return self._apply_batch_indexed(doc_id, document, record,
+                                             version)
         try:
             reduced = reduce_deterministic(pul_from_xml(record["pul"]))
             reduced.check_compatible()
@@ -115,6 +155,60 @@ class DocumentMirror:
         self._docs[doc_id] = working
         self._versions[doc_id] = version
         return True
+
+    def _apply_batch_indexed(self, doc_id, document, record, version):
+        """The index-mode batch arm: the leader's flush replayed.
+
+        Same in-place applier, same headroom rule, same
+        incremental-index derivation — so labels stay digit-identical
+        to the producer's and the index delta mirrors the leader's.
+        A failed application matches the leader's failed-flush recovery
+        (labels rebuilt on the unchanged tree, version number reused).
+        """
+        from repro.apply.inplace import apply_batch_in_place
+
+        labeling = self._labelings[doc_id]
+        previous_index = self._indexes[doc_id]
+        try:
+            reduced = reduce_deterministic(pul_from_xml(record["pul"]))
+            reduced.check_compatible()
+            working = document.copy()
+            working_labels = labeling.copy()
+            apply_mode = apply_batch_in_place(working, working_labels,
+                                              reduced)
+        except Exception:
+            # the leader's failed flush republished with labels rebuilt
+            # from the unchanged tree (rebuild_labeling); mirror that so
+            # the label timeline of later batches stays digit-identical
+            labeling.build(document)
+            self._indexes[doc_id] = build_index(document, labeling)
+            return False
+        if working_labels.max_code_length > self._max_code_length:
+            working_labels.build(working)
+            relabel = "full"
+        else:
+            relabel = "incremental"
+        index = None
+        if apply_mode == "incremental" and relabel == "incremental":
+            index = previous_index.derive(document, working,
+                                          working_labels, reduced)
+        if index is None:
+            index = build_index(working, working_labels)
+        self._docs[doc_id] = working
+        self._labelings[doc_id] = working_labels
+        self._indexes[doc_id] = index
+        self._versions[doc_id] = version
+        return True
+
+    def _rebuild(self, doc_id):
+        """Rebuild labels + index from the resident tree (the leader
+        published a wholesale relabel at an unchanged version)."""
+        if not self._index_enabled or doc_id not in self._docs:
+            return
+        document = self._docs[doc_id]
+        labeling = self._labelings[doc_id]
+        labeling.build(document)
+        self._indexes[doc_id] = build_index(document, labeling)
 
     # -- reads ----------------------------------------------------------------
 
@@ -131,6 +225,36 @@ class DocumentMirror:
             raise ClusterError(
                 "mirror holds no document {!r}".format(doc_id))
         return serialize(document)
+
+    def labeling(self, doc_id):
+        """The maintained labeling (index mode only)."""
+        return self._labelings.get(doc_id)
+
+    def index(self, doc_id):
+        """The maintained :class:`~repro.index.DocumentIndex` (index
+        mode only)."""
+        return self._indexes.get(doc_id)
+
+    def query(self, doc_id, path, engine="auto"):
+        """Indexed read over the mirrored document — the fan-out read
+        surface CDC consumers exist for. Requires index mode."""
+        from repro.index.planner import run_query
+        from repro.xdm.serializer import serialize_node
+        from repro.xquery import parse_path
+
+        document = self._docs.get(doc_id)
+        if document is None:
+            raise ClusterError(
+                "mirror holds no document {!r}".format(doc_id))
+        nodes, plan = run_query(
+            parse_path(path), document,
+            labeling=self._labelings.get(doc_id),
+            index=self._indexes.get(doc_id), engine=engine)
+        rendered = [serialize_node(node) for node in nodes]
+        return {"doc_id": doc_id,
+                "version": self._versions.get(doc_id),
+                "count": len(rendered), "nodes": rendered,
+                "plan": plan}
 
     def __repr__(self):
         return "DocumentMirror(documents={})".format(len(self._docs))

@@ -342,9 +342,9 @@ def _etl_store(args):
     """Open the local store an ETL command targets (``--wal-dir``)."""
     policy, wal_dir = _durability_policy(args)
     if wal_dir is None:
-        raise ReproError("store import/export needs --target host:port "
-                         "(a running server) or --wal-dir (a durability "
-                         "directory)")
+        raise ReproError("store import/export/query needs --target "
+                         "host:port (a running server) or --wal-dir "
+                         "(a durability directory)")
     store = DocumentStore(workers=args.workers, backend=args.backend,
                           max_code_length=args.max_code_length,
                           durability=policy, wal_dir=wal_dir)
@@ -428,6 +428,64 @@ def cmd_store_export(args, out):
         args.out_dir if args.out_dir else "stdout report"))
     if result["token"]:
         out.write("resume token: {}\n".format(result["token"]))
+    return 0
+
+
+def _write_plan(plan, out):
+    """Render an ``explain`` plan: one line per step with the choice
+    the cost model made and the numbers it compared."""
+    header = "plan: {} execution".format(plan.get("mode"))
+    if plan.get("reason"):
+        header += " ({})".format(plan["reason"])
+    out.write(header + "\n")
+    for number, record in enumerate(plan.get("steps", ()), 1):
+        line = "  step {} {}: {}".format(
+            number, record["step"], record["choice"])
+        if "bucket" in record:
+            line += " (bucket={}, est index={} vs walk={})".format(
+                record["bucket"], record["est_index"],
+                record["est_walk"])
+        if record.get("reason"):
+            line += " [{}]".format(record["reason"])
+        if record.get("predicates"):
+            line += " predicates: {}".format(
+                ", ".join(record["predicates"]))
+        if "out" in record:
+            line += " -> {} node(s)".format(record["out"])
+        out.write(line + "\n")
+
+
+def cmd_store_query(args, out):
+    store = client = None
+    try:
+        if args.target:
+            from repro.api.client import StoreClient
+            from repro.cluster import parse_address
+
+            host, port = parse_address(args.target)
+            client = StoreClient.connect(host=host, port=port)
+            surface = client
+        else:
+            from repro.api.dispatch import StoreDispatcher
+
+            store = _etl_store(args)
+            surface = StoreDispatcher(store)
+        if args.explain:
+            result = surface.explain(args.doc, args.path)
+        else:
+            result = surface.query(args.doc, args.path)
+    finally:
+        if client is not None:
+            client.close()
+        if store is not None:
+            store.close()
+    out.write("doc {} version {}: {} node(s)\n".format(
+        result["doc_id"], result["version"], result["count"]))
+    if args.explain:
+        _write_plan(result["plan"], out)
+    else:
+        for node in result["nodes"]:
+            out.write(node + "\n")
     return 0
 
 
@@ -756,6 +814,21 @@ def build_parser():
                             help="payload form: serialized xml or "
                                  "snapshot-form state (mirrors)")
     export_cmd.set_defaults(func=cmd_store_export)
+
+    query_cmd = store_commands.add_parser(
+        "query", help="read-only path query against a pinned MVCC "
+                      "version (server or local WAL directory); "
+                      "--explain prints the chosen plan per step")
+    _store_options(query_cmd)
+    _durability_options(query_cmd)
+    _etl_target_options(query_cmd)
+    query_cmd.add_argument("doc", help="document id")
+    query_cmd.add_argument("path",
+                           help="abbreviated-XPath path expression")
+    query_cmd.add_argument("--explain", action="store_true",
+                           help="print the per-step plan the cost "
+                                "model chose instead of the nodes")
+    query_cmd.set_defaults(func=cmd_store_query)
 
     cluster_cmd = commands.add_parser(
         "cluster", help="replicated multi-node deployment "

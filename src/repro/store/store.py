@@ -39,6 +39,7 @@ import time
 
 from repro.aggregation import aggregate
 from repro.apply.inplace import apply_batch_in_place
+from repro.index.structural import build_index
 from repro.distributed.messages import ShardEnvelope
 from repro.errors import (
     ClusterError,
@@ -115,11 +116,11 @@ class BatchResult:
 
     __slots__ = ("doc_id", "version", "clients", "submitted_ops",
                  "reduced_ops", "shard_sizes", "relabel", "failures",
-                 "max_code_length")
+                 "max_code_length", "index_maintenance")
 
     def __init__(self, doc_id, version, clients, submitted_ops,
                  reduced_ops, shard_sizes, relabel, failures,
-                 max_code_length):
+                 max_code_length, index_maintenance="rebuild"):
         self.doc_id = doc_id
         self.version = version
         self.clients = clients
@@ -129,6 +130,8 @@ class BatchResult:
         self.relabel = relabel          # "incremental" | "full"
         self.failures = failures
         self.max_code_length = max_code_length
+        # "incremental" (derived from the reduced PUL) or "rebuild"
+        self.index_maintenance = index_maintenance
 
     def __repr__(self):
         return ("BatchResult(doc={!r}, v{}, {} clients, {} -> {} ops, "
@@ -179,7 +182,8 @@ class StoredDocument:
         self.logged_version = self.version
         self.published = DocumentVersion(
             doc_id, self.version, document, labeling, self.batches,
-            self.incremental_relabels, self.full_relabels)
+            self.incremental_relabels, self.full_relabels,
+            index=build_index(document, labeling))
         #: pre-seeded working-copy donor. Spare recycling means every
         #: written document permanently holds two trees; the one
         #: O(document) copy that steady state requires is paid *here*,
@@ -288,13 +292,18 @@ class StoredDocument:
         self._working = working
         return working
 
-    def publish(self, document, labeling, catchup=None):
+    def publish(self, document, labeling, catchup=None, index=None):
         """Atomically publish the working pair as version
         ``self.version``; the old published version retires into the
-        spare with ``catchup`` describing what it lags by."""
+        spare with ``catchup`` describing what it lags by. ``index`` is
+        the version's secondary index — derived incrementally from the
+        retiring version's by the caller, or rebuilt here when the
+        delta could not be localized."""
+        if index is None:
+            index = build_index(document, labeling)
         version = DocumentVersion(
             self.doc_id, self.version, document, labeling, self.batches,
-            self.incremental_relabels, self.full_relabels)
+            self.incremental_relabels, self.full_relabels, index=index)
         with self._publish_cond:
             retired = self.published
             self.published = version
@@ -635,7 +644,7 @@ class DocumentStore:
         depth = self.submit(doc_id, pul, client=client)
         return depth, ops
 
-    def query(self, doc_id, path):
+    def query(self, doc_id, path, explain=False, engine="auto"):
         """Evaluate a read-only path expression against the resident
         document; returns the selected nodes serialized, in document
         order.
@@ -643,24 +652,48 @@ class DocumentStore:
         This is the read surface replicas scale out: unlike
         :meth:`submit_xquery` it queues nothing and never mutates, so a
         read-only node serves it freely. Evaluation pins one published
-        version and walks it with no locks — a slow path expression
-        never stalls the document's write path, and the reported
-        ``version`` is exactly the version the paths walked (never a
-        concurrent flush's half-applied successor).
+        version — tree, labeling *and* secondary index travel together
+        — and runs the planner (:mod:`repro.index.planner`) over it
+        with no locks: a slow path expression never stalls the
+        document's write path, and the reported ``version`` is exactly
+        the version the paths ran against (never a concurrent flush's
+        half-applied successor). ``engine`` forces ``"walk"`` or
+        ``"index"`` execution (the differential harness's lever);
+        every engine returns identical bytes. With ``explain=True``
+        the response carries the recorded per-step plan.
         """
         # local import: the read path should not drag the query stack
         # into store-only deployments
-        from repro.xquery import evaluate_path, parse_path
+        from repro.index.planner import run_query
+        from repro.xquery import parse_path
 
         entry = self._require(doc_id)
         version = entry.pin()
         try:
-            nodes = evaluate_path(parse_path(path), version.document)
+            nodes, plan = run_query(
+                parse_path(path), version.document,
+                labeling=version.labeling, index=version.index,
+                engine=engine)
             rendered = [serialize_node(node) for node in nodes]
         finally:
             entry.unpin(version)
-        return {"doc_id": doc_id, "version": version.version,
-                "count": len(rendered), "nodes": rendered}
+        result = {"doc_id": doc_id, "version": version.version,
+                  "count": len(rendered), "nodes": rendered}
+        if explain:
+            result["plan"] = plan
+        return result
+
+    def explain(self, doc_id, path):
+        """Run ``path`` like :meth:`query` and return the plan the
+        cost model chose — per step: index-scan vs. walk, the bucket
+        and estimate sizes — without the serialized nodes. The query
+        *is* executed (plans depend on per-step context sizes), so
+        ``count`` and ``version`` match what :meth:`query` would have
+        returned for the same pinned version."""
+        result = self.query(doc_id, path, explain=True)
+        return {"doc_id": result["doc_id"],
+                "version": result["version"], "path": path,
+                "count": result["count"], "plan": result["plan"]}
 
     def submit_message(self, message):
         """Route a :class:`~repro.distributed.messages.PULMessage` to the
@@ -792,7 +825,8 @@ class DocumentStore:
         # to the streaming evaluator's assignment, per the differential
         # suite. Readers keep walking the published version untouched.
         document, labeling = entry.checkout()
-        apply_batch_in_place(document, labeling, reduced)
+        previous = entry.published
+        apply_mode = apply_batch_in_place(document, labeling, reduced)
         entry.version += 1
         entry.batches += 1
         if labeling.max_code_length > self.max_code_length:
@@ -802,11 +836,20 @@ class DocumentStore:
         else:
             entry.incremental_relabels += 1
             relabel = "incremental"
+        # the secondary index rides the same publish: derived from the
+        # retiring version's index by re-reading the reduced PUL when
+        # the label repair stayed per-site, rebuilt from the tree when
+        # codes moved wholesale (label sync or a full relabel)
+        index = None
+        if (apply_mode == "incremental" and relabel == "incremental"
+                and previous.index is not None):
+            index = previous.index.derive(
+                previous.document, document, labeling, reduced)
         # one atomic reference swap makes the batch visible; the
         # retired version becomes the next checkout's working copy,
         # lagging by exactly this batch
         entry.publish(document, labeling,
-                      catchup=("batch", reduced))
+                      catchup=("batch", reduced), index=index)
         if self._durability is not None and not self._replaying \
                 and self._durability.snapshot_due():
             self._write_snapshot()
@@ -816,7 +859,9 @@ class DocumentStore:
             submitted_ops=submitted, reduced_ops=len(reduced),
             shard_sizes=[len(s) for s in shards], relabel=relabel,
             failures=list(outcome.failures),
-            max_code_length=labeling.max_code_length)
+            max_code_length=labeling.max_code_length,
+            index_maintenance=("incremental" if index is not None
+                               else "rebuild"))
 
     # -- durability ----------------------------------------------------------
 

@@ -58,10 +58,11 @@ class DocumentVersion:
     """
 
     __slots__ = ("doc_id", "version", "document", "labeling", "batches",
-                 "incremental_relabels", "full_relabels", "pins")
+                 "incremental_relabels", "full_relabels", "pins",
+                 "index")
 
     def __init__(self, doc_id, version, document, labeling, batches=0,
-                 incremental_relabels=0, full_relabels=0):
+                 incremental_relabels=0, full_relabels=0, index=None):
         self.doc_id = doc_id
         self.version = version
         self.document = document
@@ -70,6 +71,10 @@ class DocumentVersion:
         self.incremental_relabels = incremental_relabels
         self.full_relabels = full_relabels
         self.pins = 0
+        #: the version's secondary index (:mod:`repro.index`), published
+        #: with the pair so a pinned reader queries exactly its version;
+        #: ``None`` only on working copies, which are never queried
+        self.index = index
 
     def __repr__(self):
         return "DocumentVersion(doc={!r}, v{}, pins={})".format(

@@ -224,9 +224,16 @@ class Node:
         content); ``keep_ids=True`` preserves them (used when moving
         already-identified trees between PULs during aggregation).
         """
-        copy = Node(self.node_type, name=self.name, value=self.value,
+        copy = Node(self.node_type, name=self.name,
+                    value=None if self.is_element else self.value,
                     node_id=self.node_id if keep_ids else None)
         if self.is_element:
+            # XQUF ``replace value of`` on an element stores its text on
+            # the node's value slot (invisible to serialization); a copy
+            # must carry it faithfully or re-copying an updated tree —
+            # the mirror's and the MVCC fallback's per-batch path — fails
+            # the constructor's freshness check
+            copy.value = self.value
             for attr in self.attributes:
                 copy.append_attribute(attr.deep_copy(keep_ids=keep_ids))
             for child in self.children:

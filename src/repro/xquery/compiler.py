@@ -64,11 +64,17 @@ def _single_target(expression_name, nodes):
     return nodes[0]
 
 
-def compile_expression(expression, document):
-    """Compile one updating expression into a list of update operations."""
+def compile_expression(expression, document, labeling=None):
+    """Compile one updating expression into a list of update operations.
+
+    ``labeling`` (when available) lets target resolution order result
+    sets by label start code instead of re-deriving tree positions —
+    the same ordering primitive the index engine uses.
+    """
     operations = []
     if isinstance(expression, ast.InsertExpr):
-        targets = evaluate_path(expression.target, document=document)
+        targets = evaluate_path(expression.target, document=document,
+                                 labeling=labeling)
         target = _single_target("insert", targets)
         attributes, others = _materialize_source(expression.source)
         if attributes:
@@ -85,23 +91,27 @@ def compile_expression(expression, document):
         if not attributes and not others:
             raise QueryEvaluationError("insert with an empty source")
     elif isinstance(expression, ast.DeleteExpr):
-        targets = evaluate_path(expression.target, document=document)
+        targets = evaluate_path(expression.target, document=document,
+                                 labeling=labeling)
         operations.extend(Delete(node.node_id) for node in targets)
     elif isinstance(expression, ast.ReplaceValueExpr):
         target = _single_target(
             "replace value of",
-            evaluate_path(expression.target, document=document))
+            evaluate_path(expression.target, document=document,
+                          labeling=labeling))
         operations.append(ReplaceValue(target.node_id, expression.value))
     elif isinstance(expression, ast.ReplaceChildrenExpr):
         target = _single_target(
             "replace children of",
-            evaluate_path(expression.target, document=document))
+            evaluate_path(expression.target, document=document,
+                          labeling=labeling))
         operations.append(ReplaceChildren(target.node_id,
                                           expression.value))
     elif isinstance(expression, ast.ReplaceNodeExpr):
         target = _single_target(
             "replace node",
-            evaluate_path(expression.target, document=document))
+            evaluate_path(expression.target, document=document,
+                          labeling=labeling))
         attributes, others = _materialize_source(expression.source)
         if attributes and others:
             raise QueryEvaluationError(
@@ -113,7 +123,8 @@ def compile_expression(expression, document):
     elif isinstance(expression, ast.RenameExpr):
         target = _single_target(
             "rename node",
-            evaluate_path(expression.target, document=document))
+            evaluate_path(expression.target, document=document,
+                          labeling=labeling))
         operations.append(Rename(target.node_id, expression.name))
     else:
         raise QueryEvaluationError(
@@ -132,7 +143,8 @@ def compile_pul(query, document, labeling=None, origin=None):
     expressions = parse_program(query) if isinstance(query, str) else query
     operations = []
     for expression in expressions:
-        operations.extend(compile_expression(expression, document))
+        operations.extend(
+            compile_expression(expression, document, labeling=labeling))
     pul = PUL(operations, origin=origin)
     if labeling is not None:
         pul.attach_labels(labeling)

@@ -11,11 +11,12 @@ from repro.xquery import ast
 from repro.xdm.navigation import document_position
 
 
-def evaluate_path(path, document=None, context=None):
+def evaluate_path(path, document=None, context=None, labeling=None):
     """Evaluate ``path`` and return the selected nodes in document order.
 
     ``context`` is the list of context nodes for relative paths; absolute
-    paths require ``document``.
+    paths require ``document``. When ``labeling`` is given the final
+    sort orders by label start code (see :func:`document_order`).
     """
     if path.absolute:
         if document is None or document.root is None:
@@ -34,7 +35,7 @@ def evaluate_path(path, document=None, context=None):
         current = _evaluate_step(step, current)
         if not current:
             return []
-    return _document_order(current)
+    return document_order(current, labeling)
 
 
 class _Root:
@@ -134,5 +135,24 @@ def _apply_predicate(predicate, nodes):
         "unknown predicate: {!r}".format(predicate))
 
 
-def _document_order(nodes):
+def document_order(nodes, labeling=None):
+    """Sort ``nodes`` into document order.
+
+    With a ``labeling``, order by label *start code* — the paper's
+    order: start codes are unique, compare lexicographically, and
+    enumerate the document — which is O(1) per comparison and the
+    primitive the index engine's bucket order shares. Without one (or
+    when a node is unlabeled, e.g. the compiler's source fragments),
+    fall back to re-deriving tree positions.
+    """
+    if labeling is not None:
+        keys = {}
+        for node in nodes:
+            label = labeling.find(getattr(node, "node_id", None))
+            if label is None:
+                keys = None
+                break
+            keys[id(node)] = label.start
+        if keys is not None:
+            return sorted(nodes, key=lambda node: keys[id(node)])
     return sorted(nodes, key=document_position)

@@ -1,0 +1,199 @@
+"""Differential fuzz harness for the index subsystem.
+
+Random documents take random PUL batches through the resident store
+(incremental index maintenance) while random path queries run through
+all three engines. The properties pinned after **every** flush:
+
+* **engine identity** — ``walk``, ``auto`` and ``index`` return the
+  same serialized nodes, and all three equal the walker run over the
+  :class:`StatelessBaseline`'s independently maintained tree;
+* **index = rebuild** — the published version's maintained index
+  equals :func:`build_index` run from scratch on that version, also
+  across full-relabel fallbacks (a tight headroom budget is drawn in
+  some examples to force them mid-session);
+* **recovery parity** — a store recovered from the WAL serves the same
+  bytes for every query as the leader that wrote it (the restore-time
+  index rebuild meets the leader's incrementally maintained one).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.index import build_index
+from repro.store import DocumentStore, StatelessBaseline
+from repro.workloads import generate_client_batches, generate_xmark
+from repro.xdm.serializer import serialize, serialize_node
+from repro.xquery import parse_path
+from repro.xquery.xpath import evaluate_path
+
+from tests.strategies import applicable_puls, documents
+
+#: the strategies.py document alphabet, plus the names PULs introduce
+_STEP_NAMES = ("a", "b", "c", "d", "e", "rn1", "rn2")
+_ATTR_NAMES = ("k0", "k1", "g1")
+_PREDICATES = ('[@k0 = "x"]', '[@k1 = "y"]', '[@g1 = "w"]',
+               "[a]", "[b]", "[text()]",
+               "[1]", "[2]", "[last()]")
+
+
+@st.composite
+def path_queries(draw):
+    """A parseable path over the random-document alphabet: child and
+    descendant axes, name/wildcard/attribute/text tests, and a mix of
+    exists/compare/positional predicates."""
+    parts = []
+    length = draw(st.integers(1, 3))
+    for position in range(length):
+        axis = draw(st.sampled_from(("/", "//")))
+        kind = draw(st.sampled_from(
+            ("name", "name", "name", "wild", "attr", "text")))
+        if kind == "name":
+            step = draw(st.sampled_from(_STEP_NAMES))
+            if draw(st.booleans()):
+                step += draw(st.sampled_from(_PREDICATES))
+        elif kind == "wild":
+            step = "*"
+        elif kind == "attr":
+            step = "@" + draw(st.sampled_from(_ATTR_NAMES))
+        else:
+            step = "text()"
+        parts.append(axis + step)
+    return "".join(parts)
+
+
+def assert_engines_agree(store, baseline, queries):
+    """One checkpoint of the differential property (docstring above)."""
+    for query in queries:
+        walk = store.query("d", query, engine="walk")
+        auto = store.query("d", query, explain=True)
+        forced = store.query("d", query, engine="index")
+        oracle = [serialize_node(node) for node in evaluate_path(
+            parse_path(query), document=baseline.document("d"))]
+        assert walk["nodes"] == auto["nodes"] == forced["nodes"] \
+            == oracle
+        assert auto["count"] == len(oracle)
+
+
+def assert_index_is_rebuild(store):
+    version = store._entries["d"].published
+    assert version.index == build_index(version.document,
+                                        version.labeling)
+
+
+class TestEngineDifferential:
+    @settings(deadline=None, max_examples=40)
+    @given(data=st.data())
+    def test_indexed_equals_walker_equals_baseline(self, data):
+        document = data.draw(documents(), label="document")
+        text = serialize(document)
+        headroom = data.draw(st.sampled_from((64, 64, 10)),
+                             label="max_code_length")
+        baseline = StatelessBaseline(measure_parse=False)
+        with DocumentStore(workers=1, backend="serial",
+                           max_code_length=headroom) as store:
+            store.open("d", text)
+            baseline.open("d", text)
+            queries = data.draw(
+                st.lists(path_queries(), min_size=1, max_size=4),
+                label="queries")
+            assert_engines_agree(store, baseline, queries)
+            for round_index in range(data.draw(st.integers(1, 3),
+                                               label="rounds")):
+                resident = store._entries["d"].published.document
+                pul = data.draw(
+                    applicable_puls(resident, max_ops=5,
+                                    stamp_ids=True),
+                    label="round {} pul".format(round_index))
+                if not len(pul):
+                    continue
+                store.submit("d", pul.copy(), client="c")
+                baseline.submit("d", pul.copy(), client="c")
+                outcomes = []
+                for executor in (store, baseline):
+                    try:
+                        executor.flush("d")
+                        outcomes.append("applied")
+                    except ReproError:
+                        # e.g. a duplicate attribute name across
+                        # rounds — a dynamic error both sides must
+                        # reject identically, leaving state untouched
+                        executor.discard_pending("d")
+                        outcomes.append("rejected")
+                assert outcomes[0] == outcomes[1]
+                assert store.text("d") == baseline.text("d")
+                assert_index_is_rebuild(store)
+                assert_engines_agree(store, baseline, queries)
+
+    @settings(deadline=None, max_examples=25)
+    @given(queries=st.lists(path_queries(), min_size=1, max_size=5))
+    def test_agreement_across_forced_relabel_fallbacks(self, queries):
+        """A hot-spot session under a tight headroom budget: the store
+        crosses full-relabel (and index-rebuild) boundaries while the
+        three engines keep agreeing on every query."""
+        from repro.pul.ops import InsertIntoAsFirst
+        from repro.pul.pul import PUL
+        from repro.xdm import parse_document
+        from repro.xdm.node import Node
+
+        text = "<a><b><c>t</c></b></a>"
+        hot_spot = next(n.node_id
+                        for n in parse_document(text).nodes()
+                        if n.is_element and n.name == "b")
+        serial = 1000
+        baseline = StatelessBaseline(measure_parse=False)
+        with DocumentStore(workers=1, backend="serial",
+                           max_code_length=8) as store:
+            store.open("d", text)
+            baseline.open("d", text)
+            rebuilds = 0
+            for __ in range(5):
+                tree = Node.element("b")
+                tree.append_attribute(Node.attribute("k0", "x"))
+                tree.append_child(Node.text("w"))
+                for node in tree.iter_subtree():
+                    node.node_id = serial
+                    serial += 1
+                pul = PUL([InsertIntoAsFirst(hot_spot, [tree])])
+                for executor in (store, baseline):
+                    executor.submit("d", pul.copy(), client="c")
+                result = store.flush("d")
+                baseline.flush("d")
+                rebuilds += result.index_maintenance == "rebuild"
+                assert store.text("d") == baseline.text("d")
+                assert_index_is_rebuild(store)
+                assert_engines_agree(store, baseline, queries)
+            assert rebuilds >= 1  # the budget actually forced fallbacks
+
+
+class TestRecoveryParity:
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_recovered_store_serves_identical_queries(self, tmp_path,
+                                                      seed):
+        document = generate_xmark(scale=0.02, seed=7)
+        batches, __ = generate_client_batches(
+            document, clients=2, rounds=3, ops_per_round=8, seed=seed)
+        queries = ("//item", "//item/name", "//@id",
+                   "/site//keyword", "//text/text()")
+        wal_dir = str(tmp_path / "wal")
+        with DocumentStore(workers=1, backend="serial",
+                           durability="log", wal_dir=wal_dir) as store:
+            store.open("d", serialize(document))
+            for submissions in batches:
+                for client, pul in submissions:
+                    store.submit("d", pul.copy(), client=client)
+                store.flush("d")
+            assert_index_is_rebuild(store)
+            leader = {q: store.query("d", q) for q in queries}
+            leader_index = store._entries["d"].published.index
+            expected = store.text("d")
+        with DocumentStore(workers=1, backend="serial",
+                           durability="log", wal_dir=wal_dir) as twin:
+            assert twin.text("d") == expected
+            # restore builds from scratch; the leader maintained
+            # incrementally — same index either way
+            assert twin._entries["d"].published.index == leader_index
+            for query in queries:
+                served = twin.query("d", query, engine="index")
+                assert served["nodes"] == leader[query]["nodes"]

@@ -232,6 +232,38 @@ class TestStore:
         # and the typo'd path was not conjured into existence
         assert not missing.exists()
 
+    def test_query_against_a_durability_directory(self, doc_path,
+                                                  tmp_path):
+        script = tmp_path / "session.txt"
+        script.write_text("open d1 {doc}\nquit\n".format(doc=doc_path))
+        wal_dir = str(tmp_path / "wal")
+        code, __ = run(["store", "serve", "--backend", "serial",
+                        "--wal-dir", wal_dir, "--script", str(script)])
+        assert code == 0
+        code, output = run(["store", "query", "--backend", "serial",
+                            "--wal-dir", wal_dir, "d1", "//author"])
+        assert code == 0
+        assert "doc d1 version 0: 1 node(s)" in output
+        assert "<author>A</author>" in output
+
+    def test_query_explain_prints_the_plan(self, doc_path, tmp_path):
+        script = tmp_path / "session.txt"
+        script.write_text("open d1 {doc}\nquit\n".format(doc=doc_path))
+        wal_dir = str(tmp_path / "wal")
+        run(["store", "serve", "--backend", "serial",
+             "--wal-dir", wal_dir, "--script", str(script)])
+        code, output = run(["store", "query", "--backend", "serial",
+                            "--wal-dir", wal_dir, "d1",
+                            "//paper//author", "--explain"])
+        assert code == 0
+        assert "plan: indexed execution" in output
+        assert output.count("index-scan") == 2
+        assert "<author>" not in output    # explain carries no nodes
+
+    def test_query_requires_a_store_location(self):
+        code, __ = run(["store", "query", "d1", "//author"])
+        assert code == 2
+
     def test_bench_reports_comparison(self):
         code, output = run(["store", "bench", "--backend", "serial",
                             "--scale", "0.01", "--rounds", "2",
