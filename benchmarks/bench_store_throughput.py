@@ -25,7 +25,7 @@ import pytest
 
 from repro.store import DEFAULT_MAX_CODE_LENGTH, DocumentStore, \
     StatelessBaseline
-from repro.store.bench import run_store_benchmark
+from repro.store.bench import run_overhead_benchmark, run_store_benchmark
 from repro.workloads import generate_client_batches
 from repro.xdm.serializer import serialize
 
@@ -133,6 +133,20 @@ def main(argv=None):
     print("\nincremental-vs-full summary: steady-state {:.2f}x, "
           "fallback-heavy {:.2f}x".format(report.speedup, tight.speedup))
 
+    # the observability layer must be cheap enough to leave on: the
+    # same workload, instrumented vs metrics=False, best-of-repeats
+    # each way (efficiency 1.0 = free; the CI gate floors it at 0.95,
+    # i.e. <5% overhead)
+    print("\n== instrumentation overhead (metrics on vs off) ==")
+    instrumented, plain = run_overhead_benchmark(
+        scale=args.scale, clients=args.clients, rounds=args.rounds,
+        ops_per_round=args.ops, workers=args.workers,
+        backend=args.backend, seed=args.seed,
+        repeats=max(1, args.repeats))
+    efficiency = plain / instrumented if instrumented else 1.0
+    print("instrumented {:8.4f}s   metrics=off {:8.4f}s   "
+          "efficiency {:.3f}".format(instrumented, plain, efficiency))
+
     if args.json:
         submitted = args.rounds * args.ops
         payload = {"bench_store_throughput": {
@@ -140,6 +154,7 @@ def main(argv=None):
                             if report.resident_time else float("inf")),
             "median_wall_s": report.resident_time,
             "speedup_vs_stateless": report.speedup,
+            "instrumentation_efficiency": efficiency,
         }}
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)

@@ -94,6 +94,9 @@ METRIC_FLOORS = {
     # real ratio is >50x; 3x holds on any hardware)
     "bench_query_serving": {"read_write_overlap": 2.0,
                             "index_speedup": 3.0},
+    # metrics-on vs metrics=False on the same workload/machine/run:
+    # the observability layer must cost <5% to leave on by default
+    "bench_store_throughput": {"instrumentation_efficiency": 0.95},
 }
 
 

@@ -68,61 +68,106 @@ def _backoff_delays(retries, backoff, max_backoff):
 
 
 class _MethodSurface:
-    """The shared command surface; subclasses provide ``_call``."""
+    """The shared command surface; subclasses provide ``_call``.
 
-    def open(self, doc_id, xml):
+    **Tracing:** every command accepts a reserved ``_trace`` keyword —
+    a client-generated trace id (see :func:`repro.obs.new_trace_id`)
+    carried in the request envelope so the server records the call as
+    a span tree. The id is only put on the wire when the connected
+    server advertised ``"trace"`` in its hello ``features`` (old
+    servers never see the field).
+    """
+
+    @property
+    def features(self):
+        """The feature names the server advertised at hello
+        (empty tuple against pre-observability servers)."""
+        info = self.server_info or {}
+        return tuple(info.get("features", ()))
+
+    def _outbound_trace(self, trace):
+        """The trace id to send — ``None`` unless the caller supplied
+        one *and* the server negotiated support for carrying it."""
+        if trace is None or "trace" not in self.features:
+            return None
+        if not isinstance(trace, str) or not trace:
+            raise ProtocolError(
+                "_trace must be a non-empty string, got "
+                "{!r}".format(trace))
+        return trace
+
+    def open(self, doc_id, xml, _trace=None):
         """Make document text resident under ``doc_id``."""
-        return self._call("open", doc_id=doc_id, xml=xml)
+        return self._call("open", doc_id=doc_id, xml=xml,
+                          _trace=_trace)
 
-    def submit(self, doc_id, pul, client=None):
+    def submit(self, doc_id, pul, client=None, _trace=None):
         """Queue a PUL (exchange text or a :class:`PUL`)."""
         args = {"doc_id": doc_id, "pul": _pul_text(pul)}
         if client is not None:
             args["client"] = client
-        return self._call("submit", **args)
+        return self._call("submit", _trace=_trace, **args)
 
-    def submit_xquery(self, doc_id, query, client=None):
+    def submit_xquery(self, doc_id, query, client=None,
+                      _trace=None):
         """Ship an XQuery Update expression; the server compiles it
         against the resident document and queues the resulting PUL."""
         args = {"doc_id": doc_id, "query": query}
         if client is not None:
             args["client"] = client
-        return self._call("submit_xquery", **args)
+        return self._call("submit_xquery", _trace=_trace, **args)
 
-    def flush(self, doc_id):
-        return self._call("flush", doc_id=doc_id)
+    def flush(self, doc_id, _trace=None):
+        return self._call("flush", doc_id=doc_id, _trace=_trace)
 
-    def flush_all(self):
-        return self._call("flush_all")
+    def flush_all(self, _trace=None):
+        return self._call("flush_all", _trace=_trace)
 
-    def discard(self, doc_id):
-        return self._call("discard", doc_id=doc_id)
+    def discard(self, doc_id, _trace=None):
+        return self._call("discard", doc_id=doc_id, _trace=_trace)
 
-    def text(self, doc_id):
-        return self._call("text", doc_id=doc_id)
+    def text(self, doc_id, _trace=None):
+        return self._call("text", doc_id=doc_id, _trace=_trace)
 
-    def stats(self, doc_id=None):
+    def stats(self, doc_id=None, _trace=None):
         if doc_id is None:
-            return self._call("stats")
-        return self._call("stats", doc_id=doc_id)
+            return self._call("stats", _trace=_trace)
+        return self._call("stats", doc_id=doc_id, _trace=_trace)
 
-    def docs(self):
-        return self._call("docs")
+    def docs(self, _trace=None):
+        return self._call("docs", _trace=_trace)
 
-    def snapshot(self):
-        return self._call("snapshot")
+    def snapshot(self, _trace=None):
+        return self._call("snapshot", _trace=_trace)
 
-    def query(self, doc_id, path):
+    def query(self, doc_id, path, _trace=None):
         """Evaluate a read-only path expression server-side; returns
         the selected nodes serialized (replica-safe — see the cluster
         docs)."""
-        return self._call("query", doc_id=doc_id, path=path)
+        return self._call("query", doc_id=doc_id, path=path,
+                          _trace=_trace)
 
-    def explain(self, doc_id, path):
+    def explain(self, doc_id, path, _trace=None):
         """Run ``path`` server-side and return the recorded query
         plan (per step: index-scan vs. walk with bucket/estimate
         sizes) without the serialized nodes."""
-        return self._call("explain", doc_id=doc_id, path=path)
+        return self._call("explain", doc_id=doc_id, path=path,
+                          _trace=_trace)
+
+    def metrics(self, format=None, traces=None, slow=None):
+        """Fetch the server's metric snapshot (counters / gauges /
+        histograms plus ``uptime_seconds``); ``traces=N`` adds the
+        last N recorded span trees, ``slow=N`` the last N slow-log
+        entries, ``format="prometheus"`` returns ``{"text": ...}``
+        carrying the text exposition instead."""
+        args = {}
+        if format is not None:
+            args["format"] = format
+        if traces is not None:
+            args["traces"] = traces
+        if slow is not None:
+            args["slow"] = slow
+        return self._call("metrics", **args)
 
     # -- replication (see repro.cluster) --------------------------------------
 
@@ -295,8 +340,9 @@ class StoreClient(_MethodSurface):
         return self._next_id
 
     def _call(self, op, **args):
+        trace = self._outbound_trace(args.pop("_trace", None))
         return self._roundtrip(protocol.request(
-            self._take_id(), op, args))
+            self._take_id(), op, args, trace=trace))
 
     def _roundtrip(self, message):
         if self._sock is None:
@@ -456,11 +502,12 @@ class AsyncStoreClient(_MethodSurface):
     async def _call(self, op, **args):
         if self._closed:
             raise ProtocolError("client is closed")
+        trace = self._outbound_trace(args.pop("_trace", None))
         request_id = self._take_id()
         # frame before registering the future: an unframeable request
         # (oversized payload) must not leave an orphan in _pending
         frame = protocol.encode_frame(
-            protocol.request(request_id, op, args),
+            protocol.request(request_id, op, args, trace=trace),
             self.protocol_version or 1)
         future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future

@@ -22,11 +22,15 @@ from repro.errors import (
 from repro.pul.serialize import pul_from_xml
 
 
-def stats_payload(stats):
+def stats_payload(stats, uptime_seconds=None):
     """The shared machine-readable form of per-document counters: one
     serializer for the line protocol's ``--json`` form and the network
-    protocol's ``stats`` result."""
-    return {"stats": [dict(entry) for entry in stats]}
+    protocol's ``stats`` result. ``uptime_seconds`` (when known) rides
+    at the top level next to the per-document entries."""
+    payload = {"stats": [dict(entry) for entry in stats]}
+    if uptime_seconds is not None:
+        payload["uptime_seconds"] = round(uptime_seconds, 3)
+    return payload
 
 
 class StoreDispatcher:
@@ -53,14 +57,46 @@ class StoreDispatcher:
         return {"docs": self.store.doc_ids()}
 
     def stats(self, doc_id=None):
+        uptime = getattr(self.store, "uptime_seconds", None)
+        uptime = uptime() if callable(uptime) else None
         if doc_id is not None:
-            payload = stats_payload([self.store.stats(doc_id)])
+            payload = stats_payload([self.store.stats(doc_id)],
+                                    uptime_seconds=uptime)
         else:
-            payload = stats_payload(self.store.stats())
+            payload = stats_payload(self.store.stats(),
+                                    uptime_seconds=uptime)
         replication = self._replication_block()
         if replication is not None:
             payload["replication"] = replication
         return payload
+
+    def metrics(self, format=None, traces=None, slow=None):
+        """The observability surface: the store's metric snapshot
+        (plus uptime), optionally the last ``traces`` recorded span
+        trees and ``slow`` slow-log entries, or — with
+        ``format="prometheus"`` — ``{"text": ...}`` carrying the text
+        exposition."""
+        if format not in (None, "json", "prometheus"):
+            raise ProtocolError(
+                "metrics format must be \"json\" or \"prometheus\", "
+                "got {!r}".format(format))
+        if format == "prometheus":
+            return {"text": self.store.metrics_text()}
+        return {
+            **self.store.metrics_snapshot(
+                traces=self._bounded_count("traces", traces),
+                slow=self._bounded_count("slow", slow))}
+
+    @staticmethod
+    def _bounded_count(name, value):
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, int) \
+                or value < 0:
+            raise ProtocolError(
+                "metrics \"{}\" must be a non-negative integer, got "
+                "{!r}".format(name, value))
+        return value
 
     def text(self, doc_id):
         text, version = self.store.text_version(doc_id)

@@ -51,7 +51,8 @@ OPS = (
     OpSpec(
         "hello", 0, None,
         required=("versions",), optional=("client",),
-        result="`version`, `server`, `client`",
+        result="`version`, `server`, `client`, `features` (negotiated "
+               "extras, e.g. `trace` = requests may carry a trace id)",
         doc="version negotiation; always rides v1 JSON"),
     OpSpec(
         "open", 1, "open",
@@ -161,6 +162,16 @@ OPS = (
                "bucket and estimate sizes) the cost model chose; the "
                "query runs against one pinned version, so `count` "
                "matches what `query` would return"),
+    # observability (PR 10)
+    OpSpec(
+        "metrics", 21, "metrics",
+        optional=("format", "traces", "slow"),
+        result="the metrics snapshot: `counters`, `gauges`, "
+               "`histograms` (per-series values), `uptime_seconds`, "
+               "`metrics_enabled`; `traces=N` adds the last N recorded "
+               "span trees, `slow=N` the last N slow-log entries; "
+               "`format: \"prometheus\"` returns `{text}` (the text "
+               "exposition) instead"),
 )
 
 #: ``name -> spec``

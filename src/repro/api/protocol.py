@@ -50,6 +50,14 @@ carries a struct-packed binary payload instead of JSON::
                          string value (ops outside the table)
     kind 0x02 ok:        id(value) result(value)
     kind 0x03 error:     id(value) error-object(value)
+    kind 0x04 traced:    id(value) trace-id(value) op-code(u8)
+                         args(value) — a request carrying a trace id.
+                         Feature-negotiated: clients emit it only to
+                         servers whose hello result advertises
+                         ``"trace"`` in ``features``, so a pre-trace
+                         peer never sees the kind. (Under v1 the trace
+                         id rides as an extra top-level ``"trace"``
+                         key, which old servers ignore by design.)
 
 ``value`` is a type-tagged binary term (see ``_encode_value``): the
 JSON-representable scalars plus lists and string-keyed maps, with
@@ -124,6 +132,7 @@ def decode_payload(payload, version=1):
 _V2_REQUEST = 0x01
 _V2_OK = 0x02
 _V2_ERROR = 0x03
+_V2_TRACED = 0x04
 
 #: request op names packed to one byte; part of the wire spec (see
 #: api/README.md) — codes are append-only, never reused. Declared in
@@ -262,8 +271,14 @@ def _encode_message_v2(message):
     """A message dict (the v1 JSON shape) as a v2 binary payload."""
     out = bytearray()
     if "op" in message:
-        out.append(_V2_REQUEST)
-        _encode_value(message.get("id"), out)
+        trace = message.get("trace")
+        if trace is not None:
+            out.append(_V2_TRACED)
+            _encode_value(message.get("id"), out)
+            _encode_value(trace, out)
+        else:
+            out.append(_V2_REQUEST)
+            _encode_value(message.get("id"), out)
         code = OP_CODES.get(message["op"])
         if code is None:
             out.append(_OP_NAMED)
@@ -293,8 +308,14 @@ def _decode_message_v2(payload):
     if not payload:
         raise ProtocolError("empty binary frame")
     kind = payload[0]
-    if kind == _V2_REQUEST:
+    if kind == _V2_REQUEST or kind == _V2_TRACED:
         request_id, offset = _decode_value(payload, 1)
+        trace = None
+        if kind == _V2_TRACED:
+            trace, offset = _decode_value(payload, offset)
+            if not isinstance(trace, str):
+                raise ProtocolError(
+                    "trace id must be a string, got {!r}".format(trace))
         try:
             op_code = payload[offset]
         except IndexError:
@@ -316,6 +337,8 @@ def _decode_message_v2(payload):
             raise ProtocolError("request args must be a map")
         _expect_end(payload, offset)
         message = {"id": request_id, "op": op}
+        if trace is not None:
+            message["trace"] = trace
         if args:
             message["args"] = args
         return message
@@ -421,9 +444,13 @@ class FrameDecoder:
 # -- request / response shapes -----------------------------------------------
 
 
-def request(request_id, op, args=None):
-    """Build a request object."""
+def request(request_id, op, args=None, trace=None):
+    """Build a request object. ``trace`` attaches a trace id to the
+    envelope (an extra top-level key under v1 — ignored by pre-trace
+    servers — and the 0x04 traced frame kind under v2)."""
     message = {"id": request_id, "op": op}
+    if trace is not None:
+        message["trace"] = trace
     if args:
         message["args"] = args
     return message

@@ -50,6 +50,12 @@ import sys
 from repro.api import ops, protocol
 from repro.api.dispatch import StoreDispatcher
 from repro.errors import ProtocolError, ReproError
+from repro.obs import SIZE_BUCKETS, StoreObs
+
+#: optional capabilities advertised in the hello result; a client only
+#: uses a feature (e.g. sending trace ids) when the server lists it,
+#: so old peers on either side are unaffected
+SERVER_FEATURES = ("trace", "metrics")
 
 #: default bound on queued-but-unexecuted requests per connection
 DEFAULT_MAX_PIPELINE = 32
@@ -161,7 +167,8 @@ class StoreServer:
     DISPATCH = ops.dispatch_table()
 
     def __init__(self, store=None, host=None, port=0, unix_path=None,
-                 max_pipeline=DEFAULT_MAX_PIPELINE, executor_workers=8):
+                 max_pipeline=DEFAULT_MAX_PIPELINE, executor_workers=8,
+                 metrics_listen=None):
         if host is None and unix_path is None:
             raise ReproError(
                 "StoreServer needs a TCP host/port or a unix_path to "
@@ -192,6 +199,33 @@ class StoreServer:
         self._connections = {}   # _Connection -> its handler task
         self._sessions = 0
         self._closed = False
+        #: ``(host, port)`` of the opt-in Prometheus HTTP endpoint
+        #: (``None`` disables it); serves ``GET /metrics``
+        self.metrics_listen = metrics_listen
+        self._metrics_server = None
+        #: the store's observability facade; a bare store object
+        #: without one gets a disabled stand-in so the instrumentation
+        #: sites below stay unconditional
+        self.obs = getattr(self.store, "obs", None) or StoreObs(
+            enabled=False)
+        self._m_connections = self.obs.gauge(
+            "repro_server_connections", "Open client connections")
+        self._m_connections_total = self.obs.counter(
+            "repro_server_connections_total", "Connections accepted")
+        self._m_frames_in = {
+            version: self.obs.counter(
+                "repro_server_frames_in_total",
+                "Request frames decoded", codec="v{}".format(version))
+            for version in protocol.SUPPORTED_VERSIONS}
+        self._m_frames_out = {
+            version: self.obs.counter(
+                "repro_server_frames_out_total",
+                "Response frames written", codec="v{}".format(version))
+            for version in protocol.SUPPORTED_VERSIONS}
+        self._m_pipeline = self.obs.histogram(
+            "repro_server_pipeline_batch",
+            "Requests executed per pipelined batch",
+            buckets=SIZE_BUCKETS)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -207,6 +241,10 @@ class StoreServer:
             self._servers.append(await asyncio.start_unix_server(
                 self._handle_connection,
                 sock=_bind_unix_socket(self.unix_path)))
+        if self.metrics_listen is not None:
+            host, port = self.metrics_listen
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics_http, host=host, port=port)
         return self
 
     @property
@@ -218,6 +256,54 @@ class StoreServer:
                 if sock.family != unix_family:
                     return sock.getsockname()[:2]
         return None
+
+    @property
+    def metrics_http_address(self):
+        """``(host, port)`` of the Prometheus HTTP endpoint, or
+        ``None`` when ``metrics_listen`` was not configured."""
+        if self._metrics_server is None:
+            return None
+        for sock in self._metrics_server.sockets or ():
+            return sock.getsockname()[:2]
+        return None
+
+    async def _handle_metrics_http(self, reader, writer):
+        """One-shot HTTP/1.1 handler: ``GET /metrics`` answers the
+        Prometheus text exposition, everything else 404. Deliberately
+        minimal — no keep-alive, no chunking — because scrapers issue
+        exactly this request shape."""
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            while True:   # drain headers; the request has no body
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            if path.split("?", 1)[0] == "/metrics":
+                render = getattr(self.store, "metrics_text", None)
+                body = (render() if callable(render) else "")
+                body = body.encode("utf-8")
+                status = "200 OK"
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+            else:
+                body = b"not found (try /metrics)\n"
+                status = "404 Not Found"
+                ctype = "text/plain; charset=utf-8"
+            writer.write((
+                "HTTP/1.1 {}\r\nContent-Type: {}\r\n"
+                "Content-Length: {}\r\nConnection: close\r\n\r\n"
+                .format(status, ctype, len(body))).encode("latin-1"))
+            writer.write(body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
     async def serve_forever(self, handle_signals=True):
         """Run until ``SIGTERM``/``SIGINT`` (drain-first), then close."""
@@ -244,6 +330,9 @@ class StoreServer:
         if self._closed:
             return
         self._closed = True
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
         for server in self._servers:
             server.close()
             await server.wait_closed()
@@ -369,6 +458,13 @@ class StoreServer:
                 responses.append(protocol.error_response(request_id,
                                                          error))
                 continue
+            trace = message.get("trace")
+            if isinstance(trace, str) and trace:
+                # the traced thunk still runs synchronously inside its
+                # worker hop, so the contextvar set by run_traced
+                # propagates through dispatch -> store -> durability
+                thunk = functools.partial(self.obs.run_traced, trace,
+                                          op, thunk)
             if executor is self._executor:
                 run.append((request_id, thunk))
                 continue
@@ -387,10 +483,13 @@ class StoreServer:
     async def _handle_connection(self, reader, writer):
         connection = _Connection(self, reader, writer)
         self._connections[connection] = asyncio.current_task()
+        self._m_connections.inc()
+        self._m_connections_total.inc()
         try:
             await connection.run()
         finally:
             self._connections.pop(connection, None)
+            self._m_connections.dec()
 
     def _next_session_name(self):
         self._sessions += 1
@@ -482,7 +581,8 @@ class _Connection:
         # sides switch codecs right after this frame
         sent = await self._send(protocol.ok_response(request_id, {
             "version": version, "server": "repro-store",
-            "client": self.session.client}))
+            "client": self.session.client,
+            "features": list(SERVER_FEATURES)}))
         self._codec_version = version
         self.decoder.use_version(version)
         return sent
@@ -531,6 +631,7 @@ class _Connection:
                     tail = item
                 else:
                     batch.append(item)
+            self.server._m_pipeline.observe(len(batch))
             responses = await self.server._execute_many(
                 self.session, batch)
             if not await self._send_many(responses):
@@ -562,7 +663,13 @@ class _Connection:
                         "connection closed mid-frame ({} trailing "
                         "bytes)".format(self.decoder.pending_bytes))
                 return None
-            self._frames.extend(self.decoder.feed(data))
+            decoded = self.decoder.feed(data)
+            if decoded:
+                counter = self.server._m_frames_in.get(
+                    self._codec_version)
+                if counter is not None:
+                    counter.inc(len(decoded))
+            self._frames.extend(decoded)
 
     async def _send(self, message, drain=True):
         """Write one frame; ``False`` when the peer is gone."""
@@ -582,6 +689,9 @@ class _Connection:
                 await self.writer.drain()
         except (ConnectionError, OSError):
             return False
+        counter = self.server._m_frames_out.get(self._codec_version)
+        if counter is not None:
+            counter.inc()
         return True
 
     async def _send_many(self, responses):

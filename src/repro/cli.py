@@ -27,7 +27,10 @@ Subcommands mirror the library's pipeline (``-`` reads stdin):
   ETL pair — chunked group-committed loads of XML corpora, and
   filtered resumable dumps whose resume token anchors a CDC
   subscription (``--target`` a running server or ``--wal-dir`` a local
-  directory);
+  directory); ``store metrics`` dumps the observability series
+  (Prometheus text or ``--json``) and ``store top`` is a live,
+  curses-free dashboard over a running server (ops/sec, latency
+  percentiles, fsync rate, replication lag);
 * ``cluster``   — the replicated multi-node deployment:
   ``cluster serve --role leader|replica`` runs one node (leaders ship
   their write-ahead log, replicas stream it and serve reads),
@@ -46,8 +49,10 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+import time
 
 from repro.aggregation import aggregate
 from repro.apply.events import events_to_xml, parse_events
@@ -233,15 +238,36 @@ def _parse_listen(spec):
     return host or "127.0.0.1", port, None
 
 
+def _parse_metrics_listen(spec):
+    """``host:port`` for the opt-in Prometheus HTTP endpoint."""
+    host, port, unix_path = _parse_listen(spec)
+    if unix_path is not None:
+        raise ReproError("--metrics-listen takes HOST:PORT (scrapers "
+                         "speak HTTP over TCP)")
+    return host, port
+
+
+def _observability_kwargs(args):
+    """The store-construction kwargs behind the observability flags."""
+    return dict(metrics=not args.no_metrics,
+                slow_query_s=args.slow_query_s,
+                slow_flush_s=args.slow_flush_s,
+                slow_log_path=args.slow_log)
+
+
 def cmd_store_serve(args, out):
     policy, wal_dir = _durability_policy(args)
     if args.listen and args.script:
         raise ReproError("--script drives the line protocol; it cannot "
                          "be combined with --listen")
+    if args.metrics_listen and not args.listen:
+        raise ReproError("--metrics-listen rides the network server; "
+                         "it needs --listen")
     store = DocumentStore(workers=args.workers, backend=args.backend,
                           max_code_length=args.max_code_length,
                           on_conflict=args.on_conflict,
-                          durability=policy, wal_dir=wal_dir)
+                          durability=policy, wal_dir=wal_dir,
+                          **_observability_kwargs(args))
     if getattr(args, "replicate", False):
         # standalone CDC: publish the WAL as a change feed so
         # `subscribe`/`export` work without a cluster deployment
@@ -259,7 +285,10 @@ def cmd_store_serve(args, out):
         host, port, unix_path = _parse_listen(args.listen)
         server = StoreServer(store, host=host, port=port,
                              unix_path=unix_path,
-                             max_pipeline=args.max_pipeline)
+                             max_pipeline=args.max_pipeline,
+                             metrics_listen=(
+                                 _parse_metrics_listen(args.metrics_listen)
+                                 if args.metrics_listen else None))
 
         async def _serve():
             await server.start()
@@ -270,6 +299,9 @@ def cmd_store_serve(args, out):
                 out.write("listening tcp {}:{}\n".format(*address))
             if unix_path is not None:
                 out.write("listening unix {}\n".format(unix_path))
+            metrics_address = server.metrics_http_address
+            if metrics_address is not None:
+                out.write("metrics http {}:{}\n".format(*metrics_address))
             out.flush()
             await server.serve_forever()
 
@@ -342,9 +374,9 @@ def _etl_store(args):
     """Open the local store an ETL command targets (``--wal-dir``)."""
     policy, wal_dir = _durability_policy(args)
     if wal_dir is None:
-        raise ReproError("store import/export/query needs --target "
-                         "host:port (a running server) or --wal-dir "
-                         "(a durability directory)")
+        raise ReproError("store import/export/query/metrics needs "
+                         "--target host:port (a running server) or "
+                         "--wal-dir (a durability directory)")
     store = DocumentStore(workers=args.workers, backend=args.backend,
                           max_code_length=args.max_code_length,
                           durability=policy, wal_dir=wal_dir)
@@ -489,6 +521,142 @@ def cmd_store_query(args, out):
     return 0
 
 
+def cmd_store_metrics(args, out):
+    store = client = None
+    try:
+        if args.target:
+            from repro.api.client import StoreClient
+            from repro.cluster import parse_address
+
+            host, port = parse_address(args.target)
+            client = StoreClient.connect(host=host, port=port,
+                                         retries=args.retries)
+            surface = client
+        else:
+            from repro.api.dispatch import StoreDispatcher
+
+            store = _etl_store(args)
+            surface = StoreDispatcher(store)
+        if args.json:
+            result = surface.metrics(traces=args.traces,
+                                     slow=args.slow)
+            out.write(json.dumps(result, indent=2, sort_keys=True)
+                      + "\n")
+        else:
+            out.write(surface.metrics(format="prometheus")["text"])
+    finally:
+        if client is not None:
+            client.close()
+        if store is not None:
+            store.close()
+    return 0
+
+
+def _ms(seconds):
+    return "-" if seconds is None else "{:.2f}".format(seconds * 1000)
+
+
+def _top_rate(snap, previous, name, elapsed):
+    """Per-second rate of one counter over the sample window (since
+    process start on the first sample)."""
+    now = snap.get("counters", {}).get(name, 0)
+    base = (previous or {}).get("counters", {}).get(name, 0)
+    return (now - base) / elapsed
+
+
+def render_top_frame(snap, stats, previous):
+    """One ``repro store top`` screen from a ``metrics`` snapshot, the
+    server's ``stats`` and the previous snapshot (``None`` on the
+    first poll: rates then average over the whole uptime)."""
+    from repro.obs import percentile_from_buckets
+
+    uptime = snap.get("uptime_seconds") or 0.0
+    elapsed = (uptime - (previous.get("uptime_seconds") or 0.0)
+               if previous else uptime)
+    elapsed = max(elapsed, 1e-9)
+    hists = snap.get("histograms", {})
+    prev_hists = (previous or {}).get("histograms", {})
+    lines = ["repro store top — uptime {:.0f}s, {} doc(s), "
+             "window {:.1f}s".format(
+                 uptime, len(stats.get("stats", [])), elapsed), ""]
+    lines.append("{:<10}{:>10}{:>10}{:>10}{:>12}".format(
+        "op", "ops/s", "p50 ms", "p99 ms", "total"))
+    prefix = 'repro_store_op_latency_seconds{op="'
+    for key in sorted(hists):
+        if not key.startswith(prefix):
+            continue
+        series = hists[key]
+        counts = series["counts"]
+        prev_counts = prev_hists.get(key, {}).get("counts")
+        if prev_counts and len(prev_counts) == len(counts):
+            counts = [a - b for a, b in zip(counts, prev_counts)]
+        lines.append("{:<10}{:>10.1f}{:>10}{:>10}{:>12}".format(
+            key[len(prefix):-2], sum(counts) / elapsed,
+            _ms(percentile_from_buckets(series["buckets"], counts,
+                                        0.5)),
+            _ms(percentile_from_buckets(series["buckets"], counts,
+                                        0.99)),
+            series["count"]))
+    gauges = snap.get("gauges", {})
+    lines.append("")
+    lines.append(
+        "fsyncs/s {:.1f}   wal KB/s {:.1f}   frames in/s {:.1f}   "
+        "connections {}   pending {}".format(
+            _top_rate(snap, previous, "repro_wal_fsyncs_total",
+                      elapsed),
+            _top_rate(snap, previous, "repro_wal_bytes_total",
+                      elapsed) / 1024.0,
+            sum(_top_rate(snap, previous, key, elapsed)
+                for key in snap.get("counters", {})
+                if key.startswith("repro_server_frames_in_total")),
+            gauges.get("repro_server_connections", 0),
+            gauges.get("repro_store_pending_submissions", 0)))
+    replication = stats.get("replication")
+    if replication is None:
+        lines.append("replication: off")
+    elif replication.get("role") == "leader":
+        lines.append(
+            "replication: leader seq={} subscribers={} "
+            "max_lag_records={}".format(
+                replication.get("seq"),
+                len(replication.get("subscribers", {})),
+                gauges.get("repro_replication_max_lag_records", 0)))
+    else:
+        lines.append(
+            "replication: replica of {} behind={} lag={}s "
+            "connected={}".format(
+                replication.get("leader"), replication.get("behind"),
+                replication.get(
+                    "lag_seconds",
+                    gauges.get("repro_replication_lag_seconds", 0)),
+                "yes" if replication.get("connected") else "no"))
+    return "\n".join(lines) + "\n"
+
+
+def cmd_store_top(args, out):
+    from repro.api.client import StoreClient
+    from repro.cluster import parse_address
+
+    host, port = parse_address(args.target)
+    with StoreClient.connect(host=host, port=port,
+                             retries=args.retries) as client:
+        previous = None
+        polls = 0
+        while args.iterations is None or polls < args.iterations:
+            if polls:
+                time.sleep(args.interval)
+            snap = client.metrics()
+            stats = client.stats()
+            frame = render_top_frame(snap, stats, previous)
+            if not args.no_clear:
+                out.write("\x1b[2J\x1b[H")  # clear screen, home cursor
+            out.write(frame)
+            out.flush()
+            previous = snap
+            polls += 1
+    return 0
+
+
 def cmd_invert(args, out):
     document = _load_document(args.document)
     pul = _load_pul(args.pul)
@@ -510,7 +678,8 @@ def cmd_cluster_serve(args, out):
     host, port, unix_path = _parse_listen(args.listen)
     common = dict(workers=args.workers, backend=args.backend,
                   max_code_length=args.max_code_length,
-                  durability=policy, wal_dir=wal_dir)
+                  durability=policy, wal_dir=wal_dir,
+                  **_observability_kwargs(args))
     sync = None
     if args.role == "leader":
         if wal_dir is None:
@@ -531,7 +700,10 @@ def cmd_cluster_serve(args, out):
             sys.stderr.write("recover: {}\n".format(line))
     server = StoreServer(store, host=host, port=port,
                          unix_path=unix_path,
-                         max_pipeline=args.max_pipeline)
+                         max_pipeline=args.max_pipeline,
+                         metrics_listen=(
+                             _parse_metrics_listen(args.metrics_listen)
+                             if args.metrics_listen else None))
 
     async def _serve():
         await server.start()
@@ -540,6 +712,9 @@ def cmd_cluster_serve(args, out):
             out.write("listening tcp {}:{}\n".format(*address))
         if unix_path is not None:
             out.write("listening unix {}\n".format(unix_path))
+        metrics_address = server.metrics_http_address
+        if metrics_address is not None:
+            out.write("metrics http {}:{}\n".format(*metrics_address))
         out.write("role {}\n".format(store.role))
         out.flush()
         # the sync loop starts after the listeners are up, so a peer
@@ -711,11 +886,35 @@ def build_parser():
                              help="batches between snapshot compactions "
                                   "(log+snapshot mode)")
 
+    def _observability_options(parser_):
+        parser_.add_argument("--no-metrics", action="store_true",
+                             help="disable the metrics registry "
+                                  "(instrumentation sites become "
+                                  "no-ops)")
+        parser_.add_argument("--metrics-listen", default=None,
+                             metavar="HOST:PORT",
+                             help="also serve GET /metrics (Prometheus "
+                                  "text exposition) over HTTP "
+                                  "(network mode)")
+        parser_.add_argument("--slow-query-s", type=float, default=None,
+                             metavar="S",
+                             help="log queries slower than S seconds "
+                                  "(with their recorded plans)")
+        parser_.add_argument("--slow-flush-s", type=float, default=None,
+                             metavar="S",
+                             help="log flushes slower than S seconds "
+                                  "(with per-stage timings)")
+        parser_.add_argument("--slow-log", default=None, metavar="FILE",
+                             help="append slow-log entries to FILE as "
+                                  "JSONL (default: in-memory ring "
+                                  "only)")
+
     serve_cmd = store_commands.add_parser(
         "serve", help="drive the store over the line protocol "
                       "(stdin/stdout)")
     _store_options(serve_cmd)
     _durability_options(serve_cmd)
+    _observability_options(serve_cmd)
     serve_cmd.add_argument("--script", default=None,
                            help="read commands from a file instead of "
                                 "stdin")
@@ -830,6 +1029,48 @@ def build_parser():
                                 "model chose instead of the nodes")
     query_cmd.set_defaults(func=cmd_store_query)
 
+    metrics_cmd = store_commands.add_parser(
+        "metrics", help="dump the observability metrics (Prometheus "
+                        "text exposition by default)")
+    _store_options(metrics_cmd)
+    _durability_options(metrics_cmd)
+    metrics_cmd.add_argument("--target", default=None,
+                             metavar="HOST:PORT",
+                             help="a running store server; mutually "
+                                  "exclusive with --wal-dir")
+    metrics_cmd.add_argument("--retries", type=int, default=1,
+                             help="connect retries with backoff")
+    metrics_cmd.add_argument("--json", action="store_true",
+                             help="print the JSON snapshot instead of "
+                                  "the Prometheus text form")
+    metrics_cmd.add_argument("--traces", type=int, default=None,
+                             metavar="N",
+                             help="include the last N recorded span "
+                                  "trees (--json only)")
+    metrics_cmd.add_argument("--slow", type=int, default=None,
+                             metavar="N",
+                             help="include the last N slow-log entries "
+                                  "(--json only)")
+    metrics_cmd.set_defaults(func=cmd_store_metrics)
+
+    top_cmd = store_commands.add_parser(
+        "top", help="live dashboard over a running server: ops/sec, "
+                    "latency percentiles, fsync rate, replication lag")
+    top_cmd.add_argument("--target", required=True, metavar="HOST:PORT",
+                         help="the server to watch")
+    top_cmd.add_argument("--interval", type=float, default=2.0,
+                         help="seconds between polls")
+    top_cmd.add_argument("--iterations", type=int, default=None,
+                         metavar="N",
+                         help="stop after N frames (default: poll "
+                              "until interrupted)")
+    top_cmd.add_argument("--no-clear", action="store_true",
+                         help="append frames instead of redrawing the "
+                              "screen (log-friendly)")
+    top_cmd.add_argument("--retries", type=int, default=1,
+                         help="connect retries with backoff")
+    top_cmd.set_defaults(func=cmd_store_top)
+
     cluster_cmd = commands.add_parser(
         "cluster", help="replicated multi-node deployment "
                         "(WAL-shipping leaders, read replicas)")
@@ -841,6 +1082,7 @@ def build_parser():
                       "the network protocol")
     _store_options(cluster_serve_cmd)
     _durability_options(cluster_serve_cmd)
+    _observability_options(cluster_serve_cmd)
     cluster_serve_cmd.add_argument("--role", required=True,
                                    choices=("leader", "replica"))
     cluster_serve_cmd.add_argument("--listen", required=True,

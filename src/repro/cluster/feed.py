@@ -44,6 +44,7 @@ import uuid
 from collections import deque
 
 from repro.errors import ClusterError, ProtocolError, ReplicationResetError
+from repro.obs import StoreObs
 from repro.store.durability.recovery import decode_payload
 from repro.store.durability.wal import WalTailReader
 
@@ -91,6 +92,23 @@ class ReplicationSource:
         #: source mints a fresh identity and followers re-bootstrap on
         #: a mismatch instead of silently splicing two timelines
         self.stream_id = uuid.uuid4().hex
+        # metrics ride the owning store's registry (the manager holds
+        # its StoreObs); a bare manager gets null instruments
+        obs = getattr(manager, "_obs", None)
+        self._obs = obs if obs is not None else StoreObs(enabled=False)
+        self._m_subscribers = self._obs.gauge(
+            "repro_replication_subscribers",
+            help_text="Followers currently tracked in the lag stats")
+        self._m_retained = self._obs.gauge(
+            "repro_replication_retained_records",
+            help_text="Records currently held in the feed backlog")
+        self._m_shipped = self._obs.counter(
+            "repro_replication_records_shipped_total",
+            help_text="WAL records served to followers via wal-segment")
+        self._m_max_lag = self._obs.gauge(
+            "repro_replication_max_lag_records",
+            help_text="Largest follower lag in records (0 when every "
+                      "acked follower is caught up)")
         # anchor at the current durable end of the log: history before
         # the source existed is served via snapshot transfer, never as
         # records. Anchoring and hook attachment are one atomic step
@@ -148,6 +166,7 @@ class ReplicationSource:
             self._first_seq = self._records[0][0]
         else:
             self._first_seq = self._next_seq
+        self._m_retained.set(len(self._records))
 
     def _ingest(self):
         """Pull newly synced records off the active segment."""
@@ -193,6 +212,11 @@ class ReplicationSource:
         for name in [name for name, state in self.subscribers.items()
                      if now - state["at"] > SUBSCRIBER_TTL_S]:
             del self.subscribers[name]
+        self._m_subscribers.set(len(self.subscribers))
+        lags = [self._next_seq - state["acked_seq"]
+                for state in self.subscribers.values()
+                if state["acked_seq"] is not None]
+        self._m_max_lag.set(max(lags) if lags else 0)
 
     def subscribe(self, replica=None):
         """Register (or refresh) a follower; returns the stream shape."""
@@ -211,7 +235,9 @@ class ReplicationSource:
         reads. Returns whether the name was present.
         """
         with self._lock:
-            return self.subscribers.pop(str(replica), None) is not None
+            forgotten = self.subscribers.pop(str(replica), None) is not None
+            self._m_subscribers.set(len(self.subscribers))
+            return forgotten
 
     def read_from(self, from_seq, limit=DEFAULT_SEGMENT_RECORDS,
                   wait_s=0.0, replica=None):
@@ -250,6 +276,7 @@ class ReplicationSource:
                                for seq, record in itertools.islice(
                                    self._records, start, start + limit)]
                     next_seq = from_seq + len(records)
+                    self._m_shipped.inc(len(records))
                     return records, next_seq, self._next_seq
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:

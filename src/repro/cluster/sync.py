@@ -25,6 +25,7 @@ replica) follows the advertised redirect when one is carried.
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.api.client import StoreClient
 from repro.errors import (
@@ -33,6 +34,7 @@ from repro.errors import (
     ReplicationResetError,
     ReproError,
 )
+from repro.obs import StoreObs
 
 
 def parse_address(address):
@@ -88,6 +90,21 @@ class ReplicaSync:
         self.connected = False
         self.last_error = None
         self.last_end_seq = None
+        self.lag_seconds = 0.0
+        obs = getattr(replica, "obs", None)
+        self._obs = obs if obs is not None else StoreObs(enabled=False)
+        self._m_behind = self._obs.gauge(
+            "repro_replication_behind_records",
+            help_text="Records between the leader's stream end and "
+                      "this replica's applied position")
+        self._m_lag = self._obs.gauge(
+            "repro_replication_lag_seconds",
+            help_text="Seconds since this replica was last caught up "
+                      "with the leader (0 while caught up)")
+        self._m_applied = self._obs.counter(
+            "repro_replication_records_applied_total",
+            help_text="Leader WAL records applied by this replica")
+        self._caught_up_at = time.monotonic()
         replica.attach_sync(self)
 
     # -- lifecycle -----------------------------------------------------------
@@ -121,6 +138,7 @@ class ReplicaSync:
                 "behind": (None if self.last_end_seq is None else
                            max(0, self.last_end_seq
                                - self.replica.applied_seq)),
+                "lag_seconds": self.lag_seconds,
                 "last_error": self.last_error}
 
     # -- the loop ------------------------------------------------------------
@@ -197,6 +215,23 @@ class ReplicaSync:
                                        segment["next_seq"])
             self.last_end_seq = segment["end_seq"]
             self.last_error = None
+            self._note_progress(len(segment["records"]),
+                                segment["end_seq"])
+
+    def _note_progress(self, applied, end_seq):
+        """Feed the replication gauges after one segment: how far
+        behind the stream end we are (records) and for how long
+        (seconds since we were last fully caught up)."""
+        if applied:
+            self._m_applied.inc(applied)
+        behind = max(0, end_seq - self.replica.applied_seq)
+        now = time.monotonic()
+        if behind == 0:
+            self._caught_up_at = now
+        self.lag_seconds = (0.0 if behind == 0
+                            else round(now - self._caught_up_at, 3))
+        self._m_behind.set(behind)
+        self._m_lag.set(self.lag_seconds)
 
     def _needs_bootstrap(self, info):
         replica = self.replica

@@ -1,0 +1,316 @@
+"""Lock-cheap metric primitives: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` per store owns every series. Each metric
+guards its own state with a private ``threading.Lock`` held only for
+the handful of arithmetic instructions of one update — there is no
+registry-wide lock on the hot path (the registry lock is taken only on
+first registration of a series, after which callers hold a direct
+reference). Reads are snapshot-on-read: :meth:`MetricsRegistry.snapshot`
+copies every series under its metric lock, so scrapes never block
+writers for longer than one copy.
+
+Histograms are fixed-bucket (upper-bound seconds by default, matching
+Prometheus' cumulative-bucket convention); percentiles are estimated
+from bucket counts with linear interpolation inside the winning bucket
+(:func:`percentile_from_buckets`), which is exactly what a PromQL
+``histogram_quantile`` would compute from the same exposition.
+
+``metrics=False`` stores get a :class:`NullRegistry` whose metric
+objects are shared no-op singletons — the instrumentation call sites
+stay branch-free and the overhead is one no-op method call.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+
+#: Default latency buckets (seconds). Chosen to straddle the measured
+#: hot-path costs: sub-millisecond submits, single-digit-millisecond
+#: flush stages, and the multi-millisecond fsync waits of a loaded
+#: group-commit train.
+DEFAULT_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                   0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+
+#: Buckets for dimensionless size distributions (pipeline depth, train
+#: occupancy, bucket rows scanned).
+SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096)
+
+
+def series_key(name, labels):
+    """The stable exposition identity of one series:
+    ``name`` or ``name{k="v",...}`` with label keys sorted."""
+    if not labels:
+        return name
+    inner = ",".join('{}="{}"'.format(key, labels[key])
+                     for key in sorted(labels))
+    return "{}{{{}}}".format(name, inner)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount=1):
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Point-in-time value that can move both ways."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def set(self, value):
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount=1):
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount=1):
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution with cumulative exposition.
+
+    ``bounds`` are inclusive upper bounds; an implicit ``+Inf`` bucket
+    catches everything above the last bound. ``counts`` as stored here
+    are per-bucket (non-cumulative); the Prometheus renderer sums them
+    into the cumulative ``le`` form.
+    """
+
+    __slots__ = ("_lock", "bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, bounds=DEFAULT_BUCKETS):
+        self._lock = threading.Lock()
+        self.bounds = tuple(bounds)
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value):
+        # inclusive upper bounds: the first bound >= value wins, the
+        # implicit +Inf bucket (index len(bounds)) catches the rest
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def state(self):
+        """``(counts, sum, count)`` copied under the metric lock."""
+        with self._lock:
+            return list(self._counts), self._sum, self._count
+
+
+def percentile_from_buckets(bounds, counts, quantile):
+    """Estimate the ``quantile`` (0..1) of a distribution recorded as
+    per-bucket ``counts`` over upper ``bounds`` (+Inf implicit).
+
+    Linear interpolation inside the winning bucket; the +Inf bucket
+    reports the last finite bound (there is nothing better to say).
+    Returns ``None`` for an empty distribution.
+    """
+    total = sum(counts)
+    if not total:
+        return None
+    rank = quantile * total
+    seen = 0
+    for index, count in enumerate(counts):
+        if not count:
+            continue
+        if seen + count >= rank:
+            if index >= len(bounds):  # +Inf bucket
+                return float(bounds[-1]) if bounds else math.inf
+            lower = bounds[index - 1] if index else 0.0
+            upper = bounds[index]
+            fraction = (rank - seen) / count
+            return lower + (upper - lower) * fraction
+        seen += count
+    return float(bounds[-1]) if bounds else math.inf
+
+
+class MetricsRegistry:
+    """Owns every series; hands out per-series metric objects.
+
+    Registration (``counter()`` / ``gauge()`` / ``histogram()``) is
+    idempotent: the same ``(name, labels)`` always returns the same
+    object, so instrumentation sites may either cache the reference
+    (hot paths do) or re-resolve per call.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._series = {}    # series_key -> metric object
+        self._kinds = {}     # name -> "counter" | "gauge" | "histogram"
+        self._help = {}      # name -> help text
+
+    def _register(self, kind, name, help_text, labels, factory):
+        key = series_key(name, labels)
+        with self._lock:
+            existing = self._kinds.get(name)
+            if existing is not None and existing != kind:
+                raise ValueError(
+                    "metric {!r} already registered as a {}".format(
+                        name, existing))
+            metric = self._series.get(key)
+            if metric is None:
+                metric = factory()
+                self._series[key] = metric
+                self._kinds[name] = kind
+                if help_text:
+                    self._help[name] = help_text
+            return metric
+
+    def counter(self, name, help_text="", **labels):
+        return self._register("counter", name, help_text, labels,
+                              Counter)
+
+    def gauge(self, name, help_text="", **labels):
+        return self._register("gauge", name, help_text, labels, Gauge)
+
+    def histogram(self, name, help_text="", buckets=DEFAULT_BUCKETS,
+                  **labels):
+        return self._register("histogram", name, help_text, labels,
+                              lambda: Histogram(buckets))
+
+    # -- reads ---------------------------------------------------------------
+
+    def snapshot(self):
+        """JSON-representable copy of every series:
+        ``{"counters": {key: value}, "gauges": {key: value},
+        "histograms": {key: {"buckets", "counts", "sum", "count"}}}``."""
+        with self._lock:
+            series = list(self._series.items())
+            kinds = dict(self._kinds)
+        out = {"counters": {}, "gauges": {}, "histograms": {}}
+        for key, metric in sorted(series):
+            name = key.split("{", 1)[0]
+            kind = kinds[name]
+            if kind == "histogram":
+                counts, total, count = metric.state()
+                out["histograms"][key] = {
+                    "buckets": list(metric.bounds), "counts": counts,
+                    "sum": total, "count": count}
+            else:
+                out[kind + "s"][key] = metric.value
+        return out
+
+    def render_text(self):
+        """Prometheus text exposition (version 0.0.4) of every
+        series."""
+        with self._lock:
+            series = sorted(self._series.items())
+            kinds = dict(self._kinds)
+            helps = dict(self._help)
+        lines = []
+        typed = set()
+        for key, metric in series:
+            name = key.split("{", 1)[0]
+            kind = kinds[name]
+            if name not in typed:
+                typed.add(name)
+                if name in helps:
+                    lines.append("# HELP {} {}".format(name,
+                                                       helps[name]))
+                lines.append("# TYPE {} {}".format(name, kind))
+            if kind == "histogram":
+                counts, total, count = metric.state()
+                label_part = key[len(name):]  # "" or '{k="v",...}'
+                inner = label_part[1:-1] if label_part else ""
+                cumulative = 0
+                for bound, bucket in zip(list(metric.bounds) + ["+Inf"],
+                                         counts):
+                    cumulative += bucket
+                    merged = ('{},le="{}"'.format(inner, bound)
+                              if inner else 'le="{}"'.format(bound))
+                    lines.append("{}_bucket{{{}}} {}".format(
+                        name, merged, cumulative))
+                lines.append("{}_sum{} {}".format(
+                    name, label_part, _fmt(total)))
+                lines.append("{}_count{} {}".format(
+                    name, label_part, count))
+            else:
+                lines.append("{} {}".format(key, _fmt(metric.value)))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value):
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class _NullMetric:
+    """Shared do-nothing stand-in for every metric kind."""
+
+    __slots__ = ()
+    bounds = ()
+    value = 0
+
+    def inc(self, amount=1):
+        pass
+
+    def dec(self, amount=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+    def state(self):
+        return [], 0.0, 0
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """Registry for ``metrics=False`` stores: every lookup returns the
+    shared no-op metric, snapshots are empty."""
+
+    enabled = False
+
+    def counter(self, name, help_text="", **labels):
+        return _NULL_METRIC
+
+    def gauge(self, name, help_text="", **labels):
+        return _NULL_METRIC
+
+    def histogram(self, name, help_text="", buckets=DEFAULT_BUCKETS,
+                  **labels):
+        return _NULL_METRIC
+
+    def snapshot(self):
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def render_text(self):
+        return ""

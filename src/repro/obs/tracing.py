@@ -1,0 +1,168 @@
+"""Request tracing: span trees over the dispatch → store → durability
+path.
+
+A trace id is minted client-side (:func:`new_trace_id`) or accepted
+from the caller, rides the wire envelope as an optional field, and is
+activated server-side with :meth:`Tracer.run_traced` for the duration
+of one request. Because each request executes synchronously on one
+worker thread (the server batches a connection's pipelined run into a
+single executor hop), a ``contextvars.ContextVar`` carries the active
+trace through every layer without any plumbing in the call
+signatures — the store and durability manager just open
+:meth:`Tracer.span` blocks, which are no-ops when no trace is active.
+
+Completed traces land in a bounded ring buffer and are exposed as
+JSON span trees via the ``metrics`` protocol op (``traces=N``).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+
+#: Default number of completed traces retained in the ring buffer.
+DEFAULT_TRACE_CAPACITY = 64
+
+_ACTIVE = contextvars.ContextVar("repro_active_trace", default=None)
+
+
+def new_trace_id():
+    """A fresh 16-hex-digit trace id (64 random bits)."""
+    return os.urandom(8).hex()
+
+
+class _Span:
+    __slots__ = ("name", "start", "duration_s", "children")
+
+    def __init__(self, name):
+        self.name = name
+        self.start = time.perf_counter()
+        self.duration_s = None
+        self.children = []
+
+    def close(self):
+        self.duration_s = time.perf_counter() - self.start
+
+    def as_dict(self, origin):
+        return {"name": self.name,
+                "start_offset_s": round(self.start - origin, 9),
+                "duration_s": round(self.duration_s or 0.0, 9),
+                "children": [child.as_dict(origin)
+                             for child in self.children]}
+
+
+class _ActiveTrace:
+    __slots__ = ("trace_id", "root", "stack")
+
+    def __init__(self, trace_id, name):
+        self.trace_id = trace_id
+        self.root = _Span(name)
+        self.stack = [self.root]
+
+
+class _NoopSpan:
+    """Shared context manager for spans opened outside any trace — the
+    untraced hot path must not pay for generator machinery."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _LiveSpan:
+    """Class-based child-span context manager (hot path: several per
+    flush when a trace is active)."""
+
+    __slots__ = ("_active", "_name", "_span")
+
+    def __init__(self, active, name):
+        self._active = active
+        self._name = name
+
+    def __enter__(self):
+        span = _Span(self._name)
+        stack = self._active.stack
+        stack[-1].children.append(span)
+        stack.append(span)
+        self._span = span
+        return span
+
+    def __exit__(self, exc_type, exc, tb):
+        self._span.close()
+        self._active.stack.pop()
+        return False
+
+
+class Tracer:
+    """Holds the active-trace context plus the ring of finished
+    traces."""
+
+    def __init__(self, capacity=DEFAULT_TRACE_CAPACITY):
+        self._lock = threading.Lock()
+        self._ring = deque(maxlen=capacity)
+
+    # -- recording -----------------------------------------------------------
+
+    @contextmanager
+    def trace(self, trace_id, name):
+        """Run a block as the root span of trace ``trace_id``; on exit
+        the finished span tree is pushed into the ring buffer."""
+        active = _ActiveTrace(trace_id, name)
+        token = _ACTIVE.set(active)
+        wall_start = time.time()
+        try:
+            yield active
+        finally:
+            _ACTIVE.reset(token)
+            active.root.close()
+            with self._lock:
+                self._ring.append({
+                    "trace_id": trace_id,
+                    "op": name,
+                    "started_at": wall_start,
+                    "duration_s": round(active.root.duration_s, 9),
+                    "spans": active.root.as_dict(active.root.start),
+                })
+
+    def run_traced(self, trace_id, name, fn):
+        """``fn()`` under a root span when ``trace_id`` is set; plain
+        call otherwise (the common untraced request costs one ``if``)."""
+        if not trace_id:
+            return fn()
+        with self.trace(trace_id, name):
+            return fn()
+
+    def span(self, name):
+        """A child span of the active trace — a shared no-op context
+        manager (no allocation at all) when the current context
+        carries no trace."""
+        active = _ACTIVE.get()
+        if active is None:
+            return _NOOP_SPAN
+        return _LiveSpan(active, name)
+
+    @staticmethod
+    def current_trace_id():
+        active = _ACTIVE.get()
+        return None if active is None else active.trace_id
+
+    # -- reads ---------------------------------------------------------------
+
+    def recent(self, limit=None):
+        """Most recent completed traces, newest last."""
+        with self._lock:
+            traces = list(self._ring)
+        if limit is not None:
+            traces = traces[-int(limit):]
+        return traces

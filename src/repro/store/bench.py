@@ -110,3 +110,44 @@ def run_store_benchmark(scale=0.05, clients=4, rounds=8, ops_per_round=50,
         incremental_relabels=stats["incremental_relabels"],
         full_relabels=stats["full_relabels"],
         max_code_length=stats["max_code_length"], verified=verified)
+
+
+def run_overhead_benchmark(scale=0.05, clients=4, rounds=8,
+                           ops_per_round=50, workers=2, backend="serial",
+                           seed=11, repeats=3):
+    """Time the same resident workload with instrumentation on and with
+    ``metrics=False``; returns ``(instrumented_s, plain_s)``, each the
+    best of ``repeats`` sessions.
+
+    The two modes alternate inside every repeat (on/off, then off/on)
+    so slow drift on a shared runner cancels instead of biasing one
+    side; best-of keeps scheduler noise out of the ratio the CI gate
+    floors."""
+    document = generate_xmark(scale=scale, seed=7)
+    text = serialize(document)
+    batches, __ = generate_client_batches(
+        document, clients=clients, rounds=rounds,
+        ops_per_round=ops_per_round, seed=seed)
+
+    def session(metrics):
+        store = DocumentStore(workers=workers, backend=backend,
+                              metrics=metrics)
+        store.open("bench", text)
+        try:
+            start = time.perf_counter()
+            for submissions in batches:
+                for client, pul in submissions:
+                    store.submit("bench", pul.copy(), client=client)
+                store.flush("bench")
+            return time.perf_counter() - start
+        finally:
+            store.close()
+
+    best = {True: None, False: None}
+    for repeat in range(max(1, repeats)):
+        order = (True, False) if repeat % 2 == 0 else (False, True)
+        for metrics in order:
+            elapsed = session(metrics)
+            if best[metrics] is None or elapsed < best[metrics]:
+                best[metrics] = elapsed
+    return best[True], best[False]

@@ -43,6 +43,7 @@ import threading
 import time
 
 from repro.errors import DurabilityError, RecoveryError
+from repro.obs import SIZE_BUCKETS, StoreObs
 from repro.pul.serialize import pul_from_xml
 from repro.pul.semantics import apply_pul
 from repro.reduction import reduce_deterministic
@@ -274,13 +275,32 @@ class DurabilityManager:
     under the same lock.
     """
 
-    def __init__(self, directory, policy, group_window=0.0):
+    def __init__(self, directory, policy, group_window=0.0, obs=None):
         if not policy.durable:
             raise DurabilityError(
                 "a DurabilityManager needs a durable policy, got "
                 "{!r}".format(policy))
         self.directory = directory
         self.policy = policy
+        #: the owning store's observability facade; a standalone
+        #: manager gets a disabled one (no-op metrics, spans still
+        #: attach to any active trace)
+        self._obs = obs if obs is not None else StoreObs(enabled=False)
+        self._m_fsyncs = self._obs.counter(
+            "repro_wal_fsyncs_total", "WAL fsyncs issued")
+        self._m_records = self._obs.counter(
+            "repro_wal_records_total", "WAL records appended")
+        self._m_bytes = self._obs.counter(
+            "repro_wal_bytes_total", "WAL record payload bytes appended")
+        self._m_rotations = self._obs.counter(
+            "repro_wal_rotations_total", "WAL segment rotations")
+        self._m_train = self._obs.histogram(
+            "repro_wal_train_records",
+            "Records made durable by one group-commit fsync",
+            buckets=SIZE_BUCKETS)
+        #: records appended but not yet covered by a counted fsync —
+        #: the occupancy the next train leader's fsync reports
+        self._train_pending = 0
         #: extra seconds a commit-train leader waits before its fsync so
         #: more concurrent flushes can board (0 = fsync immediately; the
         #: train still forms naturally while a previous fsync is in
@@ -358,14 +378,29 @@ class DurabilityManager:
             return self._position_locked()
 
     def _append(self, record, sync=True):
+        payload = encode_payload(record)
         with self._lock:
             if self._writer is None:
                 raise DurabilityError(
                     "durability manager is not started (or already "
                     "closed)")
-            self._writer.append(encode_payload(record), sync=sync)
+            self._writer.append(payload, sync=sync)
+            if sync:
+                train = self._train_pending + 1
+                self._train_pending = 0
+            else:
+                train = 0
+                self._train_pending += 1
             if self.feed_listener is not None:
                 self.feed_listener.on_append()
+        # metric updates happen outside the manager lock — each metric
+        # has its own, and the append critical section is the group
+        # commit's contention point
+        self._m_records.inc()
+        self._m_bytes.inc(len(payload))
+        if sync:
+            self._m_fsyncs.inc()
+            self._m_train.observe(train)
 
     # -- group commit --------------------------------------------------------
 
@@ -381,54 +416,68 @@ class DurabilityManager:
         replication feed and crash recovery read nothing past it).
         """
         payload = encode_payload(record)
-        with self._lock:
-            if self._writer is None:
-                raise DurabilityError(
-                    "durability manager is not started (or already "
-                    "closed)")
-            writer = self._writer
-            end = writer.append(payload, sync=False)
-            epoch = writer.rollback_epoch
-        while True:
-            with self._commit_cv:
-                while True:
-                    status = self._commit_status(writer, end, epoch)
-                    if status is not None:
-                        break
-                    if not self._sync_leader:
-                        self._sync_leader = True
-                        status = "lead"
-                        break
-                    # the timeout is a safety net for horizons advanced
-                    # outside the train (segment rotation seals and
-                    # syncs the writer without notifying the cv)
-                    self._commit_cv.wait(0.05)
-                if status == "durable":
-                    return
-                if status == "lost":
+        with self._obs.stage("wal-append"):
+            with self._lock:
+                if self._writer is None:
                     raise DurabilityError(
-                        "log record was destroyed by a failed-fsync "
-                        "rollback before it reached disk")
-            # leader: one fsync for every record appended so far
-            try:
-                if self.group_window:
-                    time.sleep(self.group_window)
-                with self._lock:
-                    if self._writer is writer and not writer.closed:
-                        try:
-                            writer.sync()
-                        except DurabilityError:
-                            # the epoch bump marks every destroyed
-                            # record; each waiter (and this thread, via
-                            # the re-check below) raises for its own
-                            pass
-                        else:
-                            if self.feed_listener is not None:
-                                self.feed_listener.on_append()
-            finally:
+                        "durability manager is not started (or already "
+                        "closed)")
+                writer = self._writer
+                end = writer.append(payload, sync=False)
+                epoch = writer.rollback_epoch
+                self._train_pending += 1
+            # outside the manager lock: the append critical section is
+            # the group commit's contention point
+            self._m_records.inc()
+            self._m_bytes.inc(len(payload))
+        with self._obs.stage("fsync-wait"):
+            while True:
                 with self._commit_cv:
-                    self._sync_leader = False
-                    self._commit_cv.notify_all()
+                    while True:
+                        status = self._commit_status(writer, end, epoch)
+                        if status is not None:
+                            break
+                        if not self._sync_leader:
+                            self._sync_leader = True
+                            status = "lead"
+                            break
+                        # the timeout is a safety net for horizons
+                        # advanced outside the train (segment rotation
+                        # seals and syncs the writer without notifying
+                        # the cv)
+                        self._commit_cv.wait(0.05)
+                    if status == "durable":
+                        return
+                    if status == "lost":
+                        raise DurabilityError(
+                            "log record was destroyed by a failed-fsync "
+                            "rollback before it reached disk")
+                # leader: one fsync for every record appended so far
+                try:
+                    if self.group_window:
+                        time.sleep(self.group_window)
+                    with self._lock:
+                        if self._writer is writer and not writer.closed:
+                            train = self._train_pending
+                            try:
+                                writer.sync()
+                            except DurabilityError:
+                                # the epoch bump marks every destroyed
+                                # record; each waiter (and this thread,
+                                # via the re-check below) raises for its
+                                # own
+                                pass
+                            else:
+                                self._m_fsyncs.inc()
+                                if train:
+                                    self._m_train.observe(train)
+                                self._train_pending = 0
+                                if self.feed_listener is not None:
+                                    self.feed_listener.on_append()
+                finally:
+                    with self._commit_cv:
+                        self._sync_leader = False
+                        self._commit_cv.notify_all()
 
     def _commit_status(self, writer, end, epoch):
         """``"durable"`` / ``"lost"`` / ``None`` (still in flight) for a
@@ -468,11 +517,18 @@ class DurabilityManager:
                 raise DurabilityError(
                     "durability manager is not started (or already "
                     "closed)")
+            appended = 0
             for payload in document_payload_dicts:
-                self._writer.append(
-                    encode_payload({"kind": "open", "doc": payload}),
-                    sync=False)
+                encoded = encode_payload({"kind": "open",
+                                          "doc": payload})
+                self._writer.append(encoded, sync=False)
+                self._m_records.inc()
+                self._m_bytes.inc(len(encoded))
+                appended += 1
             self._writer.sync()
+            self._m_fsyncs.inc()
+            self._m_train.observe(self._train_pending + appended)
+            self._train_pending = 0
             if self.feed_listener is not None:
                 self.feed_listener.on_append()
 
@@ -531,8 +587,11 @@ class DurabilityManager:
         with self._lock:
             sealed = self.generation
             if self._writer is not None:
-                self._writer.close()
+                self._writer.close()   # syncs every buffered record
                 self._writer = None
+                self._m_fsyncs.inc()
+                self._train_pending = 0
+            self._m_rotations.inc()
             self.generation = sealed + 1
             self._writer = WalWriter(self._wal_path(self.generation),
                                      fsync=self.policy.fsync)

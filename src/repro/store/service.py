@@ -26,6 +26,9 @@ transport is pluggable, the store is the contract):
                                       (e.g. after a rejected flush)
     text <doc-id> [out-file]          serialized current document
     stats [--json] [doc-id]           per-document counters
+    metrics [--json]                  observability snapshot (counter/
+                                      gauge/histogram series + uptime;
+                                      the summary line without --json)
     docs [--json]                     list resident document ids
     snapshot                          force a durability snapshot
     quit                              shut the store down and exit
@@ -134,6 +137,20 @@ class StoreService:
             for s in result["stats"])
         return "ok stats {}".format(rendered or "-")
 
+    def _cmd_metrics(self, json_form=False):
+        result = self.dispatch.metrics()
+        if json_form:
+            return "ok metrics-json {}".format(_render_json(result))
+        # the full series set is a JSON payload; the plain form is a
+        # one-line health summary (the protocol promises one line)
+        return ("ok metrics enabled={} uptime={}s counters={} "
+                "gauges={} histograms={}".format(
+                    str(bool(result.get("metrics_enabled"))).lower(),
+                    result.get("uptime_seconds"),
+                    len(result.get("counters", {})),
+                    len(result.get("gauges", {})),
+                    len(result.get("histograms", {}))))
+
     def _cmd_discard(self, doc_id):
         result = self.dispatch.discard(doc_id)
         return "ok discarded {doc_id} submissions={discarded}".format(
@@ -171,6 +188,7 @@ class StoreService:
         "discard": (_cmd_discard, 1, 1, False),
         "text": (_cmd_text, 1, 2, False),
         "stats": (_cmd_stats, 0, 1, True),
+        "metrics": (_cmd_metrics, 0, 0, True),
         "docs": (_cmd_docs, 0, 0, True),
         "snapshot": (_cmd_snapshot, 0, 0, False),
         "quit": (_cmd_quit, 0, 0, False),

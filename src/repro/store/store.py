@@ -50,6 +50,7 @@ from repro.errors import (
 )
 from repro.integration import reconcile
 from repro.labeling.scheme import ContainmentLabeling
+from repro.obs import SIZE_BUCKETS, StoreObs
 from repro.pipeline.merge import merge_shards
 from repro.pipeline.parallel import ParallelReducer
 from repro.pipeline.shard import shard_pul
@@ -330,11 +331,17 @@ class StoredDocument:
     def stats(self):
         version = self.pin()
         try:
+            with self._publish_cond:
+                logged = self.logged_version
             return {
                 "doc_id": self.doc_id,
                 "version": version.version,
                 "nodes": len(version.document),
                 "pending": len(self.pending),
+                # batches already write-ahead logged whose publish is
+                # still owed (nonzero only inside the log->publish
+                # window of an in-flight flush)
+                "pending_batches": max(0, logged - version.version),
                 "batches": version.batches,
                 "incremental_relabels": version.incremental_relabels,
                 "full_relabels": version.full_relabels,
@@ -384,12 +391,21 @@ class DocumentStore:
         fsync so more concurrent flushes can board its train (0 — the
         default — fsyncs immediately; trains still form naturally
         while a previous fsync is in flight).
+    metrics:
+        ``False`` swaps the metrics registry for a no-op null registry
+        (instrumentation sites stay in place and cost one no-op call;
+        tracing and the slow log are unaffected).
+    slow_query_s / slow_flush_s / slow_log_path:
+        Thresholds (seconds; ``None`` disables) and optional JSONL
+        path of the slow-query / slow-flush log (:attr:`obs`).
     """
 
     def __init__(self, workers=2, backend="thread",
                  max_code_length=DEFAULT_MAX_CODE_LENGTH,
                  on_conflict="error", policies=None,
-                 durability=None, wal_dir=None, group_window=0.0):
+                 durability=None, wal_dir=None, group_window=0.0,
+                 metrics=True, slow_query_s=None, slow_flush_s=None,
+                 slow_log_path=None):
         if on_conflict not in ("error", "reconcile"):
             raise ReproError(
                 "on_conflict must be 'error' or 'reconcile', got {!r}"
@@ -414,6 +430,37 @@ class DocumentStore:
         #: the :class:`~repro.cluster.feed.ReplicationSource` feeding
         #: followers, once :meth:`enable_replication` has run
         self.replication = None
+        #: the observability facade (:class:`~repro.obs.StoreObs`)
+        #: every subsystem serving this store shares — built before
+        #: the durability manager so the fsync path is instrumented
+        #: from the first record
+        self.obs = StoreObs(enabled=metrics, slow_query_s=slow_query_s,
+                            slow_flush_s=slow_flush_s,
+                            slow_log_path=slow_log_path)
+        obs = self.obs
+        self._m_submits = obs.counter(
+            "repro_store_submits_total", "PUL submissions accepted")
+        self._m_pending = obs.gauge(
+            "repro_store_pending_submissions",
+            "Submissions queued and not yet flushed")
+        self._m_flushes = obs.counter(
+            "repro_store_flushes_total", "Batches flushed (published)")
+        self._m_flush_failures = obs.counter(
+            "repro_store_flush_failures_total",
+            "Flushes that failed and restored their pending queue")
+        self._op_latency = {
+            op: obs.histogram("repro_store_op_latency_seconds",
+                              "Store operation latency", op=op)
+            for op in ("submit", "flush", "query", "text", "open")}
+        self._route_counters = {
+            mode: obs.counter("repro_planner_route_total",
+                              "Query routes chosen by the planner",
+                              mode=mode)
+            for mode in ("indexed", "mixed", "walker")}
+        self._m_bucket_rows = obs.histogram(
+            "repro_planner_bucket_rows",
+            "Index bucket sizes scanned by index-scan steps",
+            buckets=SIZE_BUCKETS)
         if isinstance(durability, str):
             durability = DurabilityPolicy.parse(durability)
         if durability is None:
@@ -427,7 +474,8 @@ class DocumentStore:
                     "durability policy {!r} needs a wal_dir".format(
                         durability))
             self._durability = DurabilityManager(wal_dir, durability,
-                                                 group_window=group_window)
+                                                 group_window=group_window,
+                                                 obs=self.obs)
         self._reducer = ParallelReducer(workers=workers, backend=backend)
         if self._durability is not None:
             try:
@@ -444,6 +492,7 @@ class DocumentStore:
     def open(self, doc_id, source):
         """Make ``source`` (XML text or a :class:`Document`) resident
         under ``doc_id``; parses and labels it once."""
+        start = time.perf_counter()
         if not isinstance(source, Document):
             source = parse_document(source)
         labeling = ContainmentLabeling().build(source)
@@ -461,6 +510,7 @@ class DocumentStore:
                 # concurrent compaction cannot strand the record in a
                 # segment its snapshot supersedes.
                 self._durability.log_open(document_payload(entry))
+        self._op_latency["open"].observe(time.perf_counter() - start)
         return entry
 
     def bulk_load(self, docs):
@@ -529,6 +579,8 @@ class DocumentStore:
                 self._entries.pop(entry.doc_id)
                 if self._durability is not None:
                     self._durability.log_close(entry.doc_id)
+        with entry.lock:
+            self._m_pending.dec(len(entry.pending))
 
     def doc_ids(self):
         with self._lock:
@@ -564,12 +616,14 @@ class DocumentStore:
         reader pins the published version and serializes it with no
         flush lock, so a slow serialization never stalls the write
         path and a slow batch never stalls the reader."""
+        start = time.perf_counter()
         entry = self._require(doc_id)
         version = entry.pin()
         try:
             return serialize(version.document), version.version
         finally:
             entry.unpin(version)
+            self._op_latency["text"].observe(time.perf_counter() - start)
 
     def stats(self, doc_id=None):
         if doc_id is not None:
@@ -577,6 +631,22 @@ class DocumentStore:
         with self._lock:
             entries = list(self._entries.values())
         return [entry.stats() for entry in entries]
+
+    def uptime_seconds(self):
+        """Seconds since this store was constructed."""
+        return self.obs.uptime_seconds()
+
+    # -- observability reads -------------------------------------------------
+
+    def metrics_snapshot(self, traces=None, slow=None):
+        """The ``metrics`` op result: every metric series plus uptime;
+        optionally the last ``traces`` span trees and ``slow`` log
+        entries (see :meth:`repro.obs.StoreObs.snapshot`)."""
+        return self.obs.snapshot(traces=traces, slow=slow)
+
+    def metrics_text(self):
+        """Prometheus text exposition of the metrics registry."""
+        return self.obs.render_text()
 
     # -- submission ----------------------------------------------------------
 
@@ -588,6 +658,7 @@ class DocumentStore:
         sharing a client name are treated as that client's sequential
         chain when the batch is coalesced.
         """
+        start = time.perf_counter()
         entry = self._require(doc_id)
         if client is None:
             client = pul.origin
@@ -596,7 +667,11 @@ class DocumentStore:
             self._arrivals += 1
         with entry.lock:
             entry.pending.append((arrival, client, pul))
-            return len(entry.pending)
+            depth = len(entry.pending)
+        self._m_submits.inc()
+        self._m_pending.inc()
+        self._op_latency["submit"].observe(time.perf_counter() - start)
+        return depth
 
     def discard_pending(self, doc_id):
         """Withdraw everything queued against ``doc_id`` (e.g. after a
@@ -605,6 +680,7 @@ class DocumentStore:
         with entry.lock:
             dropped = len(entry.pending)
             entry.pending = []
+        self._m_pending.dec(dropped)
         return dropped
 
     def submit_xquery(self, doc_id, expression, client=None):
@@ -667,21 +743,45 @@ class DocumentStore:
         from repro.index.planner import run_query
         from repro.xquery import parse_path
 
+        start = time.perf_counter()
         entry = self._require(doc_id)
         version = entry.pin()
         try:
-            nodes, plan = run_query(
-                parse_path(path), version.document,
-                labeling=version.labeling, index=version.index,
-                engine=engine)
-            rendered = [serialize_node(node) for node in nodes]
+            with self.obs.span("query"):
+                nodes, plan = run_query(
+                    parse_path(path), version.document,
+                    labeling=version.labeling, index=version.index,
+                    engine=engine)
+                rendered = [serialize_node(node) for node in nodes]
         finally:
             entry.unpin(version)
+        self._observe_query(doc_id, path,
+                            time.perf_counter() - start, plan)
         result = {"doc_id": doc_id, "version": version.version,
                   "count": len(rendered), "nodes": rendered}
         if explain:
             result["plan"] = plan
         return result
+
+    def _observe_query(self, doc_id, path, duration, plan):
+        """Feed the read-path telemetry from one executed query: the
+        op latency, the route counter for the plan's overall mode, the
+        scanned-bucket-size histogram for every index-scan step, and —
+        past the threshold — the slow-query log (plan embedded)."""
+        self._op_latency["query"].observe(duration)
+        mode = plan.get("mode") if isinstance(plan, dict) else None
+        counter = self._route_counters.get(mode)
+        if counter is not None:
+            counter.inc()
+        if isinstance(plan, dict):
+            for step in plan.get("steps") or ():
+                if (isinstance(step, dict)
+                        and step.get("choice") == "index-scan"
+                        and isinstance(step.get("bucket"), (int, float))):
+                    self._m_bucket_rows.observe(step["bucket"])
+        self.obs.slowlog.note_query(
+            doc_id, path, duration, plan,
+            trace_id=self.obs.tracer.current_trace_id())
 
     def explain(self, doc_id, path):
         """Run ``path`` like :meth:`query` and return the plan the
@@ -721,6 +821,7 @@ class DocumentStore:
         the unchanged document, so no partial batch state is ever
         published.
         """
+        start = time.perf_counter()
         entry = self._require(doc_id)
         with entry.flush_lock:
             with self._lock:
@@ -733,9 +834,14 @@ class DocumentStore:
                 entry.pending = []
             if not pending:
                 return None
+            self._m_pending.dec(len(pending))
             try:
-                result = self._execute_batch(entry, pending, num_shards)
+                with self.obs.collect_stages() as stages:
+                    result = self._execute_batch(entry, pending,
+                                                 num_shards)
             except Exception:
+                self._m_pending.inc(len(pending))
+                self._m_flush_failures.inc()
                 with entry.lock:
                     entry.pending = pending + entry.pending
                 # a mid-stream failure may have left working labels for
@@ -752,6 +858,12 @@ class DocumentStore:
                     # replaying the rebuild is idempotent)
                     self._durability.log_relabel(entry.doc_id)
                 raise
+        duration = time.perf_counter() - start
+        self._m_flushes.inc()
+        self._op_latency["flush"].observe(duration)
+        self.obs.slowlog.note_flush(
+            doc_id, result.version, duration, stages,
+            trace_id=self.obs.tracer.current_trace_id())
         return result
 
     def flush_all(self, num_shards=None):
@@ -785,9 +897,10 @@ class DocumentStore:
         return results
 
     def _execute_batch(self, entry, pending, num_shards):
-        batch = coalesce_batch(pending, entry.labeling,
-                               on_conflict=self.on_conflict,
-                               policies=self.policies)
+        with self.obs.stage("coalesce"):
+            batch = coalesce_batch(pending, entry.labeling,
+                                   on_conflict=self.on_conflict,
+                                   policies=self.policies)
         clients = len({client for __, client, __unused in pending})
         return self._run_batch(entry, batch, num_shards, clients)
 
@@ -803,6 +916,7 @@ class DocumentStore:
         whose application then fails restores the tree untouched and is
         skipped identically at replay time.
         """
+        obs = self.obs
         if self._durability is not None and not self._replaying:
             # fence first, then append: a group-commit train may expose
             # the record to the replication feed before log_batch
@@ -811,12 +925,15 @@ class DocumentStore:
             # failed append is unwound by the caller's rebuild_labeling
             # publish, which clamps the fence back.
             entry.mark_logged(entry.version + 1)
-            self._durability.log_batch(entry.doc_id, entry.version + 1,
-                                       clients, pul_to_xml(batch))
+            with obs.stage("log"):
+                self._durability.log_batch(
+                    entry.doc_id, entry.version + 1, clients,
+                    pul_to_xml(batch))
         submitted = len(batch)
-        shards = shard_pul(batch, num_shards or self.workers)
-        outcome = self._reducer.reduce_shards(shards)
-        reduced = merge_shards(outcome.reduced)
+        with obs.stage("reduce"):
+            shards = shard_pul(batch, num_shards or self.workers)
+            outcome = self._reducer.reduce_shards(shards)
+            reduced = merge_shards(outcome.reduced)
         # in-place application on the *private working pair* (the
         # recycled spare or a copy — entry.checkout): identifiers of
         # removed nodes stay burned (the allocator is the pair's own,
@@ -826,11 +943,14 @@ class DocumentStore:
         # suite. Readers keep walking the published version untouched.
         document, labeling = entry.checkout()
         previous = entry.published
-        apply_mode = apply_batch_in_place(document, labeling, reduced)
+        with obs.stage("apply"):
+            apply_mode = apply_batch_in_place(document, labeling,
+                                              reduced)
         entry.version += 1
         entry.batches += 1
         if labeling.max_code_length > self.max_code_length:
-            labeling.build(document)
+            with obs.stage("relabel"):
+                labeling.build(document)
             entry.full_relabels += 1
             relabel = "full"
         else:
@@ -843,13 +963,15 @@ class DocumentStore:
         index = None
         if (apply_mode == "incremental" and relabel == "incremental"
                 and previous.index is not None):
-            index = previous.index.derive(
-                previous.document, document, labeling, reduced)
+            with obs.stage("index-derive"):
+                index = previous.index.derive(
+                    previous.document, document, labeling, reduced)
         # one atomic reference swap makes the batch visible; the
         # retired version becomes the next checkout's working copy,
         # lagging by exactly this batch
-        entry.publish(document, labeling,
-                      catchup=("batch", reduced), index=index)
+        with obs.stage("publish"):
+            entry.publish(document, labeling,
+                          catchup=("batch", reduced), index=index)
         if self._durability is not None and not self._replaying \
                 and self._durability.snapshot_due():
             self._write_snapshot()
